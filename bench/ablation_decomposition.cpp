@@ -1,0 +1,235 @@
+// Ablation — the design choices DESIGN.md calls out.
+//
+// Part 1 (paper §IV-B / Fig. 3): resource-demand-aware deadline
+// decomposition vs the traditional critical-path split. On a fork-join
+// workflow with n-1 identical parallel middle jobs, critical-path
+// decomposition gives the middle node set 1/3 of the deadline while the
+// demand-aware split gives it (n-1)/(n+1); under a resource-limited cluster
+// only the latter leaves the middle level enough time for its task waves.
+// We print the Fig. 3 windows and then measure end-to-end misses under
+// FlowTime configured with each decomposition mode.
+//
+// Part 2: lexicographic refinement depth. The first lexmin round already
+// fixes the peak; further rounds flatten the rest of the profile. We report
+// peak and mean normalized load and solve cost per round budget.
+#include <cstdio>
+
+#include "core/decomposition.h"
+#include "core/lp_formulation.h"
+#include "dag/generators.h"
+#include "sched/experiment.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace flowtime;
+using workload::ResourceVec;
+
+workload::JobSpec uniform_job(int tasks, double runtime) {
+  workload::JobSpec job;
+  job.name = "j";
+  job.num_tasks = tasks;
+  job.task.runtime_s = runtime;
+  job.task.demand = ResourceVec{1.0, 2.0};
+  return job;
+}
+
+// Fig. 3's graph sized so the middle level cannot fit in 1/3 of the
+// deadline on the bench cluster.
+workload::Scenario fork_join_scenario(int middle, double deadline) {
+  workload::Scenario scenario;
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "fig3";
+  w.start_s = 0.0;
+  w.deadline_s = deadline;
+  w.dag = dag::make_fork_join(middle);
+  w.jobs.assign(static_cast<std::size_t>(middle + 2), uniform_job(40, 60.0));
+  scenario.workflows.push_back(std::move(w));
+  return scenario;
+}
+
+void part1_decomposition_mode() {
+  std::printf("--- Part 1: demand-aware vs critical-path decomposition ---\n");
+
+  // The Fig. 3 window illustration.
+  const int middle = 9;
+  workload::Scenario scenario = fork_join_scenario(middle, 3300.0);
+  for (const auto mode : {core::DecompositionMode::kResourceDemand,
+                          core::DecompositionMode::kCriticalPath}) {
+    core::DecompositionConfig dconfig;
+    dconfig.cluster_capacity = ResourceVec{120.0, 256.0};
+    dconfig.mode = mode;
+    const core::DeadlineDecomposer decomposer(dconfig);
+    const auto result = decomposer.decompose(scenario.workflows[0]);
+    if (!result) continue;
+    std::printf(
+        "%s: level windows = [%.0f, %.0f, %.0f] s  (middle share %.2f; "
+        "paper: demand-aware -> (n-1)/(n+1) = %.2f, critical-path -> 1/3)\n",
+        mode == core::DecompositionMode::kResourceDemand ? "demand-aware "
+                                                         : "critical-path",
+        result->level_duration_s[0], result->level_duration_s[1],
+        result->level_duration_s[2],
+        result->level_duration_s[1] / 3300.0,
+        static_cast<double>(middle) / (middle + 2));
+  }
+
+  // End-to-end: fork-join-heavy workload on a narrow cluster, both modes.
+  util::Table table(
+      {"decomposition", "jobs_missed", "workflows_missed", "adhoc_mean_s"});
+  for (const auto mode : {core::DecompositionMode::kResourceDemand,
+                          core::DecompositionMode::kCriticalPath}) {
+    sched::ExperimentConfig config;
+    config.sim.capacity = ResourceVec{120.0, 256.0};
+    config.sim.max_horizon_s = 8.0 * 3600.0;
+    config.flowtime.cluster_capacity = config.sim.capacity;
+    config.flowtime.slot_seconds = config.sim.slot_seconds;
+    config.flowtime.decomposition_mode = mode;
+    config.schedulers = {"FlowTime"};
+
+    workload::Scenario end_to_end;
+    util::Rng rng(5);
+    for (int i = 0; i < 3; ++i) {
+      workload::Workflow w;
+      w.id = i;
+      w.name = "fj" + std::to_string(i);
+      w.start_s = i * 200.0;
+      const int width = 8 + 2 * i;
+      w.dag = dag::make_fork_join(width);
+      w.jobs.assign(static_cast<std::size_t>(width + 2),
+                    uniform_job(static_cast<int>(rng.uniform_int(20, 50)),
+                                rng.uniform_real(40.0, 80.0)));
+      // Deadline: 2.6x the minimum makespan — meetable, but only if the
+      // wide middle level receives its demand-proportional share.
+      w.deadline_s =
+          w.start_s + 2.6 * w.min_makespan_s(config.sim.capacity);
+      end_to_end.workflows.push_back(std::move(w));
+    }
+    const auto outcomes = sched::run_comparison(end_to_end, config);
+    const auto& outcome = outcomes.front();
+    table.begin_row()
+        .add(std::string(mode == core::DecompositionMode::kResourceDemand
+                             ? "demand-aware"
+                             : "critical-path"))
+        .add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+        .add(static_cast<std::int64_t>(outcome.deadlines.workflows_missed))
+        .add(outcome.adhoc.mean_turnaround_s, 1);
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+}
+
+void part2_lexmin_depth() {
+  std::printf("--- Part 2: lexicographic refinement depth ---\n");
+  util::Rng rng(3);
+  std::vector<core::LpJob> jobs;
+  const int slots = 120;
+  for (int i = 0; i < 40; ++i) {
+    core::LpJob job;
+    job.uid = i;
+    job.release_slot = static_cast<int>(rng.uniform_int(0, slots / 2));
+    job.deadline_slot =
+        job.release_slot + static_cast<int>(rng.uniform_int(15, slots / 2));
+    job.deadline_slot = std::min(job.deadline_slot, slots - 1);
+    const int tasks = static_cast<int>(rng.uniform_int(20, 100));
+    job.demand = ResourceVec{tasks * 60.0, tasks * 150.0};
+    job.width = ResourceVec{tasks * 10.0, tasks * 25.0};
+    jobs.push_back(job);
+  }
+  const std::vector<ResourceVec> caps(slots, ResourceVec{5000.0, 10240.0});
+
+  util::Table table({"max_rounds", "rounds_used", "peak_load", "mean_load",
+                     "load_stddev", "pivots"});
+  for (const int rounds : {1, 2, 4, 8, 1024}) {
+    core::LpScheduleOptions options;
+    options.lexmin.max_rounds = rounds;
+    const core::LpSchedule schedule =
+        core::solve_placement(jobs, caps, 0, options);
+    if (!schedule.ok()) continue;
+    std::vector<double> loads;
+    for (const auto& slot_load : schedule.normalized_load) {
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        loads.push_back(slot_load[r]);
+      }
+    }
+    table.begin_row()
+        .add(static_cast<std::int64_t>(rounds))
+        .add(static_cast<std::int64_t>(schedule.lexmin_rounds))
+        .add(schedule.max_normalized_load, 4)
+        .add(util::mean(loads), 4)
+        .add(util::stddev(loads), 4)
+        .add(schedule.pivots);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected: the peak is fixed after round 1; deeper refinement lowers "
+      "the load variance (flatter profile => better ad-hoc leftovers) at "
+      "growing pivot cost.\n");
+}
+
+void part3_resource_coupling() {
+  std::printf("--- Part 3: decoupled (paper) vs resource-coupled LP ---\n");
+  // The paper's x_it^r variables let CPU and memory follow different time
+  // profiles; the coupled variant ties them to one task-time variable,
+  // which containers need. Measure the flatness cost and solver effort.
+  util::Rng rng(11);
+  std::vector<core::LpJob> jobs;
+  const int slots = 80;
+  for (int i = 0; i < 30; ++i) {
+    const int release = static_cast<int>(rng.uniform_int(0, slots / 2));
+    const int deadline =
+        std::min(slots - 1,
+                 release + static_cast<int>(rng.uniform_int(10, slots / 2)));
+    const int tasks = static_cast<int>(rng.uniform_int(10, 80));
+    const double runtime =
+        rng.uniform_real(20.0, 0.9 * (deadline - release + 1) * 10.0);
+    const double mem = rng.uniform_real(1.5, 4.0);
+    core::LpJob job;
+    job.uid = i;
+    job.release_slot = release;
+    job.deadline_slot = deadline;
+    job.demand = ResourceVec{tasks * runtime, tasks * runtime * mem};
+    job.width = ResourceVec{tasks * 10.0, tasks * mem * 10.0};
+    jobs.push_back(job);
+  }
+  const std::vector<ResourceVec> caps(slots, ResourceVec{5000.0, 10240.0});
+
+  util::Table table({"formulation", "peak_load", "load_stddev", "pivots"});
+  for (const bool coupled : {false, true}) {
+    core::LpScheduleOptions options;
+    options.coupled_resources = coupled;
+    const core::LpSchedule s = core::solve_placement(jobs, caps, 0, options);
+    if (!s.ok()) continue;
+    std::vector<double> loads;
+    for (const auto& slot_load : s.normalized_load) {
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        loads.push_back(slot_load[r]);
+      }
+    }
+    table.begin_row()
+        .add(std::string(coupled ? "coupled (container-ready)"
+                                 : "decoupled (paper)"))
+        .add(s.max_normalized_load, 4)
+        .add(util::stddev(loads), 4)
+        .add(s.pivots);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected: nearly identical peaks for gang jobs (demands proportional "
+      "to widths), with the coupled variant producing proportional task "
+      "bundles per slot.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: decomposition mode and lexmin depth ===\n\n");
+  part1_decomposition_mode();
+  std::printf("\n");
+  part2_lexmin_depth();
+  std::printf("\n");
+  part3_resource_coupling();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation — fluid LP abstraction vs node-granular (YARN-like) execution.
+//
+// The paper's LP treats the cluster as one divisible pool (z_t^r <= C_t^r);
+// its deployment ran on YARN, where allocations materialize as whole task
+// containers on individual machines. This bench quantifies the gap: the
+// same Fig. 4-style workload executed fluidly and on clusters of 25 / 50 /
+// 100 identical nodes. The interesting outputs are FlowTime's deadline
+// misses (does container fragmentation erode the LP's guarantees?) and the
+// fraction of granted work lost to packing.
+#include <cstdio>
+
+#include "sched/experiment.h"
+#include "sim/task_simulator.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int main() {
+  using namespace flowtime;
+  using workload::ResourceVec;
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 3;
+  fig4.jobs_per_workflow = 12;
+  fig4.workflow_start_spread_s = 400.0;
+  fig4.workflow.cluster_capacity = ResourceVec{500.0, 1024.0};
+  fig4.workflow.looseness_min = 4.0;
+  fig4.workflow.looseness_max = 6.0;
+  fig4.adhoc.rate_per_s = 0.08;
+  fig4.adhoc.horizon_s = 1200.0;
+  const workload::Scenario scenario = workload::make_fig4_scenario(13, fig4);
+
+  std::printf("=== Ablation: fluid pool vs node-granular execution ===\n");
+  std::printf(
+      "Same workload and scheduler; only the execution substrate "
+      "changes.\n\n");
+
+  util::Table table({"substrate", "jobs_missed", "adhoc_mean_s",
+                     "frag_lost_cpu_pct", "completed"});
+  // The last entry deliberately disables container rounding to expose the
+  // failure mode: fractional LP grants quantize to zero containers.
+  struct Row {
+    int nodes;
+    bool round;
+  };
+  for (const Row row : {Row{0, false}, Row{100, true}, Row{50, true},
+                        Row{25, true}, Row{100, false}}) {
+    const int nodes = row.nodes;
+    sched::ExperimentConfig config;
+    config.sim.capacity = ResourceVec{500.0, 1024.0};
+    // The fractional-grant row starves and would otherwise burn the whole
+    // safety horizon; 2 h is ample to demonstrate the failure.
+    config.sim.max_horizon_s = row.round || nodes == 0 ? 6.0 * 3600.0
+                                                       : 2.0 * 3600.0;
+    config.sim.num_nodes = nodes;
+    config.flowtime.cluster_capacity = config.sim.capacity;
+    config.flowtime.slot_seconds = config.sim.slot_seconds;
+    // A YARN port issues whole containers; without this, fractional LP
+    // grants quantize to zero and starve (measured: >40% loss).
+    config.flowtime.round_to_containers = row.round;
+    config.schedulers = {"FlowTime"};
+    const auto outcomes = sched::run_comparison(scenario, config);
+    const auto& outcome = outcomes.front();
+
+    double granted_cpu = 0.0;
+    for (const auto& allocated : outcome.result.allocated_per_slot) {
+      granted_cpu += allocated[workload::kCpu];
+    }
+    const double lost_pct =
+        granted_cpu > 0.0
+            ? 100.0 * outcome.result.fragmentation_lost[workload::kCpu] /
+                  granted_cpu
+            : 0.0;
+    std::string label = nodes == 0 ? std::string("fluid (paper LP model)")
+                                   : std::to_string(nodes) + " nodes";
+    if (nodes > 0 && !row.round) label += " (fractional grants)";
+    table.begin_row()
+        .add(label)
+        .add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+        .add(outcome.adhoc.mean_turnaround_s, 1)
+        .add(lost_pct, 2)
+        .add(std::string(outcome.result.all_completed ? "all" : "PARTIAL"));
+  }
+  // Task-level (non-preemptive) substrate: the closest model to real YARN
+  // execution. Run FlowTime against it with container-shaped grants.
+  {
+    sim::TaskSimConfig task_config;
+    task_config.capacity = ResourceVec{500.0, 1024.0};
+    task_config.max_horizon_s = 6.0 * 3600.0;
+    core::FlowTimeConfig flowtime;
+    flowtime.cluster_capacity = task_config.capacity;
+    flowtime.slot_seconds = task_config.slot_seconds;
+    flowtime.round_to_containers = true;
+    sim::TaskLevelSimulator task_sim(task_config);
+    core::FlowTimeScheduler scheduler(flowtime);
+    const sim::SimResult result = task_sim.run(scenario, scheduler);
+    const sim::DeadlineReport report = sim::evaluate_deadlines(
+        result, scenario.workflows,
+        sim::JobDeadlines(scheduler.job_deadlines().begin(),
+                          scheduler.job_deadlines().end()));
+    const sim::AdhocReport adhoc = sim::evaluate_adhoc(result);
+    table.begin_row()
+        .add(std::string("task-level (non-preemptive)"))
+        .add(static_cast<std::int64_t>(report.jobs_missed))
+        .add(adhoc.mean_turnaround_s, 1)
+        .add(0.0, 2)
+        .add(std::string(result.all_completed ? "all" : "PARTIAL"));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected: small 1-core/2-4 GB containers pack near-perfectly, so "
+      "FlowTime's guarantees survive node granularity and non-preemptive "
+      "task execution; fragmentation and starvation only appear when "
+      "fractional grants skip container rounding.\n");
+  return 0;
+}

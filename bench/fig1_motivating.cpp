@@ -1,0 +1,92 @@
+// Fig. 1 — the paper's motivating example.
+//
+// One workflow W1 of two chained jobs (deadline 200), ad-hoc jobs A1 (t=0)
+// and A2 (t=100), resource cap 2 units. EDF burns the full cap on W1 first
+// (done at 100) and delays A1 by 100 time units: mean ad-hoc turnaround
+// 150 = (200+100)/2. FlowTime spreads W1 at its flat rate across the whole
+// window, so A1 runs immediately: mean turnaround 100 = (100+100)/2.
+#include <cstdio>
+
+#include "dag/generators.h"
+#include "sched/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace flowtime;
+using workload::ResourceVec;
+
+workload::Scenario fig1_scenario() {
+  workload::Scenario scenario;
+  workload::Workflow w1;
+  w1.id = 0;
+  w1.name = "W1";
+  w1.start_s = 0.0;
+  w1.deadline_s = 200.0;
+  w1.dag = dag::make_chain(2);
+  // Each job: 100 resource-units of work, runnable at up to the full cap of
+  // 2 (so EDF can finish each in 50) or stretched to width 1 over 100.
+  workload::JobSpec job;
+  job.name = "Job";
+  job.num_tasks = 2;
+  job.task.runtime_s = 50.0;
+  job.task.demand = ResourceVec{1.0, 1.0};
+  w1.jobs = {job, job};
+  scenario.workflows.push_back(std::move(w1));
+
+  workload::AdhocJob a1;
+  a1.id = 0;
+  a1.arrival_s = 0.0;
+  a1.spec.name = "A1";
+  a1.spec.num_tasks = 1;
+  a1.spec.task.runtime_s = 100.0;
+  a1.spec.task.demand = ResourceVec{1.0, 1.0};
+  workload::AdhocJob a2 = a1;
+  a2.id = 1;
+  a2.arrival_s = 100.0;
+  a2.spec.name = "A2";
+  scenario.adhoc_jobs = {a1, a2};
+  return scenario;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1: motivating example ===\n");
+  std::printf(
+      "W1: two chained jobs, deadline 200; A1 arrives t=0, A2 t=100; "
+      "cap 2.\n\n");
+
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{2.0, 2.0};
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  // The example's windows are exact; slack would shrink them below the
+  // jobs' minimum runtimes.
+  config.flowtime.deadline_slack_s = 0.0;
+  config.schedulers = {"FlowTime", "EDF"};
+
+  const workload::Scenario scenario = fig1_scenario();
+  const auto outcomes = sched::run_comparison(scenario, config);
+
+  util::Table table({"scheduler", "W1_done_at_s", "W1_deadline_met",
+                     "A1_turnaround_s", "A2_turnaround_s",
+                     "mean_adhoc_turnaround_s", "paper_mean"});
+  for (const auto& outcome : outcomes) {
+    const auto& jobs = outcome.result.jobs;
+    const double w1_done = jobs[1].completion_s.value_or(-1.0);
+    table.begin_row()
+        .add(outcome.name)
+        .add(w1_done, 0)
+        .add(std::string(w1_done <= 200.0 + 1e-9 ? "yes" : "NO"))
+        .add(jobs[2].turnaround_s(), 0)
+        .add(jobs[3].turnaround_s(), 0)
+        .add(outcome.adhoc.mean_turnaround_s, 0)
+        .add(std::string(outcome.name == "FlowTime" ? "100" : "150"));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper: EDF delays A1 behind the whole workflow (mean 150); FlowTime "
+      "spreads W1 and serves ad-hoc jobs immediately (mean 100).\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Fig. 4 — the paper's main testbed comparison (§VII-B.1).
+//
+// Workload: 5 deadline-aware workflows x 18 jobs = 90 deadline jobs (PUMA /
+// HiBench-like profiles) sharing a 500-core / 1 TB cluster with a Poisson
+// stream of ad-hoc jobs. Reported per scheduler:
+//   (a) the distribution of (completion - deadline) over the 90 jobs,
+//   (b) the number of jobs that miss their (decomposed) deadlines,
+//   (c) the mean turnaround time of ad-hoc jobs,
+//   plus the workflow-level deadline count discussed in the text.
+//
+// Paper reference points: misses FlowTime 0, CORA 10, EDF 5, Fair 8,
+// FIFO 13 (all 5 workflows meet their deadlines under FlowTime); ad-hoc
+// mean turnaround 522.5 s under FlowTime, with Fair ~1.56x, CORA ~2x,
+// FIFO ~3x and EDF ~10x that value. Absolute seconds depend on the testbed;
+// the shape (who wins, roughly by how much) is the reproduction target.
+#include <cstdio>
+#include <map>
+
+#include "sched/experiment.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace flowtime;
+using workload::ResourceVec;
+
+const std::map<std::string, int> kPaperMisses = {
+    {"FlowTime", 0}, {"CORA", 10},    {"EDF", 5},   {"Fair", 8},
+    {"FIFO", 13},    {"Morpheus", -1}, {"Rayon", -1}};
+// Morpheus and Rayon rows are absent/truncated in the source scan.
+
+const std::map<std::string, double> kPaperTurnaroundRatio = {
+    {"FlowTime", 1.0}, {"Fair", 1.56},     {"CORA", 2.0}, {"FIFO", 3.0},
+    {"EDF", 10.0},     {"Morpheus", -1.0}, {"Rayon", -1.0}};
+
+}  // namespace
+
+int main() {
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{500.0, 1024.0};  // Fig. 7 cluster
+  config.sim.max_horizon_s = 8.0 * 3600.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.schedulers = {"FlowTime", "CORA", "EDF", "Fair", "FIFO",
+                       "Morpheus", "Rayon"};
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 5;
+  fig4.jobs_per_workflow = 18;
+  fig4.workflow_start_spread_s = 400.0;
+  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.task_multiplier = 1;
+  fig4.workflow.looseness_min = 4.0;
+  fig4.workflow.looseness_max = 6.0;
+  fig4.adhoc.rate_per_s = 0.15;
+  fig4.adhoc.horizon_s = 1500.0;
+  fig4.adhoc.min_tasks = 10;
+  fig4.adhoc.max_tasks = 50;
+  fig4.adhoc.min_task_runtime_s = 30.0;
+  fig4.adhoc.max_task_runtime_s = 80.0;
+
+  std::printf("=== Fig. 4: deadline-aware workflows + ad-hoc jobs ===\n");
+  std::printf(
+      "5 workflows x 18 jobs = 90 deadline jobs, Poisson ad-hoc stream, "
+      "500 cores / 1 TB, 10 s slots.\n\n");
+
+  const workload::Scenario scenario = workload::make_fig4_scenario(13, fig4);
+  std::printf("ad-hoc jobs in stream: %zu\n\n", scenario.adhoc_jobs.size());
+  const auto outcomes = sched::run_comparison(scenario, config);
+
+  double flowtime_turnaround = 0.0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.name == "FlowTime") {
+      flowtime_turnaround = outcome.adhoc.mean_turnaround_s;
+    }
+  }
+
+  util::Table table({"scheduler", "jobs_missed(/90)", "paper_missed",
+                     "wf_missed(/5)", "delta_mean_s", "delta_max_s",
+                     "adhoc_mean_s", "ratio_vs_FlowTime", "paper_ratio"});
+  for (const auto& outcome : outcomes) {
+    const auto deltas = outcome.deadlines.job_deltas();
+    const double ratio =
+        flowtime_turnaround > 0.0
+            ? outcome.adhoc.mean_turnaround_s / flowtime_turnaround
+            : 0.0;
+    const int paper_missed = kPaperMisses.at(outcome.name);
+    const double paper_ratio = kPaperTurnaroundRatio.at(outcome.name);
+    table.begin_row()
+        .add(outcome.name)
+        .add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+        .add(paper_missed < 0 ? std::string("n/a")
+                              : std::to_string(paper_missed))
+        .add(static_cast<std::int64_t>(outcome.deadlines.workflows_missed))
+        .add(util::mean(deltas), 1)
+        .add(util::max_of(deltas), 1)
+        .add(outcome.adhoc.mean_turnaround_s, 1)
+        .add(ratio, 2)
+        .add(paper_ratio < 0.0 ? std::string("n/a")
+                               : util::format_double(paper_ratio, 2));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Fig. 4(a) flavour: the delta distribution per scheduler.
+  util::Table deltas_table({"scheduler", "delta_p10_s", "delta_p50_s",
+                            "delta_p90_s", "delta_p100_s"});
+  for (const auto& outcome : outcomes) {
+    const auto deltas = outcome.deadlines.job_deltas();
+    deltas_table.begin_row()
+        .add(outcome.name)
+        .add(util::percentile(deltas, 10), 1)
+        .add(util::percentile(deltas, 50), 1)
+        .add(util::percentile(deltas, 90), 1)
+        .add(util::percentile(deltas, 100), 1);
+  }
+  std::printf("Fig. 4(a) delta distribution (completion - deadline):\n%s\n",
+              deltas_table.to_string().c_str());
+  for (const auto& outcome : outcomes) {
+    if (outcome.name != "FlowTime" && outcome.name != "FIFO") continue;
+    std::printf("%s delta histogram (s):\n%s\n", outcome.name.c_str(),
+                util::render_histogram(outcome.deadlines.job_deltas(),
+                                       {.bins = 8, .max_bar_width = 30})
+                    .c_str());
+  }
+  std::printf(
+      "Expected shape: FlowTime all deltas <= 0 and 0 misses; EDF best "
+      "baseline on misses but ~10x worse ad-hoc turnaround; FIFO worst on "
+      "misses; Fair best baseline on turnaround.\n\n");
+
+  // Seed-stability appendix: the paper reports one testbed run; the table
+  // above pins one representative seed. Three more seeds show which
+  // conclusions are stable (FlowTime 0 misses, EDF's order-of-magnitude
+  // ad-hoc penalty) and which wobble (exact baseline miss counts).
+  std::printf("Seed stability (misses / adhoc-ratio vs FlowTime):\n");
+  util::Table stability(
+      {"seed", "FlowTime", "CORA", "EDF", "Fair", "FIFO"});
+  for (const std::uint64_t seed : {13u, 7u, 11u, 21u}) {
+    const workload::Scenario s2 = workload::make_fig4_scenario(seed, fig4);
+    sched::ExperimentConfig c2 = config;
+    c2.schedulers = {"FlowTime", "CORA", "EDF", "Fair", "FIFO"};
+    const auto runs = sched::run_comparison(s2, c2);
+    const double base = runs[0].adhoc.mean_turnaround_s;
+    stability.begin_row().add(static_cast<std::int64_t>(seed));
+    for (const auto& outcome : runs) {
+      stability.add(std::to_string(outcome.deadlines.jobs_missed) + " / " +
+                    util::format_double(
+                        base > 0.0 ? outcome.adhoc.mean_turnaround_s / base
+                                   : 0.0,
+                        1));
+    }
+  }
+  std::printf("%s", stability.to_string().c_str());
+  return 0;
+}

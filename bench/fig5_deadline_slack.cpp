@@ -1,0 +1,82 @@
+// Fig. 5 — the effectiveness of deadline slack (§VII-B.2).
+//
+// Same workload family as Fig. 4 but with estimation noise injected (the
+// slack feature exists precisely to absorb it). Compares FlowTime (60 s
+// slack, the paper default) against FlowTime_no_ds (slack disabled).
+//
+// Paper reference: with slack all 90 jobs meet their deadlines; without it
+// 5 jobs miss; ad-hoc turnaround is essentially unaffected (522.5 s vs
+// ~531 s) because the slack only shifts a small amount of deadline work
+// slightly earlier.
+#include <cstdio>
+
+#include "sched/experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/estimator.h"
+#include "workload/trace_gen.h"
+
+int main() {
+  using namespace flowtime;
+  using workload::ResourceVec;
+
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{500.0, 1024.0};
+  config.sim.max_horizon_s = 8.0 * 3600.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.deadline_slack_s = 60.0;  // paper default
+  config.schedulers = {"FlowTime", "FlowTime_no_ds"};
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 5;
+  fig4.jobs_per_workflow = 18;
+  fig4.workflow_start_spread_s = 400.0;
+  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.looseness_min = 4.0;
+  fig4.workflow.looseness_max = 6.0;
+  fig4.adhoc.rate_per_s = 0.15;
+  fig4.adhoc.horizon_s = 1500.0;
+  fig4.adhoc.min_tasks = 10;
+  fig4.adhoc.max_tasks = 50;
+  fig4.adhoc.min_task_runtime_s = 30.0;
+  fig4.adhoc.max_task_runtime_s = 80.0;
+
+  workload::Scenario scenario = workload::make_fig4_scenario(13, fig4);
+  // Estimation noise: input data and code change between recurring runs
+  // (§III-A). Under-estimates are what slack protects against.
+  util::Rng rng(99);
+  workload::EstimationErrorConfig error;
+  error.affected_fraction = 0.45;
+  error.under_probability = 0.6;
+  error.under_severity = 0.20;
+  error.over_severity = 0.20;
+  workload::inject_estimation_error(scenario.workflows, error, rng);
+
+  std::printf("=== Fig. 5: the effects of deadline slack ===\n");
+  std::printf(
+      "Fig. 4 workload + estimation noise (45%% of jobs off by up to 20%%); "
+      "slack 60 s vs none.\n\n");
+
+  const auto outcomes = sched::run_comparison(scenario, config);
+  util::Table table({"scheduler", "jobs_missed(/90)", "paper_missed",
+                     "delta_mean_s", "delta_max_s", "adhoc_mean_s",
+                     "replans"});
+  for (const auto& outcome : outcomes) {
+    const auto deltas = outcome.deadlines.job_deltas();
+    table.begin_row()
+        .add(outcome.name)
+        .add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+        .add(std::string(outcome.name == "FlowTime" ? "0" : "5"))
+        .add(util::mean(deltas), 1)
+        .add(util::max_of(deltas), 1)
+        .add(outcome.adhoc.mean_turnaround_s, 1)
+        .add(static_cast<std::int64_t>(outcome.replans));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: slack absorbs under-estimation (0 misses); the "
+      "no-slack variant misses a handful; ad-hoc turnaround is barely "
+      "affected by slack.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 8 (reconstructed) — trace-driven simulation.
+//
+// The abstract and §VII promise trace-driven simulations alongside the
+// testbed runs, but the evaluation text after Fig. 7 is truncated in the
+// available scan (see DESIGN.md "Paper truncation notes"). This bench
+// reconstructs the experiment the text promises: recurring workflow
+// templates (the Huawei-trace regime: same DAG daily, deadline far looser
+// than the runtime — their example is a 24 h deadline on a ~2 h workflow)
+// re-released over several periods with a continuous ad-hoc stream, judged
+// by the same Fig. 4 metrics.
+#include <cstdio>
+
+#include "sched/experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int main() {
+  using namespace flowtime;
+  using workload::ResourceVec;
+
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{500.0, 1024.0};
+  config.sim.max_horizon_s = 24.0 * 3600.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  // Long-horizon LPs: a shallower lexmin budget keeps re-plans snappy
+  // without affecting the peak (see the ablation bench).
+  config.flowtime.lp.lexmin.max_rounds = 4;
+  config.schedulers = {"FlowTime", "CORA", "EDF", "Fair", "FIFO",
+                       "Morpheus", "Rayon"};
+
+  workload::RecurringTraceConfig trace;
+  trace.num_templates = 5;
+  trace.recurrences = 3;
+  trace.period_s = 1500.0;
+  trace.workflow.num_jobs = 12;
+  trace.workflow.cluster_capacity = config.sim.capacity;
+  // The trace regime: deadlines much looser than the testbed experiment.
+  trace.workflow.looseness_min = 6.0;
+  trace.workflow.looseness_max = 10.0;
+  trace.adhoc.rate_per_s = 0.12;
+  trace.adhoc.min_tasks = 10;
+  trace.adhoc.max_tasks = 40;
+  trace.adhoc.min_task_runtime_s = 30.0;
+  trace.adhoc.max_task_runtime_s = 80.0;
+
+  const workload::Scenario scenario = workload::make_recurring_trace(17, trace);
+  std::printf("=== Fig. 8 (reconstructed): trace-driven simulation ===\n");
+  std::printf(
+      "%d recurring templates x %d periods = %zu workflow instances "
+      "(%zu deadline jobs), ad-hoc stream across %.0f s.\n\n",
+      trace.num_templates, trace.recurrences, scenario.workflows.size(),
+      scenario.workflows.size() * 12, trace.recurrences * trace.period_s);
+
+  const auto outcomes = sched::run_comparison(scenario, config);
+  double flowtime_turnaround = 0.0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.name == "FlowTime") {
+      flowtime_turnaround = outcome.adhoc.mean_turnaround_s;
+    }
+  }
+  util::Table table({"scheduler", "jobs_missed", "workflows_missed",
+                     "adhoc_mean_s", "adhoc_p95_s", "ratio_vs_FlowTime"});
+  for (const auto& outcome : outcomes) {
+    table.begin_row()
+        .add(outcome.name)
+        .add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+        .add(static_cast<std::int64_t>(outcome.deadlines.workflows_missed))
+        .add(outcome.adhoc.mean_turnaround_s, 1)
+        .add(outcome.adhoc.p95_turnaround_s, 1)
+        .add(flowtime_turnaround > 0.0
+                 ? outcome.adhoc.mean_turnaround_s / flowtime_turnaround
+                 : 0.0,
+             2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: same ordering as Fig. 4, with EDF's ad-hoc penalty "
+      "even larger because loose-deadline workflows occupy the cluster "
+      "almost continuously under EDF.\n");
+  return 0;
+}

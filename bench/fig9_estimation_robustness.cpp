@@ -1,0 +1,79 @@
+// Fig. 9 (reconstructed) — robustness to estimation errors.
+//
+// §III-A names robustness to estimation errors as a design requirement
+// (recurring jobs change input data and code between runs; both under- and
+// over-estimation occur), and Fig. 5 evaluates one mitigation (slack). The
+// evaluation tail is truncated in the available scan, so this bench sweeps
+// the error severity directly: every workflow job's true runtime diverges
+// from its estimate by up to the given fraction (half the jobs under-, half
+// over-estimated), and we track FlowTime's deadline misses and ad-hoc
+// turnaround with and without slack.
+#include <cstdio>
+
+#include "sched/experiment.h"
+#include "util/table.h"
+#include "workload/estimator.h"
+#include "workload/trace_gen.h"
+
+int main() {
+  using namespace flowtime;
+  using workload::ResourceVec;
+
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{500.0, 1024.0};
+  config.sim.max_horizon_s = 8.0 * 3600.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.schedulers = {"FlowTime", "FlowTime_no_ds"};
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 3;
+  fig4.jobs_per_workflow = 12;
+  fig4.workflow_start_spread_s = 400.0;
+  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.looseness_min = 4.0;
+  fig4.workflow.looseness_max = 6.0;
+  fig4.adhoc.rate_per_s = 0.10;
+  fig4.adhoc.horizon_s = 1200.0;
+  fig4.adhoc.min_tasks = 10;
+  fig4.adhoc.max_tasks = 40;
+
+  std::printf("=== Fig. 9 (reconstructed): estimation-error robustness ===\n");
+  std::printf(
+      "Severity x means every job's actual runtime is off by up to x "
+      "(50%% under-, 50%% over-estimated). 36 deadline jobs.\n\n");
+
+  util::Table table({"severity", "slack60_missed", "slack60_adhoc_s",
+                     "slack60_replans", "noslack_missed", "noslack_adhoc_s"});
+  for (const double severity : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    workload::Scenario scenario = workload::make_fig4_scenario(31, fig4);
+    util::Rng rng(77);
+    workload::EstimationErrorConfig error;
+    error.affected_fraction = severity > 0.0 ? 1.0 : 0.0;
+    error.under_probability = 0.5;
+    error.under_severity = severity;
+    error.over_severity = severity;
+    workload::inject_estimation_error(scenario.workflows, error, rng);
+
+    const auto outcomes = sched::run_comparison(scenario, config);
+    table.begin_row().add(severity, 1);
+    for (const auto& outcome : outcomes) {
+      if (outcome.name == "FlowTime") {
+        table.add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+            .add(outcome.adhoc.mean_turnaround_s, 1)
+            .add(static_cast<std::int64_t>(outcome.replans));
+      } else {
+        table.add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+            .add(outcome.adhoc.mean_turnaround_s, 1);
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: with slack, misses stay at (or near) zero across "
+      "severities because re-planning plus the 60 s buffer absorb "
+      "overruns; without slack, misses appear and grow with severity; "
+      "ad-hoc turnaround degrades only mildly (re-solves spread the "
+      "extra work).\n");
+  return 0;
+}

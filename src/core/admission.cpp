@@ -1,0 +1,145 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace flowtime::core {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+std::optional<std::vector<AdmissionController::AdmittedJob>>
+AdmissionController::decompose_to_jobs(
+    const workload::Workflow& workflow) const {
+  DecompositionConfig decomposition_config;
+  decomposition_config.cluster_capacity = config_.cluster_capacity;
+  decomposition_config.mode = config_.decomposition_mode;
+  const DeadlineDecomposer decomposer(decomposition_config);
+  const auto decomposition = decomposer.decompose(workflow);
+  if (!decomposition) return std::nullopt;
+
+  std::vector<AdmittedJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(workflow.dag.num_nodes()));
+  for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
+    const JobWindow& window =
+        decomposition->windows[static_cast<std::size_t>(v)];
+    const workload::JobSpec& spec =
+        workflow.jobs[static_cast<std::size_t>(v)];
+    AdmittedJob job;
+    job.ref = workload::WorkflowJobRef{workflow.id, v};
+    job.lp_job.uid = workflow.id * 100000 + v;
+    job.lp_job.release_slot = static_cast<int>(
+        std::floor(window.start_s / config_.slot_seconds + 1e-9));
+    job.lp_job.deadline_slot = std::max(
+        job.lp_job.release_slot,
+        static_cast<int>(
+            std::ceil(window.deadline_s / config_.slot_seconds - 1e-9)) -
+            1);
+    job.lp_job.demand = spec.total_demand();
+    job.lp_job.width =
+        workload::scale(spec.max_parallel_demand(), config_.slot_seconds);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+AdmissionDecision AdmissionController::evaluate(
+    const workload::Workflow& candidate, double now_s) const {
+  AdmissionDecision decision;
+  const auto candidate_jobs = decompose_to_jobs(candidate);
+  if (!candidate_jobs) {
+    decision.reason = "workflow is structurally invalid";
+    return decision;
+  }
+
+  const int now_slot =
+      static_cast<int>(std::floor(now_s / config_.slot_seconds + 1e-9));
+  std::vector<LpJob> lp_jobs;
+  int last_slot = now_slot;
+  auto append = [&](const AdmittedJob& job, bool already_admitted) {
+    if (job.complete) return;
+    LpJob clipped = job.lp_job;
+    clipped.release_slot = std::max(clipped.release_slot, now_slot);
+    clipped.deadline_slot = std::max(clipped.deadline_slot,
+                                     clipped.release_slot);
+    if (already_admitted) {
+      // Mid-flight jobs may have made progress the controller cannot see
+      // (progress feedback is complete_job only). Extend their windows
+      // minimally — like the runtime scheduler does for late jobs — so a
+      // stale window registers as load, not as hard infeasibility that
+      // would block every future admission.
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        if (clipped.demand[r] > 1e-9 && clipped.width[r] > 1e-9) {
+          const int needed = static_cast<int>(
+              std::ceil(clipped.demand[r] / clipped.width[r] - 1e-9));
+          clipped.deadline_slot = std::max(
+              clipped.deadline_slot, clipped.release_slot + needed - 1);
+        }
+      }
+    }
+    last_slot = std::max(last_slot, clipped.deadline_slot);
+    lp_jobs.push_back(clipped);
+  };
+  for (const AdmittedJob& job : admitted_) append(job, true);
+  for (const AdmittedJob& job : *candidate_jobs) append(job, false);
+
+  const double fraction =
+      std::clamp(config_.deadline_cap_fraction, 0.05, 1.0);
+  const std::vector<workload::ResourceVec> caps(
+      static_cast<std::size_t>(last_slot - now_slot + 1),
+      workload::scale(config_.cluster_capacity,
+                      config_.slot_seconds * fraction));
+  const FlowPlacementResult placement =
+      solve_flow_placement(lp_jobs, caps, now_slot);
+  decision.peak_load = placement.min_max_level;
+  if (std::isinf(placement.min_max_level)) {
+    decision.reason =
+        "a job cannot fit its window at any load (width-limited)";
+    return decision;
+  }
+  decision.admitted = placement.feasible;
+  decision.reason = placement.feasible
+                        ? "fits within the deadline capacity"
+                        : "would overload the deadline capacity";
+  return decision;
+}
+
+AdmissionDecision AdmissionController::admit(
+    const workload::Workflow& candidate, double now_s) {
+  AdmissionDecision decision = evaluate(candidate, now_s);
+  if (!decision.admitted) return decision;
+  auto jobs = decompose_to_jobs(candidate);
+  for (AdmittedJob& job : *jobs) admitted_.push_back(std::move(job));
+  return decision;
+}
+
+void AdmissionController::complete_job(int workflow_id, dag::NodeId node) {
+  for (AdmittedJob& job : admitted_) {
+    if (job.ref.workflow_id == workflow_id && job.ref.node == node) {
+      job.complete = true;
+    }
+  }
+}
+
+int AdmissionController::admitted_workflows() const {
+  std::set<int> ids;
+  for (const AdmittedJob& job : admitted_) ids.insert(job.ref.workflow_id);
+  return static_cast<int>(ids.size());
+}
+
+int AdmissionController::pending_jobs() const {
+  int count = 0;
+  for (const AdmittedJob& job : admitted_) {
+    if (!job.complete) ++count;
+  }
+  return count;
+}
+
+void AdmissionController::forget_workflow(int workflow_id) {
+  std::erase_if(admitted_, [workflow_id](const AdmittedJob& job) {
+    return job.ref.workflow_id == workflow_id;
+  });
+}
+
+}  // namespace flowtime::core

@@ -1,0 +1,81 @@
+// Admission control — an extension the paper's framework makes natural.
+//
+// FlowTime plans deadline work as a feasibility problem, so "can this new
+// workflow's deadline be met next to everything already promised?" is
+// answerable *before* accepting it: decompose the candidate, add its jobs
+// to the currently admitted ones, and check that the flattest placement
+// stays within capacity. The check runs on the max-flow fast path
+// (core/flow_placement.h), making it cheap enough for an RPC admission
+// gate. Rayon's admission story [4] is the same idea with a greedy agenda;
+// here the answer is exact for the first level.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/decomposition.h"
+#include "core/flow_placement.h"
+#include "workload/workflow.h"
+
+namespace flowtime::core {
+
+struct AdmissionConfig {
+  workload::ResourceVec cluster_capacity{500.0, 1024.0};
+  double slot_seconds = 10.0;
+  /// Reserve this fraction of the cluster for ad-hoc work when deciding;
+  /// a candidate is admitted only if the deadline plan fits the rest.
+  double deadline_cap_fraction = 1.0;
+  DecompositionMode decomposition_mode = DecompositionMode::kResourceDemand;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Peak normalized load of the flattest placement including the
+  /// candidate (relative to the reduced cap). <= 1 means admissible.
+  double peak_load = 0.0;
+  std::string reason;
+};
+
+/// Tracks admitted-but-unfinished deadline work and answers admission
+/// queries. This is a planning-side companion to FlowTimeScheduler: feed it
+/// the same arrivals/completions and ask before accepting new workflows.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  /// Would admitting `candidate` at time `now_s` keep every admitted
+  /// deadline feasible? Does not mutate state.
+  AdmissionDecision evaluate(const workload::Workflow& candidate,
+                             double now_s) const;
+
+  /// evaluate() + commit on success.
+  AdmissionDecision admit(const workload::Workflow& candidate, double now_s);
+
+  /// Marks one admitted workflow's job complete (frees its demand).
+  void complete_job(int workflow_id, dag::NodeId node);
+
+  /// Drops a whole workflow (finished or cancelled).
+  void forget_workflow(int workflow_id);
+
+  /// Number of distinct workflows currently tracked.
+  int admitted_workflows() const;
+  /// Number of incomplete admitted jobs currently tracked.
+  int pending_jobs() const;
+
+ private:
+  struct AdmittedJob {
+    workload::WorkflowJobRef ref;
+    LpJob lp_job;
+    bool complete = false;
+  };
+
+  /// Decomposes a workflow into LpJobs on the slot grid.
+  std::optional<std::vector<AdmittedJob>> decompose_to_jobs(
+      const workload::Workflow& workflow) const;
+
+  AdmissionConfig config_;
+  std::vector<AdmittedJob> admitted_;
+};
+
+}  // namespace flowtime::core

@@ -1,0 +1,79 @@
+// Deadline decomposition (paper §IV).
+//
+// Transforms a workflow deadline into per-job deadlines in three steps:
+//
+//  1. Group the DAG into a sequence of node sets with Kahn's algorithm:
+//     mutually independent jobs share a set and therefore a deadline
+//     (§IV-A, the `{1, {2..n}, n+1}` output of Fig. 3).
+//  2. Guarantee each set its minimum runtime — the largest minimum runtime
+//     of any job in the set, where a job's minimum runtime accounts for how
+//     many of its tasks fit the cluster at once (§IV-B).
+//  3. Distribute the remaining time (deadline - start - sum of minima)
+//     across sets in proportion to their *total resource demand*
+//     (tasks x task runtime x per-task demand, normalized by cluster
+//     capacity so CPU and memory are comparable) — not in proportion to
+//     critical-path runtime, which ignores how wide a level is (§IV-B,
+//     Fig. 3 discussion: the middle level of a fork-join gets (n-1)/(n+1)
+//     of the deadline rather than 1/3).
+//
+// When the remaining time is negative the deadline is tighter than the
+// workflow's minimum makespan; footnote 1 falls back to classic
+// critical-path decomposition (Yu/Buyya/Tham 2005), which this module also
+// implements — both for the fallback and as the ablation baseline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dag/dag.h"
+#include "workload/workflow.h"
+
+namespace flowtime::core {
+
+enum class DecompositionMode {
+  /// The paper's contribution: slack distributed by total resource demand.
+  kResourceDemand,
+  /// The traditional scheme: the whole window distributed by per-level
+  /// minimum runtime (critical-path style). Used as fallback and ablation.
+  kCriticalPath,
+};
+
+struct DecompositionConfig {
+  workload::ResourceVec cluster_capacity{500.0, 1024.0};
+  DecompositionMode mode = DecompositionMode::kResourceDemand;
+};
+
+/// Absolute execution window of one job: the job may run in
+/// [start_s, deadline_s]; its decomposed deadline is deadline_s.
+struct JobWindow {
+  double start_s = 0.0;
+  double deadline_s = 0.0;
+};
+
+struct DecompositionResult {
+  std::vector<JobWindow> windows;              // per DAG node
+  std::vector<std::vector<dag::NodeId>> levels;  // the node-set sequence
+  std::vector<double> level_duration_s;        // window of each set
+  /// True when negative slack forced the critical-path fallback.
+  bool used_fallback = false;
+  double min_makespan_s = 0.0;  // sum of per-level minimum runtimes
+};
+
+/// Decomposes workflow deadlines into job deadlines. Stateless; thread-safe.
+class DeadlineDecomposer {
+ public:
+  explicit DeadlineDecomposer(DecompositionConfig config = {});
+
+  /// nullopt when the workflow is structurally invalid (cyclic DAG,
+  /// non-positive jobs, deadline before start) or a job cannot fit the
+  /// cluster at all.
+  std::optional<DecompositionResult> decompose(
+      const workload::Workflow& workflow) const;
+
+  const DecompositionConfig& config() const { return config_; }
+
+ private:
+  DecompositionConfig config_;
+};
+
+}  // namespace flowtime::core

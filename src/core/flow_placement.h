@@ -1,0 +1,47 @@
+// Flow-based placement: the structured fast path for the scheduling LP's
+// first level.
+//
+// Each resource's placement problem is a bipartite transportation problem
+// (DESIGN.md §5.2): jobs supply demand, slots consume it under capacity,
+// widths cap the job->slot edges. Two consequences:
+//
+//   * feasibility of a window set is a single max-flow computation, and
+//   * the first lexmin level (min over u of "all slot loads <= u") is a
+//     parametric max-flow, solved here by binary search on u.
+//
+// This module does NOT refine further levels — for the full lexicographic
+// profile use solve_placement (the LP path). It exists as the cheap
+// feasibility/admission-control primitive (capacity_planning-style what-if
+// queries, admission checks on workflow arrival) and as a cross-check of
+// the LP solver in tests and benches.
+#pragma once
+
+#include <vector>
+
+#include "core/lp_formulation.h"
+
+namespace flowtime::core {
+
+struct FlowPlacementResult {
+  bool feasible = false;        // all demands placeable within windows/caps
+  double min_max_level = 0.0;   // smallest uniform load bound u (max over
+                                // resources); > 1 means windows exceed caps
+  /// allocation[j][t][r] achieving min_max_level (valid when demands were
+  /// placeable at that level).
+  std::vector<std::vector<workload::ResourceVec>> allocation;
+};
+
+struct FlowPlacementOptions {
+  double level_tolerance = 1e-6;  // binary-search precision on u
+  int max_iterations = 60;
+};
+
+/// Solves the first-level placement by parametric max-flow. Inputs match
+/// solve_placement: windows are clipped to
+/// [first_slot, first_slot + capacity_per_slot.size()).
+FlowPlacementResult solve_flow_placement(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, const FlowPlacementOptions& options = {});
+
+}  // namespace flowtime::core

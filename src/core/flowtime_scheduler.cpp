@@ -1,0 +1,452 @@
+#include "core/flowtime_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace flowtime::core {
+
+namespace {
+constexpr double kTol = 1e-9;
+}
+
+FlowTimeScheduler::FlowTimeScheduler(FlowTimeConfig config)
+    : config_(std::move(config)) {}
+
+int FlowTimeScheduler::seconds_to_release_slot(double seconds) const {
+  return static_cast<int>(std::floor(seconds / config_.slot_seconds + kTol));
+}
+
+int FlowTimeScheduler::seconds_to_deadline_slot(double seconds) const {
+  // Last slot fully inside [0, seconds): slot t covers [tS, (t+1)S).
+  return static_cast<int>(std::ceil(seconds / config_.slot_seconds - kTol)) -
+         1;
+}
+
+int FlowTimeScheduler::min_slots_needed(const DeadlineJobState& job) const {
+  int needed = 1;
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    if (job.remaining[r] > kTol && job.width[r] > kTol) {
+      needed = std::max(
+          needed,
+          static_cast<int>(std::ceil(job.remaining[r] / job.width[r] - kTol)));
+    }
+  }
+  return needed;
+}
+
+void FlowTimeScheduler::on_workflow_arrival(
+    const workload::Workflow& workflow,
+    const std::vector<sim::JobUid>& node_uids, double now_s) {
+  (void)now_s;
+  DecompositionConfig decomposition_config;
+  decomposition_config.cluster_capacity = config_.cluster_capacity;
+  decomposition_config.mode = config_.decomposition_mode;
+  const DeadlineDecomposer decomposer(decomposition_config);
+  auto decomposition = decomposer.decompose(workflow);
+  if (!decomposition) {
+    // Structurally broken workflow: fall back to the raw workflow deadline
+    // for every job so they at least stay schedulable.
+    FT_LOG(kError) << "decomposition failed for workflow " << workflow.id
+                   << "; using the workflow deadline for every job";
+    decomposition = DecompositionResult{};
+    decomposition->windows.assign(
+        static_cast<std::size_t>(workflow.dag.num_nodes()),
+        JobWindow{workflow.start_s, workflow.deadline_s});
+  }
+
+  const int slack_slots = static_cast<int>(
+      std::round(config_.deadline_slack_s / config_.slot_seconds));
+  for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
+    const JobWindow& window =
+        decomposition->windows[static_cast<std::size_t>(v)];
+    const workload::JobSpec& spec =
+        workflow.jobs[static_cast<std::size_t>(v)];
+    DeadlineJobState job;
+    job.uid = node_uids[static_cast<std::size_t>(v)];
+    job.ref = workload::WorkflowJobRef{workflow.id, v};
+    job.release_slot = seconds_to_release_slot(window.start_s);
+    const int deadline_slot = seconds_to_deadline_slot(window.deadline_s);
+    // Slack must not erase the window entirely.
+    job.lp_deadline_slot =
+        std::max(job.release_slot, deadline_slot - slack_slots);
+    job.width =
+        workload::scale(spec.max_parallel_demand(), config_.slot_seconds);
+    job.remaining = spec.total_demand();
+    deadline_jobs_[job.uid] = job;
+    job_deadlines_[job.ref] = window.deadline_s;
+  }
+  decompositions_[workflow.id] = std::move(*decomposition);
+  dirty_ = true;
+}
+
+void FlowTimeScheduler::on_adhoc_arrival(sim::JobUid uid, double now_s,
+                                         const sim::ResourceVec& width) {
+  (void)now_s;
+  (void)width;
+  adhoc_fifo_.push_back(uid);
+}
+
+void FlowTimeScheduler::on_job_complete(sim::JobUid uid, double now_s) {
+  const auto it = deadline_jobs_.find(uid);
+  if (it == deadline_jobs_.end()) {
+    // Ad-hoc completion frees leftover capacity only; no plan impact.
+    std::erase(adhoc_fifo_, uid);
+    return;
+  }
+  DeadlineJobState& job = it->second;
+  job.complete = true;
+  const int completion_slot =
+      seconds_to_deadline_slot(now_s);  // slot that just ended
+  if (job.planned_last_slot >= 0 &&
+      std::abs(completion_slot - job.planned_last_slot) >=
+          config_.replan_deviation_slots) {
+    // Early or late versus the plan: capacity freed up or borrowed;
+    // re-flatten the remainder.
+    dirty_ = true;
+  }
+  plan_.erase(uid);
+}
+
+const DecompositionResult* FlowTimeScheduler::decomposition(
+    int workflow_id) const {
+  const auto it = decompositions_.find(workflow_id);
+  return it == decompositions_.end() ? nullptr : &it->second;
+}
+
+void FlowTimeScheduler::replan(const sim::ClusterState& state) {
+  ++replans_;
+  std::vector<LpJob> lp_jobs;
+  std::vector<sim::JobUid> lp_uids;
+  int horizon_last_slot = state.slot;
+
+  for (auto& [uid, job] : deadline_jobs_) {
+    if (job.complete) continue;
+    LpJob lp_job;
+    lp_job.uid = uid;
+    lp_job.width = job.width;
+    lp_job.demand = job.remaining;
+    if (job.overrun) {
+      // Estimate exhausted but the job is still running: keep it fed one
+      // slot's width at a time until ground truth finishes it.
+      lp_job.demand = job.width;
+    }
+    // A ready job has effectively arrived (paper: a_i is the arrival time):
+    // its parents are done, so the decomposed level start is only a guide,
+    // not a constraint. Opening the window to "now" lets the lexmin LP
+    // front-load under cross-workflow contention while still deferring work
+    // when the profile is loose.
+    lp_job.release_slot = job.ready ? state.slot
+                                    : std::max(job.release_slot, state.slot);
+    if (!job.ready) {
+      // Parents still running: pushing the release past their estimated
+      // finish avoids planning allocations the simulator would waste.
+      int parent_slots = 0;
+      for (const auto& [puid, parent] : deadline_jobs_) {
+        (void)puid;
+        if (parent.complete || parent.ref.workflow_id != job.ref.workflow_id)
+          continue;
+        if (parent.release_slot < job.release_slot &&
+            parent.lp_deadline_slot <= job.lp_deadline_slot) {
+          // Heuristic: any unfinished earlier-level job of this workflow.
+          parent_slots = std::max(parent_slots, min_slots_needed(parent));
+        }
+      }
+      lp_job.release_slot = std::max(lp_job.release_slot,
+                                     state.slot + std::max(parent_slots, 1));
+    }
+    lp_job.deadline_slot = job.lp_deadline_slot;
+    if (lp_job.deadline_slot < lp_job.release_slot + min_slots_needed(job) - 1) {
+      // Late (or about to be): extend to the minimal feasible window. The
+      // deadline metrics will record the miss; the LP stays feasible.
+      lp_job.deadline_slot =
+          lp_job.release_slot + min_slots_needed(job) - 1;
+    }
+    horizon_last_slot = std::max(horizon_last_slot, lp_job.deadline_slot);
+    lp_jobs.push_back(lp_job);
+    lp_uids.push_back(uid);
+  }
+
+  plan_.clear();
+  plan_first_slot_ = state.slot;
+  for (auto& [uid, job] : deadline_jobs_) {
+    (void)uid;
+    if (!job.complete) job.planned_last_slot = -1;
+  }
+  if (lp_jobs.empty()) return;
+
+  const int num_slots = horizon_last_slot - state.slot + 1;
+  // Plan-ahead coarsening: bucket `bucket` consecutive slots into one
+  // planning slot so the LP's load-row count stays bounded for day-scale
+  // horizons. Windows round conservatively (release up, deadline down);
+  // bucket allocations are spread evenly over their slots at issue time.
+  const int bucket =
+      (num_slots + config_.max_planning_slots - 1) /
+      std::max(config_.max_planning_slots, 1);
+  int coarse_horizon = 1;
+  if (bucket > 1) {
+    for (LpJob& job : lp_jobs) {
+      const int rel_release = job.release_slot - state.slot;
+      const int rel_deadline = job.deadline_slot - state.slot;
+      int release = (rel_release + bucket - 1) / bucket;
+      int deadline = (rel_deadline + 1) / bucket - 1;
+      if (deadline < release) deadline = release;
+      job.width = workload::scale(job.width, bucket);
+      // Conservative rounding may have shrunk the window below the job's
+      // need; extend minimally (the fine-grained pass did the same).
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        if (job.demand[r] > 1e-9 && job.width[r] > 1e-9) {
+          const int needed = static_cast<int>(
+              std::ceil(job.demand[r] / job.width[r] - 1e-9));
+          deadline = std::max(deadline, release + needed - 1);
+        }
+      }
+      job.release_slot = release;
+      job.deadline_slot = deadline;
+      coarse_horizon = std::max(coarse_horizon, deadline + 1);
+    }
+  } else {
+    coarse_horizon = num_slots;
+  }
+  const workload::ResourceVec full_cap =
+      workload::scale(state.capacity, bucket > 1 ? bucket : 1);
+  const double cap_fraction =
+      std::clamp(config_.deadline_cap_fraction, 0.05, 1.0);
+  std::vector<workload::ResourceVec> caps(
+      static_cast<std::size_t>(coarse_horizon),
+      workload::scale(full_cap, cap_fraction));
+  LpSchedule schedule = solve_placement(
+      lp_jobs, caps, bucket > 1 ? 0 : state.slot, config_.lp);
+  if (cap_fraction < 1.0 &&
+      (!schedule.ok() || schedule.capacity_exceeded)) {
+    // The reserved headroom is a preference, not a mandate: retry at the
+    // full cluster before conceding any deadline.
+    caps.assign(static_cast<std::size_t>(coarse_horizon), full_cap);
+    schedule = solve_placement(lp_jobs, caps,
+                               bucket > 1 ? 0 : state.slot, config_.lp);
+  }
+  total_pivots_ += schedule.pivots;
+  if (!schedule.ok()) {
+    // Should not happen (windows were made feasible above); degrade to an
+    // EDF-style emergency plan: full width from now on for every job.
+    FT_LOG(kError) << "FlowTime replan failed: "
+                   << lp::to_string(schedule.status)
+                   << "; falling back to width-greedy placement";
+    for (const LpJob& job : lp_jobs) {
+      FT_LOG(kDebug) << "  lp_job uid=" << job.uid << " window=["
+                     << job.release_slot << "," << job.deadline_slot
+                     << "] demand=" << workload::to_string(job.demand)
+                     << " width=" << workload::to_string(job.width)
+                     << " now_slot=" << state.slot;
+    }
+    for (std::size_t j = 0; j < lp_jobs.size(); ++j) {
+      auto& row = plan_[lp_uids[j]];
+      row.assign(static_cast<std::size_t>(
+                     std::max(min_slots_needed(
+                                  deadline_jobs_[lp_uids[j]]),
+                              1)),
+                 lp_jobs[j].width);
+      deadline_jobs_[lp_uids[j]].planned_last_slot =
+          state.slot + static_cast<int>(row.size()) - 1;
+    }
+    return;
+  }
+  if (schedule.capacity_exceeded) {
+    FT_LOG(kInfo) << "FlowTime: deadline windows need "
+                  << schedule.max_normalized_load
+                  << "x capacity; some deadlines will be missed";
+  }
+  for (std::size_t j = 0; j < lp_jobs.size(); ++j) {
+    auto& row = plan_[lp_uids[j]];
+    if (bucket > 1) {
+      // Spread each planning bucket's allocation evenly over its slots.
+      row.assign(static_cast<std::size_t>(schedule.num_slots) *
+                     static_cast<std::size_t>(bucket),
+                 workload::ResourceVec{});
+      for (int t = 0; t < schedule.num_slots; ++t) {
+        const workload::ResourceVec per_slot = workload::scale(
+            schedule.allocation[j][static_cast<std::size_t>(t)],
+            1.0 / bucket);
+        for (int s = 0; s < bucket; ++s) {
+          row[static_cast<std::size_t>(t * bucket + s)] = per_slot;
+        }
+      }
+    } else {
+      row = schedule.allocation[j];
+    }
+    int last = -1;
+    for (int t = 0; t < static_cast<int>(row.size()); ++t) {
+      if (!workload::is_zero(row[static_cast<std::size_t>(t)], kTol)) {
+        last = t;
+      }
+    }
+    deadline_jobs_[lp_uids[j]].planned_last_slot =
+        last < 0 ? -1 : state.slot + last;
+  }
+}
+
+std::vector<sim::Allocation> FlowTimeScheduler::allocate(
+    const sim::ClusterState& state) {
+  // Sync authoritative view state.
+  std::vector<const sim::JobView*> adhoc_views;
+  for (const sim::JobView& view : state.active) {
+    if (view.kind == sim::JobKind::kDeadline) {
+      auto it = deadline_jobs_.find(view.uid);
+      if (it == deadline_jobs_.end()) continue;
+      DeadlineJobState& job = it->second;
+      job.remaining = view.remaining_estimate;
+      job.ready = view.ready;
+      if (view.overrun && !job.overrun) {
+        job.overrun = true;
+        dirty_ = true;  // under-estimated: needs more than planned
+      }
+      // Plan exhausted while the job still runs: re-plan.
+      if (!dirty_ && job.planned_last_slot >= 0 &&
+          state.slot > job.planned_last_slot) {
+        dirty_ = true;
+      }
+    } else {
+      adhoc_views.push_back(&view);
+    }
+  }
+
+  if (dirty_) {
+    replan(state);
+    dirty_ = false;
+  }
+
+  std::vector<sim::Allocation> result;
+  workload::ResourceVec issued{};
+
+  // Deadline jobs take their planned share; allocations for jobs whose
+  // parents are still running are withheld (they would be wasted) and the
+  // window shift is handled by the next re-plan. When an over-subscribed
+  // plan (capacity_exceeded) asks for more than the slot holds, every job
+  // is scaled down proportionally so lateness spreads evenly instead of
+  // starving whichever workflow happens to sort last.
+  std::vector<std::pair<const sim::JobView*, workload::ResourceVec>> planned;
+  workload::ResourceVec planned_total{};
+  for (const sim::JobView& view : state.active) {
+    if (view.kind != sim::JobKind::kDeadline) continue;
+    const auto plan_it = plan_.find(view.uid);
+    if (plan_it == plan_.end()) continue;
+    const int index = state.slot - plan_first_slot_;
+    if (index < 0 ||
+        index >= static_cast<int>(plan_it->second.size())) {
+      continue;
+    }
+    workload::ResourceVec amount = workload::elementwise_min(
+        plan_it->second[static_cast<std::size_t>(index)], view.width);
+    if (workload::is_zero(amount, kTol)) continue;
+    if (!view.ready) {
+      dirty_ = true;  // plan is stale; replan next slot
+      continue;
+    }
+    if (config_.round_to_containers) {
+      // Round up to whole containers so node-granular execution never
+      // quantizes a thin planned slice down to nothing; width still caps.
+      double containers = 0.0;
+      bool sized = false;
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        if (view.container[r] > kTol) {
+          containers = std::max(
+              containers, std::ceil(amount[r] / view.container[r] - kTol));
+          sized = true;
+        }
+      }
+      if (sized) {
+        amount = workload::elementwise_min(
+            workload::scale(view.container, containers), view.width);
+      }
+    }
+    planned_total = workload::add(planned_total, amount);
+    planned.emplace_back(&view, amount);
+  }
+  double shrink = 1.0;
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    if (planned_total[r] > state.capacity[r]) {
+      shrink = std::min(shrink, state.capacity[r] / planned_total[r]);
+    }
+  }
+  for (const auto& [view, amount] : planned) {
+    workload::ResourceVec scaled = workload::scale(amount, shrink);
+    if (config_.round_to_containers && shrink < 1.0 - kTol) {
+      // Shrinking broke the container multiples; round back down so the
+      // grant still materializes as whole containers.
+      double containers = std::numeric_limits<double>::infinity();
+      bool sized = false;
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        if (view->container[r] > kTol) {
+          containers = std::min(
+              containers, std::floor(scaled[r] / view->container[r] + kTol));
+          sized = true;
+        }
+      }
+      if (sized) scaled = workload::scale(view->container, containers);
+    }
+    issued = workload::add(issued, scaled);
+    result.push_back(sim::Allocation{view->uid, scaled});
+  }
+
+  // Ad-hoc jobs absorb the leftover, max-min fair by width fraction:
+  // first a uniform fraction lambda of every job's width, then a FIFO
+  // sweep for the remainder.
+  if (!adhoc_views.empty()) {
+    std::sort(adhoc_views.begin(), adhoc_views.end(),
+              [](const sim::JobView* a, const sim::JobView* b) {
+                return a->arrival_s < b->arrival_s;
+              });
+    workload::ResourceVec leftover = workload::clamp_nonnegative(
+        workload::sub(state.capacity, issued));
+    workload::ResourceVec total_width{};
+    for (const sim::JobView* view : adhoc_views) {
+      total_width = workload::add(total_width, view->width);
+    }
+    double lambda = 1.0;
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      if (total_width[r] > kTol) {
+        lambda = std::min(lambda, leftover[r] / total_width[r]);
+      }
+    }
+    std::vector<workload::ResourceVec> grants(adhoc_views.size());
+    for (std::size_t i = 0; i < adhoc_views.size(); ++i) {
+      grants[i] = workload::scale(adhoc_views[i]->width, lambda);
+      leftover = workload::clamp_nonnegative(
+          workload::sub(leftover, grants[i]));
+    }
+    for (std::size_t i = 0; i < adhoc_views.size(); ++i) {
+      const workload::ResourceVec extra = workload::elementwise_min(
+          workload::clamp_nonnegative(
+              workload::sub(adhoc_views[i]->width, grants[i])),
+          leftover);
+      grants[i] = workload::add(grants[i], extra);
+      leftover = workload::clamp_nonnegative(workload::sub(leftover, extra));
+    }
+    for (std::size_t i = 0; i < adhoc_views.size(); ++i) {
+      if (config_.round_to_containers) {
+        double containers = std::numeric_limits<double>::infinity();
+        bool sized = false;
+        for (int r = 0; r < workload::kNumResources; ++r) {
+          if (adhoc_views[i]->container[r] > kTol) {
+            containers = std::min(
+                containers,
+                std::floor(grants[i][r] / adhoc_views[i]->container[r] +
+                           kTol));
+            sized = true;
+          }
+        }
+        if (sized) {
+          grants[i] = workload::scale(adhoc_views[i]->container, containers);
+        }
+      }
+      if (!workload::is_zero(grants[i], kTol)) {
+        result.push_back(sim::Allocation{adhoc_views[i]->uid, grants[i]});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flowtime::core

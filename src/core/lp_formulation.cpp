@@ -1,0 +1,292 @@
+#include "core/lp_formulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/logging.h"
+
+namespace flowtime::core {
+
+namespace {
+
+constexpr double kTinyCapacity = 1e-9;
+
+// Column bookkeeping for one resource's LP.
+struct ColumnMap {
+  // per job: first column index and [begin, end] slot range (relative),
+  // or begin > end when the job has no columns for this resource.
+  struct JobColumns {
+    int first_column = -1;
+    int begin = 0;
+    int end = -1;
+  };
+  std::vector<JobColumns> jobs;
+};
+
+}  // namespace
+
+LpSchedule solve_placement(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, const LpScheduleOptions& options) {
+  if (options.coupled_resources) {
+    return solve_placement_coupled(jobs, capacity_per_slot, first_slot,
+                                   options);
+  }
+  LpSchedule schedule;
+  schedule.first_slot = first_slot;
+  schedule.num_slots = static_cast<int>(capacity_per_slot.size());
+  schedule.allocation.assign(
+      jobs.size(),
+      std::vector<workload::ResourceVec>(
+          static_cast<std::size_t>(schedule.num_slots)));
+  schedule.normalized_load.assign(
+      static_cast<std::size_t>(schedule.num_slots), workload::ResourceVec{});
+  schedule.status = lp::SolveStatus::kOptimal;
+
+  const int last_slot = first_slot + schedule.num_slots - 1;
+
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    // --- Build the per-resource base problem (demand rows + widths). ---
+    lp::LpProblem base;
+    ColumnMap map;
+    map.jobs.resize(jobs.size());
+    bool any_columns = false;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const LpJob& job = jobs[j];
+      if (job.demand[r] <= 0.0) continue;
+      const int begin = std::max(job.release_slot, first_slot) - first_slot;
+      const int end = std::min(job.deadline_slot, last_slot) - first_slot;
+      if (begin > end) {
+        // Empty window with positive demand: unplaceable.
+        FT_LOG(kInfo) << "lp_formulation: job uid=" << job.uid
+                      << " has an empty window for resource " << r;
+        schedule.status = lp::SolveStatus::kInfeasible;
+        return schedule;
+      }
+      map.jobs[j] = ColumnMap::JobColumns{base.num_columns(), begin, end};
+      std::vector<lp::RowEntry> demand_row;
+      demand_row.reserve(static_cast<std::size_t>(end - begin + 1));
+      for (int t = begin; t <= end; ++t) {
+        const int col = base.add_column(0.0, 0.0, job.width[r]);
+        demand_row.push_back(lp::RowEntry{col, 1.0});
+        any_columns = true;
+      }
+      base.add_row(lp::RowSense::kEqual, job.demand[r],
+                   std::move(demand_row));
+    }
+    if (!any_columns) continue;
+
+    // --- Load rows, one per slot (paper constraints (3)/(4) folded into
+    //     the lexmin objective). ---
+    std::vector<lp::LoadRow> loads(
+        static_cast<std::size_t>(schedule.num_slots));
+    for (int t = 0; t < schedule.num_slots; ++t) {
+      loads[static_cast<std::size_t>(t)].normalizer = std::max(
+          capacity_per_slot[static_cast<std::size_t>(t)][r], kTinyCapacity);
+      loads[static_cast<std::size_t>(t)].name =
+          "slot" + std::to_string(first_slot + t);
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const auto& cols = map.jobs[j];
+      if (cols.first_column < 0) continue;
+      for (int t = cols.begin; t <= cols.end; ++t) {
+        loads[static_cast<std::size_t>(t)].entries.push_back(
+            lp::RowEntry{cols.first_column + (t - cols.begin), 1.0});
+      }
+    }
+
+    lp::LexMinMaxSolver lexmin(options.lexmin);
+    lp::LexMinMaxResult lex = lexmin.solve(base, loads);
+    schedule.pivots += lex.pivots;
+    schedule.lexmin_rounds = std::max(schedule.lexmin_rounds, lex.rounds);
+    if (!lex.optimal()) {
+      schedule.status = lex.status;
+      return schedule;
+    }
+    schedule.max_normalized_load =
+        std::max(schedule.max_normalized_load, lex.max_level());
+    if (lex.max_level() > 1.0 + 1e-6) schedule.capacity_exceeded = true;
+
+    std::vector<double> x = std::move(lex.x);
+
+    // --- Optional integral extraction: re-solve as a pure transportation
+    //     feasibility problem with the lexmin profile as hard caps. Vertex
+    //     solutions of this TU system are integral when the data are. ---
+    if (options.integral_extraction) {
+      lp::LpProblem integral = base;
+      for (int t = 0; t < schedule.num_slots; ++t) {
+        const auto& load = loads[static_cast<std::size_t>(t)];
+        if (load.entries.empty()) continue;
+        const double cap = std::ceil(
+            load.normalizer * lex.load[static_cast<std::size_t>(t)] - 1e-9);
+        integral.add_row(lp::RowSense::kLessEqual, std::max(cap, 0.0),
+                         load.entries);
+      }
+      lp::SimplexSolver simplex(options.lexmin.lp_options);
+      const lp::Solution vertex = simplex.solve(integral);
+      schedule.pivots += vertex.iterations;
+      if (vertex.optimal()) {
+        x = vertex.x;
+      } else {
+        FT_LOG(kWarn) << "integral extraction failed ("
+                      << lp::to_string(vertex.status)
+                      << "); keeping the fractional lexmin placement";
+      }
+    }
+
+    // --- Unpack into the schedule. ---
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const auto& cols = map.jobs[j];
+      if (cols.first_column < 0) continue;
+      for (int t = cols.begin; t <= cols.end; ++t) {
+        schedule.allocation[j][static_cast<std::size_t>(t)][r] =
+            x[static_cast<std::size_t>(cols.first_column + (t - cols.begin))];
+      }
+    }
+    for (int t = 0; t < schedule.num_slots; ++t) {
+      double used = 0.0;
+      for (const lp::RowEntry& e :
+           loads[static_cast<std::size_t>(t)].entries) {
+        used += x[static_cast<std::size_t>(e.column)];
+      }
+      schedule.normalized_load[static_cast<std::size_t>(t)][r] =
+          used / loads[static_cast<std::size_t>(t)].normalizer;
+    }
+  }
+  return schedule;
+}
+
+LpSchedule solve_placement_coupled(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, const LpScheduleOptions& options) {
+  LpSchedule schedule;
+  schedule.first_slot = first_slot;
+  schedule.num_slots = static_cast<int>(capacity_per_slot.size());
+  schedule.allocation.assign(
+      jobs.size(),
+      std::vector<workload::ResourceVec>(
+          static_cast<std::size_t>(schedule.num_slots)));
+  schedule.normalized_load.assign(
+      static_cast<std::size_t>(schedule.num_slots), workload::ResourceVec{});
+  schedule.status = lp::SolveStatus::kOptimal;
+  const int last_slot = first_slot + schedule.num_slots - 1;
+
+  // One f column per (job, slot in window), measured in the job's dominant
+  // resource; every other resource scales by the job's bundle ratio.
+  lp::LpProblem base;
+  struct JobColumns {
+    int first_column = -1;
+    int begin = 0;
+    int end = -1;
+    int reference = -1;               // dominant resource index
+    workload::ResourceVec ratio{};    // per-resource multiplier of f
+  };
+  std::vector<JobColumns> map(jobs.size());
+  std::vector<lp::LoadRow> loads(
+      static_cast<std::size_t>(schedule.num_slots) *
+      workload::kNumResources);
+  for (int t = 0; t < schedule.num_slots; ++t) {
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      auto& load = loads[static_cast<std::size_t>(t) *
+                             workload::kNumResources +
+                         r];
+      load.normalizer = std::max(
+          capacity_per_slot[static_cast<std::size_t>(t)][r], kTinyCapacity);
+      load.name = "slot" + std::to_string(first_slot + t) + "_r" +
+                  std::to_string(r);
+    }
+  }
+
+  bool any_columns = false;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const LpJob& job = jobs[j];
+    JobColumns& columns = map[j];
+    // Dominant resource: largest demand relative to width (they are
+    // proportional for gang jobs, so any nonzero one works).
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      if (job.demand[r] > 0.0 &&
+          (columns.reference < 0 ||
+           job.demand[r] > job.demand[columns.reference])) {
+        columns.reference = r;
+      }
+    }
+    if (columns.reference < 0) continue;  // nothing to place
+    const double ref_demand = job.demand[columns.reference];
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      columns.ratio[r] = job.demand[r] / ref_demand;
+    }
+    const int begin = std::max(job.release_slot, first_slot) - first_slot;
+    const int end = std::min(job.deadline_slot, last_slot) - first_slot;
+    if (begin > end) {
+      FT_LOG(kInfo) << "coupled placement: job uid=" << job.uid
+                    << " has an empty window";
+      schedule.status = lp::SolveStatus::kInfeasible;
+      return schedule;
+    }
+    columns.first_column = base.num_columns();
+    columns.begin = begin;
+    columns.end = end;
+    // Width bound in reference units: min over resources of width/ratio.
+    double f_width = job.width[columns.reference];
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      if (columns.ratio[r] > 0.0) {
+        f_width = std::min(f_width, job.width[r] / columns.ratio[r]);
+      }
+    }
+    std::vector<lp::RowEntry> demand_row;
+    for (int t = begin; t <= end; ++t) {
+      const int col = base.add_column(0.0, 0.0, f_width);
+      demand_row.push_back(lp::RowEntry{col, 1.0});
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        if (columns.ratio[r] > 0.0) {
+          loads[static_cast<std::size_t>(t) * workload::kNumResources + r]
+              .entries.push_back(lp::RowEntry{col, columns.ratio[r]});
+        }
+      }
+      any_columns = true;
+    }
+    base.add_row(lp::RowSense::kEqual, ref_demand, std::move(demand_row));
+  }
+  if (!any_columns) return schedule;
+
+  if (options.integral_extraction) {
+    FT_LOG(kWarn) << "integral extraction is not supported for the coupled "
+                     "formulation (the matrix is not TU); skipping";
+  }
+  lp::LexMinMaxSolver lexmin(options.lexmin);
+  const lp::LexMinMaxResult lex = lexmin.solve(base, loads);
+  schedule.pivots = lex.pivots;
+  schedule.lexmin_rounds = lex.rounds;
+  if (!lex.optimal()) {
+    schedule.status = lex.status;
+    return schedule;
+  }
+  schedule.max_normalized_load = lex.max_level();
+  schedule.capacity_exceeded = lex.max_level() > 1.0 + 1e-6;
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobColumns& columns = map[j];
+    if (columns.first_column < 0) continue;
+    for (int t = columns.begin; t <= columns.end; ++t) {
+      const double f = lex.x[static_cast<std::size_t>(
+          columns.first_column + (t - columns.begin))];
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        schedule.allocation[j][static_cast<std::size_t>(t)][r] =
+            f * columns.ratio[r];
+      }
+    }
+  }
+  for (int t = 0; t < schedule.num_slots; ++t) {
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      schedule.normalized_load[static_cast<std::size_t>(t)][r] =
+          lex.load[static_cast<std::size_t>(t) * workload::kNumResources +
+                   r];
+    }
+  }
+  return schedule;
+}
+
+}  // namespace flowtime::core

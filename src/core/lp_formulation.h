@@ -1,0 +1,104 @@
+// The scheduling LP (paper §V).
+//
+// Original formulation, per resource type r and time slot t:
+//
+//   lexmin max_t,r  z_t^r / C_t^r                                   (1)
+//   s.t.   sum_{t=a_i}^{d_i} x_it^r = s_i^r      for every job i    (2)
+//          sum_i x_it^r = z_t^r                  for every t, r     (3)
+//          z_t^r <= C_t^r                                           (4)
+//          x_it^r >= 0 (integral by Lemma 2)                        (5)
+//
+// plus a per-slot width bound x_it^r <= W_i^r (a job cannot occupy more
+// than all of its tasks at once), which appends identity rows and therefore
+// preserves total unimodularity.
+//
+// Two observations this implementation exploits (documented in DESIGN.md):
+//
+//  * Separability: x_it^r appears in exactly one demand row (i, r) and one
+//    load row (t, r). Resource types couple only through the lexicographic
+//    objective, and the lexmin of a union of independent vectors is the
+//    union of their lexmins — so the LP is built and solved per resource.
+//  * Constraint (4) needs no explicit row: the first lexmin round minimizes
+//    u = max z_t^r / C_t^r, and the formulation is infeasible w.r.t. the
+//    caps exactly when u* > 1 — reported as `capacity_exceeded` so the
+//    caller can relax windows instead of getting a hard infeasible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/lexmin.h"
+#include "lp/model.h"
+#include "workload/resources.h"
+
+namespace flowtime::core {
+
+/// One deadline-aware job as the LP sees it, in slot units.
+struct LpJob {
+  int uid = -1;             // caller's identifier, echoed back
+  int release_slot = 0;     // a_i (inclusive)
+  int deadline_slot = 0;    // d_i (inclusive; already slack-adjusted)
+  workload::ResourceVec demand{};  // s_i^r, resource-seconds
+  workload::ResourceVec width{};   // W_i^r, resource-seconds per slot
+};
+
+struct LpScheduleOptions {
+  lp::LexMinMaxOptions lexmin;
+  /// Resource-coupled variables: instead of independent x_it^r per
+  /// resource (the paper's formulation), use one task-time variable f_it
+  /// per (job, slot) with the job's per-task bundle d_i^r tying every
+  /// resource to it (allocation of r = f_it * d_i^r). Slightly more
+  /// constrained than the paper's LP (its optimum can be marginally less
+  /// flat), but allocations then always materialize as proportional task
+  /// bundles — what containers need. The constraint matrix loses the clean
+  /// bipartite TU structure, but remains an LP.
+  bool coupled_resources = false;
+  /// Re-solve the final allocation as an integral transportation problem
+  /// with the lexmin levels as per-slot caps (DESIGN.md §5.4). Requires
+  /// integral demands/widths to be meaningful; off by default because the
+  /// simulator's demands are fractional resource-seconds.
+  bool integral_extraction = false;
+};
+
+/// The planned allocation: x[job_index][slot - first_slot] per resource.
+struct LpSchedule {
+  lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+  /// True when even the flattest placement exceeds some slot's capacity —
+  /// the deadline windows are collectively infeasible (paper constraint (4)
+  /// violated at the optimum).
+  bool capacity_exceeded = false;
+  int first_slot = 0;
+  int num_slots = 0;
+  /// allocation[j][t][r]: resource-seconds granted to jobs[j] in slot
+  /// first_slot + t.
+  std::vector<std::vector<workload::ResourceVec>> allocation;
+  /// Normalized load per slot and resource after placement.
+  std::vector<workload::ResourceVec> normalized_load;
+  double max_normalized_load = 0.0;
+  std::int64_t pivots = 0;
+  int lexmin_rounds = 0;
+
+  bool ok() const { return status == lp::SolveStatus::kOptimal; }
+};
+
+/// Builds and solves the placement for one horizon.
+///
+/// `capacity_per_slot[t]` is C_t^r in resource-seconds for slot
+/// `first_slot + t`; windows are clipped to [first_slot,
+/// first_slot + capacity_per_slot.size()). Jobs whose window is empty after
+/// clipping make the problem infeasible (their demand cannot be placed).
+LpSchedule solve_placement(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, const LpScheduleOptions& options = {});
+
+/// The coupled-variable variant (see LpScheduleOptions::coupled_resources);
+/// called by solve_placement when that option is set. Jobs' demands must be
+/// proportional to their widths across resources (true for gang-of-task
+/// jobs by construction: both equal tasks x d_i^r x time).
+LpSchedule solve_placement_coupled(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, const LpScheduleOptions& options = {});
+
+}  // namespace flowtime::core

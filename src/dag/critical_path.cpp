@@ -1,0 +1,55 @@
+#include "dag/critical_path.h"
+
+#include <algorithm>
+
+#include "dag/topology.h"
+
+namespace flowtime::dag {
+
+std::optional<CriticalPathResult> critical_path(
+    const Dag& dag, const std::vector<double>& weight) {
+  if (static_cast<int>(weight.size()) != dag.num_nodes()) return std::nullopt;
+  const auto order = topological_order(dag);
+  if (!order) return std::nullopt;
+
+  CriticalPathResult result;
+  const auto n = static_cast<std::size_t>(dag.num_nodes());
+  result.earliest.assign(n, 0.0);
+  result.path_until.assign(n, 0.0);
+  std::vector<NodeId> best_parent(n, -1);
+
+  for (NodeId v : *order) {
+    double start = 0.0;
+    NodeId argmax = -1;
+    for (NodeId p : dag.parents(v)) {
+      const double candidate = result.path_until[static_cast<std::size_t>(p)];
+      if (candidate > start) {
+        start = candidate;
+        argmax = p;
+      }
+    }
+    result.earliest[static_cast<std::size_t>(v)] = start;
+    result.path_until[static_cast<std::size_t>(v)] =
+        start + weight[static_cast<std::size_t>(v)];
+    best_parent[static_cast<std::size_t>(v)] = argmax;
+  }
+
+  NodeId tail = -1;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (tail < 0 ||
+        result.path_until[static_cast<std::size_t>(v)] >
+            result.path_until[static_cast<std::size_t>(tail)]) {
+      tail = v;
+    }
+  }
+  if (tail >= 0) {
+    result.length = result.path_until[static_cast<std::size_t>(tail)];
+    for (NodeId v = tail; v >= 0; v = best_parent[static_cast<std::size_t>(v)]) {
+      result.path.push_back(v);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+  }
+  return result;
+}
+
+}  // namespace flowtime::dag

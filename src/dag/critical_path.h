@@ -1,0 +1,30 @@
+// Critical-path analysis over node-weighted DAGs.
+//
+// Used by the decomposer's fallback path (paper §IV-B footnote 1: when the
+// deadline leaves no slack, FlowTime decomposes along the critical path as in
+// Yu, Buyya & Tham 2005 [7]) and by the baselines that reason about a
+// workflow's minimal makespan.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace flowtime::dag {
+
+struct CriticalPathResult {
+  double length = 0.0;             // total weight along the heaviest path
+  std::vector<NodeId> path;        // nodes on one heaviest path, in order
+  std::vector<double> earliest;    // earliest start per node (weights before)
+  std::vector<double> path_until;  // heaviest path length ending at node
+                                   // (inclusive of the node's own weight)
+};
+
+/// Computes the heaviest path where each node contributes `weight[node]`.
+/// Weights must be nonnegative. nullopt if the graph has a cycle or the
+/// weight vector has the wrong size.
+std::optional<CriticalPathResult> critical_path(
+    const Dag& dag, const std::vector<double>& weight);
+
+}  // namespace flowtime::dag

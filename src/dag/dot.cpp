@@ -1,0 +1,23 @@
+#include "dag/dot.h"
+
+#include <sstream>
+
+namespace flowtime::dag {
+
+std::string to_dot(const Dag& dag, const std::string& graph_name) {
+  std::ostringstream out;
+  out << "digraph " << graph_name << " {\n";
+  out << "  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    out << "  n" << v << ";\n";
+  }
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      out << "  n" << v << " -> n" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace flowtime::dag

@@ -1,0 +1,15 @@
+// Graphviz DOT export for DAGs — debugging and documentation aid
+// (`dot -Tpng graph.dot -o graph.png`). Workflow-aware rendering (job
+// labels, level ranks) lives in workload/dot.h.
+#pragma once
+
+#include <string>
+
+#include "dag/dag.h"
+
+namespace flowtime::dag {
+
+/// Bare structure: node ids and edges.
+std::string to_dot(const Dag& dag, const std::string& graph_name = "dag");
+
+}  // namespace flowtime::dag

@@ -1,0 +1,131 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace flowtime::lp {
+
+namespace {
+
+struct Node {
+  // Bound overrides relative to the root problem, column -> (lower, upper).
+  std::vector<std::pair<int, std::pair<double, double>>> bound_changes;
+  double parent_bound = -kInfinity;  // LP bound of the parent, for ordering
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->parent_bound > b->parent_bound;  // best-bound first
+  }
+};
+
+}  // namespace
+
+BranchAndBound::BranchAndBound(BranchAndBoundOptions options)
+    : options_(options) {}
+
+Solution BranchAndBound::solve(const LpProblem& problem,
+                               const std::vector<int>& integer_columns) const {
+  SimplexSolver lp(options_.lp_options);
+
+  Solution best;
+  best.status = SolveStatus::kInfeasible;
+  best.objective = kInfinity;
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  open.push(std::make_shared<Node>());
+
+  // Work on a private copy whose bounds we rewrite per node.
+  LpProblem work = problem;
+  std::int64_t explored = 0;
+  bool hit_node_limit = false;
+
+  while (!open.empty()) {
+    if (explored >= options_.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    const std::shared_ptr<Node> node = open.top();
+    open.pop();
+    ++explored;
+
+    // Apply this node's bounds on top of the root bounds.
+    for (int j = 0; j < problem.num_columns(); ++j) {
+      work.set_bounds(j, problem.lower_bound(j), problem.upper_bound(j));
+    }
+    bool bounds_ok = true;
+    for (const auto& [column, bounds] : node->bound_changes) {
+      const double lo = std::max(bounds.first, problem.lower_bound(column));
+      const double hi = std::min(bounds.second, problem.upper_bound(column));
+      if (lo > hi) {
+        bounds_ok = false;
+        break;
+      }
+      work.set_bounds(column, lo, hi);
+    }
+    if (!bounds_ok) continue;
+
+    const Solution relaxed = lp.solve(work);
+    if (relaxed.status == SolveStatus::kInfeasible) continue;
+    if (relaxed.status != SolveStatus::kOptimal) {
+      // Propagate solver trouble: a node we cannot bound poisons optimality.
+      if (best.status != SolveStatus::kOptimal) best.status = relaxed.status;
+      continue;
+    }
+    if (relaxed.objective >= best.objective - 1e-9) continue;  // pruned
+
+    // Find the most fractional integer column.
+    int branch_column = -1;
+    double worst_fraction = options_.integrality_tol;
+    for (int j : integer_columns) {
+      const double v = relaxed.x[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > worst_fraction) {
+        worst_fraction = frac;
+        branch_column = j;
+      }
+    }
+
+    if (branch_column < 0) {
+      // Integral: candidate incumbent.
+      best = relaxed;
+      best.status = SolveStatus::kOptimal;
+      continue;
+    }
+
+    const double v = relaxed.x[static_cast<std::size_t>(branch_column)];
+    auto down = std::make_shared<Node>(*node);
+    down->parent_bound = relaxed.objective;
+    down->bound_changes.emplace_back(
+        branch_column, std::make_pair(-kInfinity, std::floor(v)));
+    auto up = std::make_shared<Node>(*node);
+    up->parent_bound = relaxed.objective;
+    up->bound_changes.emplace_back(
+        branch_column, std::make_pair(std::ceil(v), kInfinity));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (hit_node_limit && best.status != SolveStatus::kOptimal) {
+    best.status = SolveStatus::kIterationLimit;
+  }
+  best.iterations = explored;
+  if (best.status == SolveStatus::kOptimal) {
+    // Snap near-integral values exactly.
+    for (int j : integer_columns) {
+      double& v = best.x[static_cast<std::size_t>(j)];
+      v = std::round(v);
+    }
+    best.objective = problem.objective_value(best.x);
+  }
+  return best;
+}
+
+}  // namespace flowtime::lp

@@ -1,0 +1,41 @@
+// Reference MILP solver (branch and bound over the simplex).
+//
+// FlowTime never needs this at runtime — the paper's Lemma 2 (total
+// unimodularity) guarantees the LP relaxation is already integral. The tests
+// use this solver as an independent oracle: on randomly generated scheduling
+// instances the LP vertex optimum must match the true integer optimum, which
+// is exactly the claim the paper proves. It also handles small ad-hoc MILPs
+// in examples. Depth-first search, best-first among open nodes, branching on
+// the most fractional variable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace flowtime::lp {
+
+struct BranchAndBoundOptions {
+  double integrality_tol = 1e-6;
+  std::int64_t max_nodes = 100000;
+  SimplexOptions lp_options;
+};
+
+/// Minimizes `problem` with the listed columns restricted to integers.
+/// Solution::iterations reports explored branch-and-bound nodes.
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(BranchAndBoundOptions options = {});
+
+  /// `integer_columns` lists column indices that must take integer values;
+  /// pass all columns for a pure ILP.
+  Solution solve(const LpProblem& problem,
+                 const std::vector<int>& integer_columns) const;
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+}  // namespace flowtime::lp

@@ -1,0 +1,72 @@
+#include "lp/lambda.h"
+
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/logging.h"
+
+namespace flowtime::lp {
+
+int append_lambda_representation(LpProblem& problem,
+                                 const std::vector<RowEntry>& y_entries,
+                                 int domain_min, int domain_max,
+                                 const std::function<double(int)>& f) {
+  const int first_lambda = problem.num_columns();
+  std::vector<RowEntry> convexity;      // Σ λ_j = 1
+  std::vector<RowEntry> link = y_entries;  // y - Σ j λ_j = 0
+  for (int j = domain_min; j <= domain_max; ++j) {
+    const int column = problem.add_column(f(j), 0.0, 1.0,
+                                          "lambda_" + std::to_string(j));
+    convexity.push_back(RowEntry{column, 1.0});
+    link.push_back(RowEntry{column, -static_cast<double>(j)});
+  }
+  problem.add_row(RowSense::kEqual, 1.0, std::move(convexity), "convexity");
+  problem.add_row(RowSense::kEqual, 0.0, std::move(link), "lambda_link");
+  return first_lambda;
+}
+
+ScalarizedResult solve_scalarized_lexmin(const LpProblem& base,
+                                         const std::vector<LoadRow>& loads,
+                                         double k_base) {
+  ScalarizedResult result;
+  LpProblem p = base;
+  for (int j = 0; j < p.num_columns(); ++j) p.set_objective_coeff(j, 0.0);
+
+  for (const LoadRow& load : loads) {
+    const int cap = static_cast<int>(std::ceil(load.normalizer - 1e-9));
+    if (cap <= 0 || cap > 64) {
+      FT_LOG(kWarn) << "scalarized lexmin: normalizer " << load.normalizer
+                    << " out of the supported toy range";
+      result.status = SolveStatus::kNumericalFailure;
+      return result;
+    }
+    // z_k column equals the load expression; λ-represent K^{z/C} over it.
+    const int z = p.add_column(0.0, 0.0, cap, "z");
+    std::vector<RowEntry> z_def = load.entries;
+    z_def.push_back(RowEntry{z, -1.0});
+    p.add_row(RowSense::kEqual, 0.0, std::move(z_def), "z_def");
+    const double normalizer = load.normalizer;
+    append_lambda_representation(
+        p, {RowEntry{z, 1.0}}, 0, cap, [k_base, normalizer](int j) {
+          return std::pow(k_base, static_cast<double>(j) / normalizer);
+        });
+  }
+
+  SimplexSolver solver;
+  const Solution s = solver.solve(p);
+  result.status = s.status;
+  if (!s.optimal()) return result;
+  result.objective = s.objective;
+  result.x.assign(s.x.begin(), s.x.begin() + base.num_columns());
+  result.load.reserve(loads.size());
+  for (const LoadRow& load : loads) {
+    double value = 0.0;
+    for (const RowEntry& e : load.entries) {
+      value += e.coeff * result.x[static_cast<std::size_t>(e.column)];
+    }
+    result.load.push_back(value / load.normalizer);
+  }
+  return result;
+}
+
+}  // namespace flowtime::lp

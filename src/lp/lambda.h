@@ -1,0 +1,58 @@
+// The paper's λ-representation and scalarized lexmin objective
+// (§V-B, Eq. (6)-(9) and Lemma 1).
+//
+// Lemma 1 turns the lexicographic min-max objective into a single scalar:
+// minimizing  g(u) = Σ_i K^{u_i}  (K = |T||R|) over integer vectors yields
+// the lexicographically minimal one. Because K^{u} is separable convex, the
+// λ-representation (Eq. (8)-(9)) models it with an LP whose matrix stays
+// totally unimodular, so the whole construction remains an exact LP.
+//
+// Production FlowTime does NOT use this route — K^{u} overflows doubles for
+// realistic K — but implementing it at small scale lets the tests verify
+// Lemma 1 empirically: the scalarized optimum must match the iterative
+// LexMinMaxSolver on every instance where both are computable.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lp/lexmin.h"
+#include "lp/model.h"
+
+namespace flowtime::lp {
+
+/// Appends the λ-representation of a separable convex term f(y) to
+/// `problem`, where y = Σ entries over existing columns and y ranges over
+/// the integer domain [domain_min, domain_max]:
+///
+///     y - Σ_j j·λ_j = 0,   Σ_j λ_j = 1,   λ_j >= 0,
+///     objective += Σ_j f(j)·λ_j.
+///
+/// Returns the index of the first λ column. For convex f the LP relaxation
+/// automatically selects adjacent breakpoints (no integrality constraint
+/// needed), which is exactly the paper's Eq. (8)-(9) device.
+int append_lambda_representation(LpProblem& problem,
+                                 const std::vector<RowEntry>& y_entries,
+                                 int domain_min, int domain_max,
+                                 const std::function<double(int)>& f);
+
+/// Solves the paper's scalarized objective directly:
+///
+///     min Σ_k K^{z_k / C_k}   s.t. base constraints, z_k = load_k(x),
+///
+/// with each z_k λ-represented over the integer domain [0, ceil(C_k)].
+/// Loads' normalizers must be integral and small enough that K^{z/C} fits a
+/// double (the callers are tests on tiny instances). The returned Solution
+/// carries the base problem's columns in x.
+struct ScalarizedResult {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  std::vector<double> x;     // base columns only
+  std::vector<double> load;  // normalized load per LoadRow
+  double objective = 0.0;    // Σ K^{z/C}
+};
+
+ScalarizedResult solve_scalarized_lexmin(const LpProblem& base,
+                                         const std::vector<LoadRow>& loads,
+                                         double k_base);
+
+}  // namespace flowtime::lp

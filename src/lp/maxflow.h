@@ -1,0 +1,51 @@
+// Max-flow solver (Dinic's algorithm).
+//
+// The scheduling LP's constraint matrix is the incidence structure of a
+// bipartite job/slot graph, so placement feasibility and the first lexmin
+// level can be answered by maximum flow instead of simplex — asymptotically
+// much faster for the first round. core/flow_placement.h builds on this;
+// here is just a clean, reusable max-flow engine on double capacities.
+#pragma once
+
+#include <vector>
+
+namespace flowtime::lp {
+
+/// Directed flow network with double capacities. Nodes are dense ints.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns an edge id that
+  /// can be used to query its flow after solving.
+  int add_edge(int from, int to, double capacity);
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  /// Computes the maximum flow from source to sink (Dinic). Can be called
+  /// repeatedly after add_edge/set_capacity; flow state resets each call.
+  double max_flow(int source, int sink);
+
+  /// Flow routed on edge `edge_id` by the last max_flow call.
+  double flow(int edge_id) const;
+
+  /// Rewrites one edge's capacity (used by parametric searches).
+  void set_capacity(int edge_id, double capacity);
+
+ private:
+  struct Edge {
+    int to = 0;
+    double capacity = 0.0;
+    double residual = 0.0;
+  };
+
+  bool build_levels(int source, int sink);
+  double push(int node, int sink, double limit);
+
+  std::vector<std::vector<int>> head_;  // node -> edge ids (incl. reverse)
+  std::vector<Edge> edges_;             // edge 2k = forward, 2k+1 = reverse
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace flowtime::lp

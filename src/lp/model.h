@@ -1,0 +1,138 @@
+// Linear-program model types.
+//
+// FlowTime's scheduler (paper §V) formulates resource allocation as an ILP
+// whose constraint matrix is totally unimodular, so an LP solver returning
+// vertex solutions yields the integral optimum. No LP library ships in this
+// environment, so the repository carries its own solver stack:
+//
+//   LpProblem (this header)  — column/row model with bounds,
+//   SimplexSolver            — two-phase bounded-variable primal simplex,
+//   BranchAndBound           — reference MILP solver used by tests,
+//   LexMinMaxSolver          — the paper's lexicographic min-max objective.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace flowtime::lp {
+
+/// +infinity for variable/row bounds.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Row sense for constraints.
+enum class RowSense { kLessEqual, kEqual, kGreaterEqual };
+
+/// One nonzero coefficient of a row.
+struct RowEntry {
+  int column = 0;
+  double coeff = 0.0;
+};
+
+/// Solver termination status.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+const char* to_string(SolveStatus status);
+
+/// Result of an LP (or MILP) solve.
+struct Solution {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  double objective = 0.0;
+  std::vector<double> x;             // primal values, one per column
+  std::vector<double> row_activity;  // Ax, one per row
+  std::vector<double> duals;         // y, one per row (LP only)
+  std::int64_t iterations = 0;       // simplex pivots (or B&B nodes)
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// A minimization LP in computational form:
+///
+///   minimize    c^T x
+///   subject to  row_lhs ( <= | = | >= ) rhs
+///               lb <= x <= ub
+///
+/// Columns and rows are added incrementally; the solvers treat the problem
+/// as immutable input. Coefficients are stored per row; solvers build the
+/// column-wise view they need.
+class LpProblem {
+ public:
+  /// Adds a variable, returns its column index.
+  int add_column(double objective, double lower, double upper,
+                 std::string name = {});
+
+  /// Adds a constraint row from sparse entries, returns its row index.
+  /// Entries with duplicate column indices are summed.
+  int add_row(RowSense sense, double rhs, std::vector<RowEntry> entries,
+              std::string name = {});
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  double objective_coeff(int column) const {
+    return columns_[static_cast<std::size_t>(column)].objective;
+  }
+  double lower_bound(int column) const {
+    return columns_[static_cast<std::size_t>(column)].lower;
+  }
+  double upper_bound(int column) const {
+    return columns_[static_cast<std::size_t>(column)].upper;
+  }
+  const std::string& column_name(int column) const {
+    return columns_[static_cast<std::size_t>(column)].name;
+  }
+
+  RowSense row_sense(int row) const {
+    return rows_[static_cast<std::size_t>(row)].sense;
+  }
+  double row_rhs(int row) const {
+    return rows_[static_cast<std::size_t>(row)].rhs;
+  }
+  const std::vector<RowEntry>& row_entries(int row) const {
+    return rows_[static_cast<std::size_t>(row)].entries;
+  }
+  const std::string& row_name(int row) const {
+    return rows_[static_cast<std::size_t>(row)].name;
+  }
+
+  /// Mutators used by the lexicographic driver to freeze binding rows and by
+  /// branch-and-bound to tighten variable bounds. Indices must be valid.
+  void set_row(int row, RowSense sense, double rhs);
+  void set_bounds(int column, double lower, double upper);
+  void set_objective_coeff(int column, double coeff);
+
+  /// Evaluates one row's left-hand side at a point.
+  double row_value(int row, const std::vector<double>& x) const;
+
+  /// Checks that a point satisfies all bounds and rows within `tol`.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Evaluates the objective at a point.
+  double objective_value(const std::vector<double>& x) const;
+
+ private:
+  struct Column {
+    double objective = 0.0;
+    double lower = 0.0;
+    double upper = kInfinity;
+    std::string name;
+  };
+  struct Row {
+    RowSense sense = RowSense::kLessEqual;
+    double rhs = 0.0;
+    std::vector<RowEntry> entries;
+    std::string name;
+  };
+
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace flowtime::lp

@@ -1,0 +1,544 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace flowtime::lp {
+
+namespace {
+
+// Nonbasic rest position of a variable.
+enum class NonbasicState : std::uint8_t { kAtLower, kAtUpper, kFree };
+
+// Internal working problem: min c.x  s.t.  A x = b,  lb <= x <= ub, where
+// columns [0, n_struct) are structural, [n_struct, n_struct+m) slacks and
+// [n_struct+m, n_struct+2m) artificials.
+struct ColEntry {
+  int row = 0;
+  double coeff = 0.0;
+};
+
+struct Working {
+  int m = 0;        // rows
+  int n_total = 0;  // all columns including slacks and artificials
+  int n_struct = 0;
+  std::vector<std::vector<ColEntry>> cols;  // column-wise A
+  std::vector<double> lb, ub;
+  std::vector<double> cost;  // phase-2 objective
+  std::vector<double> b;
+};
+
+class Engine {
+ public:
+  Engine(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options) {
+    build(problem);
+  }
+
+  Solution run(const LpProblem& problem) {
+    Solution result;
+    init_basis();
+
+    const std::int64_t limit =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : 200LL * (w_.m + w_.n_total) + 2000;
+
+    // Phase 1: minimize the sum of artificials.
+    std::vector<double> phase1_cost(static_cast<std::size_t>(w_.n_total), 0.0);
+    for (int j = artificial_begin(); j < w_.n_total; ++j) {
+      phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+    }
+    const SolveStatus phase1 = optimize(phase1_cost, limit, &result.iterations);
+    if (phase1 != SolveStatus::kOptimal) {
+      result.status = phase1 == SolveStatus::kUnbounded
+                          ? SolveStatus::kNumericalFailure  // phase 1 bounded
+                          : phase1;
+      return result;
+    }
+    if (objective(phase1_cost) > 1e-6) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    // Pin artificials at zero for phase 2.
+    for (int j = artificial_begin(); j < w_.n_total; ++j) {
+      w_.lb[static_cast<std::size_t>(j)] = 0.0;
+      w_.ub[static_cast<std::size_t>(j)] = 0.0;
+      if (!in_basis_[static_cast<std::size_t>(j)]) {
+        state_[static_cast<std::size_t>(j)] = NonbasicState::kAtLower;
+      }
+    }
+
+    // Phase 2: the real objective.
+    const SolveStatus phase2 = optimize(w_.cost, limit, &result.iterations);
+    result.status = phase2;
+    if (phase2 != SolveStatus::kOptimal &&
+        phase2 != SolveStatus::kIterationLimit) {
+      return result;
+    }
+
+    // Extract primal values for structural columns.
+    std::vector<double> full = current_point();
+    result.x.assign(full.begin(), full.begin() + w_.n_struct);
+    result.objective = 0.0;
+    for (int j = 0; j < w_.n_struct; ++j) {
+      result.objective += w_.cost[static_cast<std::size_t>(j)] *
+                          full[static_cast<std::size_t>(j)];
+    }
+    result.row_activity.resize(static_cast<std::size_t>(w_.m));
+    for (int i = 0; i < w_.m; ++i) {
+      // Row activity of the original row = rhs - slack value.
+      const int slack = slack_begin() + i;
+      result.row_activity[static_cast<std::size_t>(i)] =
+          w_.b[static_cast<std::size_t>(i)] -
+          full[static_cast<std::size_t>(slack)];
+    }
+    result.duals = compute_duals(w_.cost);
+    (void)problem;
+    return result;
+  }
+
+ private:
+  int slack_begin() const { return w_.n_struct; }
+  int artificial_begin() const { return w_.n_struct + w_.m; }
+
+  void build(const LpProblem& p) {
+    w_.m = p.num_rows();
+    w_.n_struct = p.num_columns();
+    w_.n_total = w_.n_struct + 2 * w_.m;
+    w_.cols.resize(static_cast<std::size_t>(w_.n_total));
+    w_.lb.assign(static_cast<std::size_t>(w_.n_total), 0.0);
+    w_.ub.assign(static_cast<std::size_t>(w_.n_total), kInfinity);
+    w_.cost.assign(static_cast<std::size_t>(w_.n_total), 0.0);
+    w_.b.resize(static_cast<std::size_t>(w_.m));
+
+    for (int j = 0; j < w_.n_struct; ++j) {
+      w_.lb[static_cast<std::size_t>(j)] = p.lower_bound(j);
+      w_.ub[static_cast<std::size_t>(j)] = p.upper_bound(j);
+      w_.cost[static_cast<std::size_t>(j)] = p.objective_coeff(j);
+    }
+    for (int i = 0; i < w_.m; ++i) {
+      for (const RowEntry& e : p.row_entries(i)) {
+        w_.cols[static_cast<std::size_t>(e.column)].push_back(
+            ColEntry{i, e.coeff});
+      }
+      w_.b[static_cast<std::size_t>(i)] = p.row_rhs(i);
+      const int slack = slack_begin() + i;
+      w_.cols[static_cast<std::size_t>(slack)].push_back(ColEntry{i, 1.0});
+      switch (p.row_sense(i)) {
+        case RowSense::kLessEqual:
+          w_.lb[static_cast<std::size_t>(slack)] = 0.0;
+          w_.ub[static_cast<std::size_t>(slack)] = kInfinity;
+          break;
+        case RowSense::kEqual:
+          w_.lb[static_cast<std::size_t>(slack)] = 0.0;
+          w_.ub[static_cast<std::size_t>(slack)] = 0.0;
+          break;
+        case RowSense::kGreaterEqual:
+          w_.lb[static_cast<std::size_t>(slack)] = -kInfinity;
+          w_.ub[static_cast<std::size_t>(slack)] = 0.0;
+          break;
+      }
+    }
+  }
+
+  // Rest value of a nonbasic variable.
+  double nonbasic_value(int j) const {
+    switch (state_[static_cast<std::size_t>(j)]) {
+      case NonbasicState::kAtLower:
+        return w_.lb[static_cast<std::size_t>(j)];
+      case NonbasicState::kAtUpper:
+        return w_.ub[static_cast<std::size_t>(j)];
+      case NonbasicState::kFree:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  // Sets state_[j] to the natural rest position given its bounds.
+  void rest_nonbasic(int j) {
+    const double lo = w_.lb[static_cast<std::size_t>(j)];
+    const double hi = w_.ub[static_cast<std::size_t>(j)];
+    if (std::isfinite(lo)) {
+      state_[static_cast<std::size_t>(j)] = NonbasicState::kAtLower;
+    } else if (std::isfinite(hi)) {
+      state_[static_cast<std::size_t>(j)] = NonbasicState::kAtUpper;
+    } else {
+      state_[static_cast<std::size_t>(j)] = NonbasicState::kFree;
+    }
+  }
+
+  // Starts from the all-artificial basis: artificial i carries the residual
+  // of row i with a +/-1 coefficient chosen so its value is nonnegative.
+  void init_basis() {
+    const auto n = static_cast<std::size_t>(w_.n_total);
+    state_.assign(n, NonbasicState::kAtLower);
+    in_basis_.assign(n, false);
+    basis_.assign(static_cast<std::size_t>(w_.m), -1);
+
+    for (int j = 0; j < artificial_begin(); ++j) rest_nonbasic(j);
+
+    std::vector<double> residual = w_.b;
+    for (int j = 0; j < artificial_begin(); ++j) {
+      const double v = nonbasic_value(j);
+      if (v == 0.0) continue;
+      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+        residual[static_cast<std::size_t>(e.row)] -= e.coeff * v;
+      }
+    }
+    binv_.assign(static_cast<std::size_t>(w_.m) * w_.m, 0.0);
+    xb_.resize(static_cast<std::size_t>(w_.m));
+    for (int i = 0; i < w_.m; ++i) {
+      const double r = residual[static_cast<std::size_t>(i)];
+      const double sign = r < 0.0 ? -1.0 : 1.0;
+      const int art = artificial_begin() + i;
+      w_.cols[static_cast<std::size_t>(art)].clear();
+      w_.cols[static_cast<std::size_t>(art)].push_back(ColEntry{i, sign});
+      basis_[static_cast<std::size_t>(i)] = art;
+      in_basis_[static_cast<std::size_t>(art)] = true;
+      binv_at(i, i) = sign;  // B = diag(sign) => B^{-1} = diag(sign)
+      xb_[static_cast<std::size_t>(i)] = std::abs(r);
+    }
+  }
+
+  double& binv_at(int i, int k) {
+    return binv_[static_cast<std::size_t>(i) * w_.m + k];
+  }
+  double binv_at(int i, int k) const {
+    return binv_[static_cast<std::size_t>(i) * w_.m + k];
+  }
+
+  // w = B^{-1} a_j using the sparse column.
+  void ftran(int j, std::vector<double>& out) const {
+    out.assign(static_cast<std::size_t>(w_.m), 0.0);
+    for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+      const double a = e.coeff;
+      const int k = e.row;
+      for (int i = 0; i < w_.m; ++i) {
+        out[static_cast<std::size_t>(i)] += binv_at(i, k) * a;
+      }
+    }
+  }
+
+  // y = c_B^T B^{-1}.
+  std::vector<double> compute_duals(const std::vector<double>& cost) const {
+    std::vector<double> y(static_cast<std::size_t>(w_.m), 0.0);
+    for (int i = 0; i < w_.m; ++i) {
+      const double cb = cost[static_cast<std::size_t>(
+          basis_[static_cast<std::size_t>(i)])];
+      if (cb == 0.0) continue;
+      for (int k = 0; k < w_.m; ++k) {
+        y[static_cast<std::size_t>(k)] += cb * binv_at(i, k);
+      }
+    }
+    return y;
+  }
+
+  double reduced_cost(int j, const std::vector<double>& cost,
+                      const std::vector<double>& y) const {
+    double d = cost[static_cast<std::size_t>(j)];
+    for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+      d -= y[static_cast<std::size_t>(e.row)] * e.coeff;
+    }
+    return d;
+  }
+
+  double objective(const std::vector<double>& cost) const {
+    double value = 0.0;
+    const std::vector<double> point = current_point();
+    for (int j = 0; j < w_.n_total; ++j) {
+      value += cost[static_cast<std::size_t>(j)] *
+               point[static_cast<std::size_t>(j)];
+    }
+    return value;
+  }
+
+  std::vector<double> current_point() const {
+    std::vector<double> x(static_cast<std::size_t>(w_.n_total), 0.0);
+    for (int j = 0; j < w_.n_total; ++j) {
+      if (!in_basis_[static_cast<std::size_t>(j)]) x[static_cast<std::size_t>(j)] = nonbasic_value(j);
+    }
+    for (int i = 0; i < w_.m; ++i) {
+      x[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+          xb_[static_cast<std::size_t>(i)];
+    }
+    return x;
+  }
+
+  // Rebuilds binv_ and xb_ from the basis by Gauss-Jordan; returns false on a
+  // singular basis (numerical failure).
+  bool refactorize() {
+    const int m = w_.m;
+    // Dense B and identity side by side.
+    std::vector<double> mat(static_cast<std::size_t>(m) * 2 * m, 0.0);
+    auto at = [&](int i, int k) -> double& {
+      return mat[static_cast<std::size_t>(i) * 2 * m + k];
+    };
+    for (int i = 0; i < m; ++i) {
+      const int j = basis_[static_cast<std::size_t>(i)];
+      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+        at(e.row, i) = e.coeff;
+      }
+      at(i, m + i) = 1.0;
+    }
+    for (int col = 0; col < m; ++col) {
+      int pivot = -1;
+      double best = options_.pivot_tol;
+      for (int i = col; i < m; ++i) {
+        if (std::abs(at(i, col)) > best) {
+          best = std::abs(at(i, col));
+          pivot = i;
+        }
+      }
+      if (pivot < 0) return false;
+      if (pivot != col) {
+        // Row swaps are internal to the elimination (they left-multiply by a
+        // permutation, which the resulting inverse absorbs); the basis
+        // bookkeeping must not be permuted.
+        for (int k = 0; k < 2 * m; ++k) std::swap(at(pivot, k), at(col, k));
+      }
+      const double inv = 1.0 / at(col, col);
+      for (int k = 0; k < 2 * m; ++k) at(col, k) *= inv;
+      for (int i = 0; i < m; ++i) {
+        if (i == col) continue;
+        const double f = at(i, col);
+        if (f == 0.0) continue;
+        for (int k = 0; k < 2 * m; ++k) at(i, k) -= f * at(col, k);
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int k = 0; k < m; ++k) binv_at(i, k) = at(i, m + k);
+    }
+    recompute_basic_values();
+    return true;
+  }
+
+  void recompute_basic_values() {
+    std::vector<double> residual = w_.b;
+    for (int j = 0; j < w_.n_total; ++j) {
+      if (in_basis_[static_cast<std::size_t>(j)]) continue;
+      const double v = nonbasic_value(j);
+      if (v == 0.0) continue;
+      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+        residual[static_cast<std::size_t>(e.row)] -= e.coeff * v;
+      }
+    }
+    for (int i = 0; i < w_.m; ++i) {
+      double v = 0.0;
+      for (int k = 0; k < w_.m; ++k) {
+        v += binv_at(i, k) * residual[static_cast<std::size_t>(k)];
+      }
+      xb_[static_cast<std::size_t>(i)] = v;
+    }
+  }
+
+  // Core primal iteration loop for a given cost vector; assumes the current
+  // basis is primal feasible.
+  SolveStatus optimize(const std::vector<double>& cost, std::int64_t limit,
+                       std::int64_t* iteration_counter) {
+    int degenerate_run = 0;
+    int since_refactor = 0;
+    std::vector<double> w(static_cast<std::size_t>(w_.m));
+
+    while (true) {
+      if (*iteration_counter >= limit) return SolveStatus::kIterationLimit;
+
+      const std::vector<double> y = compute_duals(cost);
+      const bool bland = degenerate_run > options_.degenerate_before_bland;
+
+      // Pricing.
+      int entering = -1;
+      double best_violation = options_.optimality_tol;
+      int direction = +1;
+      for (int j = 0; j < w_.n_total; ++j) {
+        if (in_basis_[static_cast<std::size_t>(j)]) continue;
+        const double lo = w_.lb[static_cast<std::size_t>(j)];
+        const double hi = w_.ub[static_cast<std::size_t>(j)];
+        if (lo == hi) continue;  // fixed variable never enters
+        const double d = reduced_cost(j, cost, y);
+        int dir = 0;
+        double violation = 0.0;
+        switch (state_[static_cast<std::size_t>(j)]) {
+          case NonbasicState::kAtLower:
+            if (d < -options_.optimality_tol) {
+              dir = +1;
+              violation = -d;
+            }
+            break;
+          case NonbasicState::kAtUpper:
+            if (d > options_.optimality_tol) {
+              dir = -1;
+              violation = d;
+            }
+            break;
+          case NonbasicState::kFree:
+            if (std::abs(d) > options_.optimality_tol) {
+              dir = d < 0.0 ? +1 : -1;
+              violation = std::abs(d);
+            }
+            break;
+        }
+        if (dir == 0) continue;
+        if (bland) {  // first eligible index
+          entering = j;
+          direction = dir;
+          break;
+        }
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (entering < 0) return SolveStatus::kOptimal;
+
+      ftran(entering, w);
+
+      // Ratio test. The entering variable moves by t >= 0 in `direction`;
+      // basic variable i moves at rate -direction * w_i.
+      const double own_gap =
+          w_.ub[static_cast<std::size_t>(entering)] -
+          w_.lb[static_cast<std::size_t>(entering)];
+      double t_best = std::isfinite(own_gap) ? own_gap : kInfinity;
+      int leaving_row = -1;       // -1 => bound flip
+      bool leaving_at_upper = false;
+      for (int i = 0; i < w_.m; ++i) {
+        const double rate = -direction * w[static_cast<std::size_t>(i)];
+        if (std::abs(rate) <= options_.pivot_tol) continue;
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        const double xi = xb_[static_cast<std::size_t>(i)];
+        double t_i = kInfinity;
+        bool hits_upper = false;
+        if (rate > 0.0) {
+          const double hi = w_.ub[static_cast<std::size_t>(bj)];
+          if (std::isfinite(hi)) {
+            t_i = (hi - xi) / rate;
+            hits_upper = true;
+          }
+        } else {
+          const double lo = w_.lb[static_cast<std::size_t>(bj)];
+          if (std::isfinite(lo)) {
+            t_i = (lo - xi) / rate;
+            hits_upper = false;
+          }
+        }
+        if (t_i < -options_.feasibility_tol) t_i = 0.0;  // clamp tiny drift
+        t_i = std::max(t_i, 0.0);
+        if (t_i < t_best - 1e-12 ||
+            (bland && leaving_row >= 0 && t_i <= t_best + 1e-12 &&
+             bj < basis_[static_cast<std::size_t>(leaving_row)])) {
+          t_best = t_i;
+          leaving_row = i;
+          leaving_at_upper = hits_upper;
+        }
+      }
+
+      if (!std::isfinite(t_best)) return SolveStatus::kUnbounded;
+
+      degenerate_run = t_best <= options_.feasibility_tol
+                           ? degenerate_run + 1
+                           : 0;
+      ++*iteration_counter;
+
+      if (leaving_row < 0) {
+        // Bound flip: entering travels its whole gap, basis unchanged.
+        for (int i = 0; i < w_.m; ++i) {
+          xb_[static_cast<std::size_t>(i)] +=
+              -direction * w[static_cast<std::size_t>(i)] * t_best;
+        }
+        state_[static_cast<std::size_t>(entering)] =
+            state_[static_cast<std::size_t>(entering)] ==
+                    NonbasicState::kAtLower
+                ? NonbasicState::kAtUpper
+                : NonbasicState::kAtLower;
+        continue;
+      }
+
+      // Pivot: update values, basis bookkeeping and the inverse.
+      const double entering_value = nonbasic_value(entering) +
+                                    direction * t_best;
+      for (int i = 0; i < w_.m; ++i) {
+        if (i == leaving_row) continue;
+        xb_[static_cast<std::size_t>(i)] +=
+            -direction * w[static_cast<std::size_t>(i)] * t_best;
+      }
+      const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+      in_basis_[static_cast<std::size_t>(leaving)] = false;
+      state_[static_cast<std::size_t>(leaving)] =
+          leaving_at_upper ? NonbasicState::kAtUpper : NonbasicState::kAtLower;
+      basis_[static_cast<std::size_t>(leaving_row)] = entering;
+      in_basis_[static_cast<std::size_t>(entering)] = true;
+      xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
+
+      const double pivot = w[static_cast<std::size_t>(leaving_row)];
+      if (std::abs(pivot) <= options_.pivot_tol) {
+        if (!refactorize()) return SolveStatus::kNumericalFailure;
+        continue;
+      }
+      const double inv_pivot = 1.0 / pivot;
+      for (int k = 0; k < w_.m; ++k) binv_at(leaving_row, k) *= inv_pivot;
+      for (int i = 0; i < w_.m; ++i) {
+        if (i == leaving_row) continue;
+        const double f = w[static_cast<std::size_t>(i)];
+        if (f == 0.0) continue;
+        for (int k = 0; k < w_.m; ++k) {
+          binv_at(i, k) -= f * binv_at(leaving_row, k);
+        }
+      }
+
+      if (++since_refactor >= options_.refactor_interval) {
+        since_refactor = 0;
+        if (!refactorize()) return SolveStatus::kNumericalFailure;
+      }
+    }
+  }
+
+  SimplexOptions options_;
+  Working w_;
+  std::vector<int> basis_;             // column basic in each row
+  std::vector<bool> in_basis_;         // per column
+  std::vector<NonbasicState> state_;   // per column, meaningful if nonbasic
+  std::vector<double> binv_;           // dense m x m basis inverse
+  std::vector<double> xb_;             // values of basic variables
+};
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
+
+Solution SimplexSolver::solve(const LpProblem& problem) const {
+  if (problem.num_rows() == 0) {
+    // Pure bound problem: each variable rests at whichever bound minimizes.
+    Solution result;
+    result.status = SolveStatus::kOptimal;
+    result.x.resize(static_cast<std::size_t>(problem.num_columns()));
+    for (int j = 0; j < problem.num_columns(); ++j) {
+      const double c = problem.objective_coeff(j);
+      const double lo = problem.lower_bound(j);
+      const double hi = problem.upper_bound(j);
+      double v;
+      if (c > 0.0) {
+        v = lo;
+      } else if (c < 0.0) {
+        v = hi;
+      } else {
+        v = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0.0);
+      }
+      if (!std::isfinite(v)) {
+        result.status = SolveStatus::kUnbounded;
+        return result;
+      }
+      result.x[static_cast<std::size_t>(j)] = v;
+      result.objective += c * v;
+    }
+    return result;
+  }
+  Engine engine(problem, options_);
+  return engine.run(problem);
+}
+
+}  // namespace flowtime::lp

@@ -1,0 +1,233 @@
+#include "lp/unimodular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+namespace flowtime::lp {
+
+namespace {
+
+// Determinant of a small integer matrix by fraction-free (Bareiss)
+// elimination. Exact for the sizes the TU check enumerates.
+std::int64_t determinant(std::vector<std::int64_t> a, int n) {
+  if (n == 0) return 1;
+  std::int64_t prev = 1;
+  std::int64_t sign = 1;
+  auto at = [&](int r, int c) -> std::int64_t& {
+    return a[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int k = 0; k < n - 1; ++k) {
+    if (at(k, k) == 0) {
+      int swap_row = -1;
+      for (int r = k + 1; r < n; ++r) {
+        if (at(r, k) != 0) {
+          swap_row = r;
+          break;
+        }
+      }
+      if (swap_row < 0) return 0;
+      for (int c = 0; c < n; ++c) std::swap(at(k, c), at(swap_row, c));
+      sign = -sign;
+    }
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j < n; ++j) {
+        at(i, j) = (at(i, j) * at(k, k) - at(i, k) * at(k, j)) / prev;
+      }
+      at(i, k) = 0;
+    }
+    prev = at(k, k);
+  }
+  return sign * at(n - 1, n - 1);
+}
+
+// Enumerates k-combinations of [0, n) into `combo`, invoking `visit`;
+// returns false early if visit returns false.
+bool for_each_combination(int n, int k,
+                          const std::function<bool(const std::vector<int>&)>& visit) {
+  std::vector<int> combo(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) combo[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    if (!visit(combo)) return false;
+    int i = k - 1;
+    while (i >= 0 && combo[static_cast<std::size_t>(i)] == n - k + i) --i;
+    if (i < 0) return true;
+    ++combo[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      combo[static_cast<std::size_t>(j)] =
+          combo[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<IntMatrix> coefficient_matrix(const LpProblem& problem) {
+  IntMatrix m;
+  m.rows = problem.num_rows();
+  m.cols = problem.num_columns();
+  m.data.assign(static_cast<std::size_t>(m.rows) * m.cols, 0);
+  for (int i = 0; i < m.rows; ++i) {
+    for (const RowEntry& e : problem.row_entries(i)) {
+      const double rounded = std::round(e.coeff);
+      if (std::abs(e.coeff - rounded) > 1e-9) return std::nullopt;
+      m.at(i, e.column) = static_cast<int>(rounded);
+    }
+  }
+  return m;
+}
+
+bool is_totally_unimodular(const IntMatrix& m, int max_order) {
+  const int limit = std::min({max_order, m.rows, m.cols});
+  for (int k = 1; k <= limit; ++k) {
+    std::vector<std::int64_t> sub(static_cast<std::size_t>(k) * k);
+    const bool ok = for_each_combination(
+        m.rows, k, [&](const std::vector<int>& row_set) {
+          return for_each_combination(
+              m.cols, k, [&](const std::vector<int>& col_set) {
+                for (int r = 0; r < k; ++r) {
+                  for (int c = 0; c < k; ++c) {
+                    sub[static_cast<std::size_t>(r) * k + c] =
+                        m.at(row_set[static_cast<std::size_t>(r)],
+                             col_set[static_cast<std::size_t>(c)]);
+                  }
+                }
+                const std::int64_t det = determinant(sub, k);
+                return det >= -1 && det <= 1;
+              });
+        });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<int>> ghouila_houri_violation(const IntMatrix& m) {
+  if (m.rows > 20) return std::nullopt;  // practical guard; treat as pass
+  const std::uint32_t subsets = 1u << m.rows;
+  std::vector<int> rows_in;
+  std::vector<int> sums(static_cast<std::size_t>(m.cols));
+  for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+    rows_in.clear();
+    for (int r = 0; r < m.rows; ++r) {
+      if (mask & (1u << r)) rows_in.push_back(r);
+    }
+    // DFS over sign assignments with column-sum pruning: find signs s_i so
+    // every |sum_j| <= 1.
+    std::fill(sums.begin(), sums.end(), 0);
+    bool found = false;
+    std::function<void(std::size_t)> assign = [&](std::size_t index) {
+      if (found) return;
+      if (index == rows_in.size()) {
+        found = true;
+        return;
+      }
+      const int row = rows_in[index];
+      // Bound: remaining rows can change each column sum by at most 1 per
+      // row, so prune only on the hard |sum| <= 1 + remaining bound.
+      const int remaining = static_cast<int>(rows_in.size() - index - 1);
+      for (const int sign : {+1, -1}) {
+        bool viable = true;
+        for (int c = 0; c < m.cols; ++c) {
+          sums[static_cast<std::size_t>(c)] += sign * m.at(row, c);
+          if (std::abs(sums[static_cast<std::size_t>(c)]) > 1 + remaining) {
+            viable = false;
+          }
+        }
+        if (viable) assign(index + 1);
+        for (int c = 0; c < m.cols; ++c) {
+          sums[static_cast<std::size_t>(c)] -= sign * m.at(row, c);
+        }
+        if (found) return;
+        if (index == 0) break;  // symmetry: fix the first row's sign
+      }
+    };
+    assign(0);
+    if (!found) return rows_in;
+  }
+  return std::nullopt;
+}
+
+bool has_consecutive_ones_columns(const IntMatrix& m) {
+  for (int c = 0; c < m.cols; ++c) {
+    int state = 0;  // 0: before run, 1: in run, 2: after run
+    for (int r = 0; r < m.rows; ++r) {
+      const int v = m.at(r, c);
+      if (v != 0 && v != 1) return false;
+      if (v == 1) {
+        if (state == 2) return false;
+        state = 1;
+      } else if (state == 1) {
+        state = 2;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_network_matrix(const IntMatrix& m) {
+  for (int c = 0; c < m.cols; ++c) {
+    int plus = 0;
+    int minus = 0;
+    for (int r = 0; r < m.rows; ++r) {
+      const int v = m.at(r, c);
+      if (v == 1) {
+        ++plus;
+      } else if (v == -1) {
+        ++minus;
+      } else if (v != 0) {
+        return false;
+      }
+    }
+    if (plus > 1 || minus > 1) return false;
+  }
+  return true;
+}
+
+bool is_bipartite_incidence_like(const IntMatrix& m) {
+  // Union-find with parity: rows connected by a column carrying two equal
+  // signs must take different classes; opposite signs the same class.
+  std::vector<int> parent(static_cast<std::size_t>(m.rows));
+  std::vector<int> parity(static_cast<std::size_t>(m.rows), 0);
+  for (int r = 0; r < m.rows; ++r) parent[static_cast<std::size_t>(r)] = r;
+  std::function<std::pair<int, int>(int)> find = [&](int r) {
+    if (parent[static_cast<std::size_t>(r)] == r) return std::make_pair(r, 0);
+    const auto [root, p] = find(parent[static_cast<std::size_t>(r)]);
+    parent[static_cast<std::size_t>(r)] = root;
+    parity[static_cast<std::size_t>(r)] =
+        (parity[static_cast<std::size_t>(r)] + p) % 2;
+    return std::make_pair(root, static_cast<int>(parity[static_cast<std::size_t>(r)]));
+  };
+
+  for (int c = 0; c < m.cols; ++c) {
+    int first = -1;
+    int second = -1;
+    for (int r = 0; r < m.rows; ++r) {
+      const int v = m.at(r, c);
+      if (v == 0) continue;
+      if (v != 1 && v != -1) return false;
+      if (first < 0) {
+        first = r;
+      } else if (second < 0) {
+        second = r;
+      } else {
+        return false;  // more than two nonzeros
+      }
+    }
+    if (second < 0) continue;  // single-entry columns are always fine
+    const int required_parity =
+        m.at(first, c) == m.at(second, c) ? 1 : 0;
+    const auto [root_a, parity_a] = find(first);
+    const auto [root_b, parity_b] = find(second);
+    if (root_a == root_b) {
+      if ((parity_a ^ parity_b) != required_parity) return false;
+    } else {
+      parent[static_cast<std::size_t>(root_a)] = root_b;
+      parity[static_cast<std::size_t>(root_a)] =
+          (parity_a ^ parity_b ^ required_parity);
+    }
+  }
+  return true;
+}
+
+}  // namespace flowtime::lp

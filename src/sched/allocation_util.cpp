@@ -1,0 +1,88 @@
+#include "sched/allocation_util.h"
+
+#include <algorithm>
+
+namespace flowtime::sched {
+
+namespace {
+constexpr double kTol = 1e-9;
+}
+
+workload::ResourceVec desired_amount(const sim::JobView& view) {
+  if (view.kind == sim::JobKind::kAdhoc || view.overrun) return view.width;
+  // Ask for ceil-to-width of the remaining estimate so the last slot does
+  // not over-grab.
+  return workload::elementwise_min(view.width, view.remaining_estimate);
+}
+
+void grant_greedy_in_order(
+    const std::vector<const sim::JobView*>& ordered_views,
+    const workload::ResourceVec& capacity, bool respect_estimate,
+    workload::ResourceVec& issued, std::vector<sim::Allocation>& out) {
+  for (const sim::JobView* view : ordered_views) {
+    if (!view->ready) continue;
+    const workload::ResourceVec free =
+        workload::clamp_nonnegative(workload::sub(capacity, issued));
+    workload::ResourceVec want =
+        respect_estimate ? desired_amount(*view) : view->width;
+    // All-or-scale: a gang of tasks shrinks proportionally when the
+    // remaining capacity cannot host every task.
+    double fraction = 1.0;
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      if (want[r] > kTol) fraction = std::min(fraction, free[r] / want[r]);
+    }
+    if (fraction <= kTol) continue;
+    const workload::ResourceVec amount = workload::scale(want, fraction);
+    issued = workload::add(issued, amount);
+    out.push_back(sim::Allocation{view->uid, amount});
+  }
+}
+
+void grant_max_min_fair(const std::vector<const sim::JobView*>& views,
+                        workload::ResourceVec leftover,
+                        std::vector<sim::Allocation>& out) {
+  std::vector<const sim::JobView*> ready;
+  for (const sim::JobView* view : views) {
+    if (view->ready) ready.push_back(view);
+  }
+  if (ready.empty()) return;
+
+  workload::ResourceVec total_width{};
+  std::vector<workload::ResourceVec> want(ready.size());
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    want[i] = desired_amount(*ready[i]);
+    total_width = workload::add(total_width, want[i]);
+  }
+  double lambda = 1.0;
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    if (total_width[r] > kTol) {
+      lambda = std::min(lambda, leftover[r] / total_width[r]);
+    }
+  }
+  std::vector<workload::ResourceVec> grants(ready.size());
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    grants[i] = workload::scale(want[i], lambda);
+    leftover =
+        workload::clamp_nonnegative(workload::sub(leftover, grants[i]));
+  }
+  // FIFO sweep for the remainder (arrival order).
+  std::vector<std::size_t> order(ready.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ready[a]->arrival_s < ready[b]->arrival_s;
+  });
+  for (std::size_t i : order) {
+    const workload::ResourceVec extra = workload::elementwise_min(
+        workload::clamp_nonnegative(workload::sub(want[i], grants[i])),
+        leftover);
+    grants[i] = workload::add(grants[i], extra);
+    leftover = workload::clamp_nonnegative(workload::sub(leftover, extra));
+  }
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (!workload::is_zero(grants[i], kTol)) {
+      out.push_back(sim::Allocation{ready[i]->uid, grants[i]});
+    }
+  }
+}
+
+}  // namespace flowtime::sched

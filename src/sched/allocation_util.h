@@ -1,0 +1,30 @@
+// Allocation primitives shared by the baseline schedulers.
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace flowtime::sched {
+
+/// Grants each view, in the given order, as much as possible: up to its
+/// width, its remaining estimate when known (`respect_estimate`), and the
+/// capacity still free. Appends to `out` and updates `issued`.
+void grant_greedy_in_order(
+    const std::vector<const sim::JobView*>& ordered_views,
+    const workload::ResourceVec& capacity, bool respect_estimate,
+    workload::ResourceVec& issued, std::vector<sim::Allocation>& out);
+
+/// Max-min fair split of `leftover` across views by width fraction: every
+/// job first receives an equal fraction lambda of its width, then a FIFO
+/// sweep hands out what is left. Appends to `out`.
+void grant_max_min_fair(const std::vector<const sim::JobView*>& views,
+                        workload::ResourceVec leftover,
+                        std::vector<sim::Allocation>& out);
+
+/// The per-slot amount a deadline job may absorb: its width, except that a
+/// job whose remaining estimate is smaller takes only that (overrun jobs —
+/// estimate exhausted but still running — fall back to full width).
+workload::ResourceVec desired_amount(const sim::JobView& view);
+
+}  // namespace flowtime::sched

@@ -1,0 +1,58 @@
+// Experiment harness: runs one scenario against FlowTime and the baselines
+// and evaluates everyone against the same milestones, the way the paper's
+// §VII-B.1 comparison works.
+//
+// The per-job deadlines used for Fig. 4(a)/(b)-style evaluation are the
+// decomposed workflow milestones. They are computed once (by a decomposition
+// pass identical to FlowTime's) and applied to every scheduler, so no
+// scheduler is judged by a yardstick another one invented.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flowtime_scheduler.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace flowtime::sched {
+
+struct SchedulerOutcome {
+  std::string name;
+  sim::SimResult result;
+  sim::DeadlineReport deadlines;
+  sim::AdhocReport adhoc;
+  int replans = 0;            // FlowTime only
+  std::int64_t pivots = 0;    // FlowTime only
+};
+
+struct ExperimentConfig {
+  sim::SimConfig sim;
+  core::FlowTimeConfig flowtime;
+  /// Schedulers to run, by name. Known names: FlowTime, FlowTime_no_ds,
+  /// CORA, EDF, Fair, FIFO, Morpheus, Rayon. Empty = the paper's Fig. 4
+  /// set (FlowTime, CORA, EDF, Fair, FIFO).
+  std::vector<std::string> schedulers;
+
+  ExperimentConfig() {
+    flowtime.cluster_capacity = sim.capacity;
+    flowtime.slot_seconds = sim.slot_seconds;
+  }
+};
+
+/// Builds a scheduler by name; terminates on unknown names.
+std::unique_ptr<sim::Scheduler> make_scheduler(
+    const std::string& name, const ExperimentConfig& config);
+
+/// Decomposed per-job deadlines for the scenario (the shared milestones).
+sim::JobDeadlines milestone_deadlines(const workload::Scenario& scenario,
+                                      const ExperimentConfig& config);
+
+/// Runs every configured scheduler over the scenario.
+std::vector<SchedulerOutcome> run_comparison(
+    const workload::Scenario& scenario, const ExperimentConfig& config);
+
+}  // namespace flowtime::sched

@@ -1,0 +1,58 @@
+#include "sim/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace flowtime::sim {
+
+std::string utilization_csv(const SimResult& result) {
+  std::ostringstream out;
+  out << "slot,time_s";
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    out << ",used_" << workload::resource_name(r) << ",allocated_"
+        << workload::resource_name(r);
+  }
+  out << "\n";
+  for (std::size_t t = 0; t < result.used_per_slot.size(); ++t) {
+    out << t << "," << (static_cast<double>(t) * result.slot_seconds);
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      out << "," << result.used_per_slot[t][r] << ","
+          << result.allocated_per_slot[t][r];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string jobs_csv(const SimResult& result) {
+  std::ostringstream out;
+  out << "uid,kind,name,workflow_id,node,arrival_s,completion_s,"
+         "turnaround_s\n";
+  for (const JobRecord& job : result.jobs) {
+    out << job.uid << ","
+        << (job.kind == JobKind::kDeadline ? "deadline" : "adhoc") << ","
+        << job.name << "," << job.workflow_id << "," << job.node << ","
+        << job.arrival_s << ",";
+    if (job.completion_s) {
+      out << *job.completion_s << "," << job.turnaround_s();
+    } else {
+      out << ",";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    FT_LOG(kError) << "cannot write " << path;
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace flowtime::sim

@@ -1,0 +1,21 @@
+// CSV reporting of simulation results, for plotting and offline analysis
+// (`flowtime_sim --csv-prefix out/` writes these next to the table output).
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace flowtime::sim {
+
+/// Per-slot utilization: slot, time_s, used/allocated per resource.
+std::string utilization_csv(const SimResult& result);
+
+/// Per-job outcomes: uid, kind, name, workflow, arrival, completion,
+/// turnaround.
+std::string jobs_csv(const SimResult& result);
+
+/// Writes `content` to `path`; returns false (and logs) on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace flowtime::sim

@@ -1,0 +1,299 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flowtime::sim {
+
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Ground-truth execution state of one job.
+struct LiveJob {
+  JobRecord record;
+  ResourceVec remaining_actual{};
+  ResourceVec remaining_estimate{};
+  ResourceVec width{};
+  ResourceVec container{};  // one task's per-slot footprint (node mode)
+  std::vector<JobUid> parent_uids;  // empty for ad-hoc jobs
+  bool arrived = false;
+  bool complete = false;
+  double ready_since_s = -1.0;  // first instant the job was runnable
+
+  bool ready(const std::vector<LiveJob>& all) const {
+    for (JobUid p : parent_uids) {
+      if (!all[static_cast<std::size_t>(p)].complete) return false;
+    }
+    return true;
+  }
+};
+
+struct PendingWorkflow {
+  const workload::Workflow* workflow = nullptr;
+  std::vector<JobUid> node_uids;
+};
+
+}  // namespace
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config)) {}
+
+SimResult Simulator::run(const workload::Scenario& scenario,
+                         Scheduler& scheduler) {
+  SimResult result;
+  result.slot_seconds = config_.slot_seconds;
+  std::vector<LiveJob> jobs;
+
+  // Lay out uids: workflow jobs first (in workflow order), then ad-hoc.
+  std::vector<PendingWorkflow> workflow_arrivals;
+  for (const workload::Workflow& w : scenario.workflows) {
+    assert(w.valid());
+    PendingWorkflow pending;
+    pending.workflow = &w;
+    for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
+      const workload::JobSpec& spec = w.jobs[static_cast<std::size_t>(v)];
+      LiveJob job;
+      job.record.uid = static_cast<JobUid>(jobs.size());
+      job.record.kind = JobKind::kDeadline;
+      job.record.name = w.name + "/" + spec.name + "#" + std::to_string(v);
+      job.record.workflow_id = w.id;
+      job.record.node = v;
+      job.record.arrival_s = w.start_s;
+      job.record.actual_demand = spec.actual_total_demand();
+      job.remaining_actual = job.record.actual_demand;
+      job.remaining_estimate = spec.total_demand();
+      job.width = workload::scale(spec.max_parallel_demand(),
+                                  config_.slot_seconds);
+      job.container = workload::scale(spec.task.demand, config_.slot_seconds);
+      pending.node_uids.push_back(job.record.uid);
+      jobs.push_back(std::move(job));
+    }
+    // Parent uids need the whole workflow laid out first.
+    for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
+      LiveJob& job = jobs[static_cast<std::size_t>(
+          pending.node_uids[static_cast<std::size_t>(v)])];
+      for (dag::NodeId p : w.dag.parents(v)) {
+        job.parent_uids.push_back(
+            pending.node_uids[static_cast<std::size_t>(p)]);
+      }
+    }
+    workflow_arrivals.push_back(std::move(pending));
+  }
+  for (const workload::AdhocJob& a : scenario.adhoc_jobs) {
+    LiveJob job;
+    job.record.uid = static_cast<JobUid>(jobs.size());
+    job.record.kind = JobKind::kAdhoc;
+    job.record.name = a.spec.name;
+    job.record.arrival_s = a.arrival_s;
+    job.record.actual_demand = a.spec.actual_total_demand();
+    job.remaining_actual = job.record.actual_demand;
+    job.remaining_estimate = a.spec.total_demand();
+    job.width =
+        workload::scale(a.spec.max_parallel_demand(), config_.slot_seconds);
+    job.container =
+        workload::scale(a.spec.task.demand, config_.slot_seconds);
+    jobs.push_back(std::move(job));
+  }
+
+  // Arrival queues sorted by time (stable for determinism).
+  std::sort(workflow_arrivals.begin(), workflow_arrivals.end(),
+            [](const PendingWorkflow& a, const PendingWorkflow& b) {
+              return a.workflow->start_s < b.workflow->start_s;
+            });
+  std::vector<JobUid> adhoc_queue;
+  for (const LiveJob& job : jobs) {
+    if (job.record.kind == JobKind::kAdhoc) adhoc_queue.push_back(job.record.uid);
+  }
+  std::sort(adhoc_queue.begin(), adhoc_queue.end(), [&](JobUid a, JobUid b) {
+    return jobs[static_cast<std::size_t>(a)].record.arrival_s <
+           jobs[static_cast<std::size_t>(b)].record.arrival_s;
+  });
+
+  std::size_t next_workflow = 0;
+  std::size_t next_adhoc = 0;
+  std::size_t incomplete = jobs.size();
+  const int max_slots = static_cast<int>(
+      std::ceil(config_.max_horizon_s / config_.slot_seconds));
+
+  for (int slot = 0; slot < max_slots && incomplete > 0; ++slot) {
+    const double now = slot * config_.slot_seconds;
+
+    // Release everything that has arrived by the start of this slot.
+    while (next_workflow < workflow_arrivals.size() &&
+           workflow_arrivals[next_workflow].workflow->start_s <=
+               now + kTol) {
+      PendingWorkflow& pending = workflow_arrivals[next_workflow];
+      for (JobUid uid : pending.node_uids) {
+        jobs[static_cast<std::size_t>(uid)].arrived = true;
+      }
+      scheduler.on_workflow_arrival(*pending.workflow, pending.node_uids,
+                                    now);
+      ++next_workflow;
+    }
+    while (next_adhoc < adhoc_queue.size() &&
+           jobs[static_cast<std::size_t>(adhoc_queue[next_adhoc])]
+                   .record.arrival_s <= now + kTol) {
+      LiveJob& job =
+          jobs[static_cast<std::size_t>(adhoc_queue[next_adhoc])];
+      job.arrived = true;
+      scheduler.on_adhoc_arrival(job.record.uid, now, job.width);
+      ++next_adhoc;
+    }
+
+    // Snapshot for the scheduler.
+    ClusterState state;
+    state.slot = slot;
+    state.now_s = now;
+    state.slot_seconds = config_.slot_seconds;
+    state.capacity = workload::scale(config_.capacity, config_.slot_seconds);
+    for (const auto& [override_slot, cap] : config_.capacity_overrides) {
+      if (override_slot == slot) {
+        state.capacity = workload::scale(cap, config_.slot_seconds);
+      }
+    }
+    for (LiveJob& job : jobs) {
+      if (!job.arrived || job.complete) continue;
+      JobView view;
+      view.uid = job.record.uid;
+      view.kind = job.record.kind;
+      view.workflow_id = job.record.workflow_id;
+      view.node = job.record.node;
+      view.arrival_s = job.record.arrival_s;
+      view.width = job.width;
+      view.container = job.container;
+      view.ready = job.ready(jobs);
+      if (view.ready) {
+        if (job.ready_since_s < 0.0) job.ready_since_s = now;
+        view.ready_since_s = job.ready_since_s;
+      } else {
+        view.ready_since_s = now;  // not runnable yet
+      }
+      if (job.record.kind == JobKind::kDeadline) {
+        view.remaining_estimate = job.remaining_estimate;
+        view.overrun = workload::is_zero(job.remaining_estimate, kTol);
+      }
+      state.active.push_back(view);
+    }
+
+    std::vector<Allocation> allocations = scheduler.allocate(state);
+
+    // Enforce the contract: per-job width, readiness, then global capacity.
+    ResourceVec granted_total{};
+    std::vector<std::pair<JobUid, ResourceVec>> grants;
+    for (Allocation& alloc : allocations) {
+      if (alloc.uid < 0 ||
+          alloc.uid >= static_cast<JobUid>(jobs.size())) {
+        continue;
+      }
+      LiveJob& job = jobs[static_cast<std::size_t>(alloc.uid)];
+      if (!job.arrived || job.complete) continue;
+      ResourceVec amount = workload::clamp_nonnegative(alloc.amount);
+      if (!workload::fits_within(amount, job.width, kTol)) {
+        ++result.width_violations;
+        amount = workload::elementwise_min(amount, job.width);
+      }
+      if (!job.ready(jobs)) {
+        // Physical precedence: the grant is wasted, not banked.
+        ++result.not_ready_allocations;
+        granted_total = workload::add(granted_total, amount);
+        grants.emplace_back(alloc.uid, workload::zeros());
+        continue;
+      }
+      granted_total = workload::add(granted_total, amount);
+      grants.emplace_back(alloc.uid, amount);
+    }
+    double scale_factor = 1.0;
+    if (!workload::fits_within(granted_total, state.capacity, 1e-3)) {
+      ++result.capacity_violations;
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        if (granted_total[r] > state.capacity[r]) {
+          scale_factor =
+              std::min(scale_factor, state.capacity[r] / granted_total[r]);
+        }
+      }
+    }
+
+    // Node mode: realize grants as whole containers placed first-fit on
+    // identical nodes; whatever does not pack is fragmentation loss.
+    std::vector<ResourceVec> node_free;
+    if (config_.num_nodes > 0) {
+      node_free.assign(
+          static_cast<std::size_t>(config_.num_nodes),
+          workload::scale(state.capacity, 1.0 / config_.num_nodes));
+    }
+
+    // Deliver and collect completions.
+    ResourceVec used{};
+    std::vector<JobUid> completed_now;
+    for (auto& [uid, amount] : grants) {
+      LiveJob& job = jobs[static_cast<std::size_t>(uid)];
+      ResourceVec granted = workload::scale(amount, scale_factor);
+      if (config_.num_nodes > 0) {
+        int want = 0;
+        bool sized = false;
+        for (int r = 0; r < workload::kNumResources; ++r) {
+          if (job.container[r] > kTol) {
+            const int fit = static_cast<int>(
+                std::floor(granted[r] / job.container[r] + 1e-9));
+            want = sized ? std::min(want, fit) : fit;
+            sized = true;
+          }
+        }
+        int placed = 0;
+        for (int c = 0; c < want; ++c) {
+          bool found = false;
+          for (ResourceVec& free : node_free) {
+            if (workload::fits_within(job.container, free, 1e-9)) {
+              free = workload::sub(free, job.container);
+              found = true;
+              break;
+            }
+          }
+          if (!found) break;
+          ++placed;
+        }
+        const ResourceVec realized =
+            workload::scale(job.container, placed);
+        result.fragmentation_lost = workload::add(
+            result.fragmentation_lost,
+            workload::clamp_nonnegative(workload::sub(granted, realized)));
+        granted = realized;
+      }
+      const ResourceVec delivered =
+          workload::elementwise_min(granted, job.remaining_actual);
+      job.remaining_actual = workload::clamp_nonnegative(
+          workload::sub(job.remaining_actual, delivered));
+      job.remaining_estimate = workload::clamp_nonnegative(
+          workload::sub(job.remaining_estimate, granted));
+      used = workload::add(used, delivered);
+      if (workload::is_zero(job.remaining_actual, kTol)) {
+        job.complete = true;
+        job.record.completion_s = now + config_.slot_seconds;
+        completed_now.push_back(uid);
+      }
+    }
+    result.used_per_slot.push_back(used);
+    result.allocated_per_slot.push_back(
+        workload::scale(granted_total, scale_factor));
+    result.slots_simulated = slot + 1;
+
+    for (JobUid uid : completed_now) {
+      --incomplete;
+      scheduler.on_job_complete(uid, now + config_.slot_seconds);
+    }
+  }
+
+  result.all_completed = incomplete == 0;
+  if (!result.all_completed) {
+    FT_LOG(kWarn) << "simulation horizon expired with " << incomplete
+                  << " incomplete jobs under scheduler " << scheduler.name();
+  }
+  result.jobs.reserve(jobs.size());
+  for (LiveJob& job : jobs) result.jobs.push_back(std::move(job.record));
+  return result;
+}
+
+}  // namespace flowtime::sim

@@ -1,0 +1,79 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace flowtime::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      throw std::invalid_argument("positional arguments are not supported: " +
+                                  std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // --name value, unless the next token is another flag (then boolean).
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    queried_[name] = false;
+  }
+}
+
+std::vector<std::string> Flags::unqueried() const {
+  std::vector<std::string> result;
+  for (const auto& [name, was_queried] : queried_) {
+    if (!was_queried) result.push_back(name);
+  }
+  return result;
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  queried_[name] = true;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  return raw(name).value_or(default_value);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  const auto value = raw(name);
+  if (!value) return default_value;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  const auto value = raw(name);
+  if (!value) return default_value;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  const auto value = raw(name);
+  if (!value) return default_value;
+  return *value == "true" || *value == "1" || *value == "yes";
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace flowtime::util

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flowtime::util {
+
+/// Parses argv once; typed getters fall back to defaults supplied by the
+/// caller. Example:
+///   Flags flags(argc, argv);
+///   const int workflows = flags.get_int("workflows", 5);
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Flag names seen on the command line that were never queried by any
+  /// getter; the examples report these as likely typos.
+  std::vector<std::string> unqueried() const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& default_value) const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+  /// True if the flag appeared on the command line at all.
+  bool has(const std::string& name) const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace flowtime::util

@@ -1,0 +1,43 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace flowtime::util {
+
+std::string render_histogram(const std::vector<double>& values,
+                             const HistogramOptions& options) {
+  if (values.empty()) return "(no data)\n";
+  const int bins = std::max(1, options.bins);
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const double width = hi > lo ? (hi - lo) / bins : 1.0;
+
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
+  for (double v : values) {
+    int bucket = static_cast<int>((v - lo) / width);
+    bucket = std::clamp(bucket, 0, bins - 1);
+    ++counts[static_cast<std::size_t>(bucket)];
+  }
+  const int peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream out;
+  for (int b = 0; b < bins; ++b) {
+    const double from = lo + b * width;
+    const double to = b + 1 == bins ? hi : from + width;
+    const int count = counts[static_cast<std::size_t>(b)];
+    const int bar =
+        peak > 0 ? count * options.max_bar_width / peak : 0;
+    out << "[" << format_double(from, options.label_precision) << ", "
+        << format_double(to, options.label_precision)
+        << (b + 1 == bins ? "]" : ")") << " |" << std::string(bar, '#')
+        << std::string(options.max_bar_width - bar, ' ') << "| " << count
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace flowtime::util

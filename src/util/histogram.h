@@ -1,0 +1,22 @@
+// Text histograms for bench output (the Fig. 4(a)/5(a) delta
+// distributions render as horizontal bars in the terminal).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flowtime::util {
+
+struct HistogramOptions {
+  int bins = 10;
+  int max_bar_width = 40;
+  int label_precision = 1;
+};
+
+/// Renders values into `bins` equal-width buckets between min and max, one
+/// line per bucket:  "[ -700.0,  -560.0) |#######           | 12".
+/// Returns a note line for an empty input.
+std::string render_histogram(const std::vector<double>& values,
+                             const HistogramOptions& options = {});
+
+}  // namespace flowtime::util

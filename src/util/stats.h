@@ -1,0 +1,44 @@
+// Small statistics helpers used by the simulator metrics and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flowtime::util {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(const std::vector<double>& values);
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+double stddev(const std::vector<double>& values);
+
+/// Exact percentile by nearest-rank on a copy of the data.
+/// `p` in [0, 100]. Returns 0 for an empty input.
+double percentile(std::vector<double> values, double p);
+
+double min_of(const std::vector<double>& values);
+double max_of(const std::vector<double>& values);
+double sum_of(const std::vector<double>& values);
+
+/// Streaming accumulator when the full vector is not worth keeping.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace flowtime::util

@@ -1,0 +1,39 @@
+#include "workload/dot.h"
+
+#include <sstream>
+
+#include "dag/topology.h"
+
+namespace flowtime::workload {
+
+std::string to_dot(const Workflow& workflow) {
+  std::ostringstream out;
+  out << "digraph workflow_" << workflow.id << " {\n";
+  out << "  rankdir=TB;\n  node [shape=box];\n";
+  out << "  label=\"" << workflow.name << " (deadline "
+      << workflow.deadline_s << " s)\";\n";
+  for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
+    const JobSpec& job = workflow.jobs[static_cast<std::size_t>(v)];
+    out << "  n" << v << " [label=\"" << job.name << "\\n"
+        << job.num_tasks << " x " << job.task.runtime_s << " s\"];\n";
+  }
+  // Same-level jobs share a rank, mirroring the decomposer\'s grouping.
+  const auto groups = dag::level_groups(workflow.dag);
+  if (groups) {
+    for (const auto& group : *groups) {
+      if (group.size() < 2) continue;
+      out << "  { rank=same;";
+      for (dag::NodeId v : group) out << " n" << v << ";";
+      out << " }\n";
+    }
+  }
+  for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
+    for (dag::NodeId c : workflow.dag.children(v)) {
+      out << "  n" << v << " -> n" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace flowtime::workload

@@ -1,0 +1,13 @@
+// Graphviz DOT rendering of workflows: job labels, one rank per dependency
+// level (mirroring the decomposer\'s grouping), deadline in the graph label.
+#pragma once
+
+#include <string>
+
+#include "workload/workflow.h"
+
+namespace flowtime::workload {
+
+std::string to_dot(const Workflow& workflow);
+
+}  // namespace flowtime::workload

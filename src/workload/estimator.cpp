@@ -1,0 +1,28 @@
+#include "workload/estimator.h"
+
+namespace flowtime::workload {
+
+void inject_estimation_error(Workflow& workflow,
+                             const EstimationErrorConfig& config,
+                             util::Rng& rng) {
+  for (JobSpec& job : workflow.jobs) {
+    if (!rng.bernoulli(config.affected_fraction)) continue;
+    if (rng.bernoulli(config.under_probability)) {
+      job.actual_runtime_factor =
+          rng.uniform_real(1.0, 1.0 + config.under_severity);
+    } else {
+      job.actual_runtime_factor =
+          rng.uniform_real(1.0 - config.over_severity, 1.0);
+    }
+  }
+}
+
+void inject_estimation_error(std::vector<Workflow>& workflows,
+                             const EstimationErrorConfig& config,
+                             util::Rng& rng) {
+  for (Workflow& workflow : workflows) {
+    inject_estimation_error(workflow, config, rng);
+  }
+}
+
+}  // namespace flowtime::workload

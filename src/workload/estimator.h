@@ -1,0 +1,37 @@
+// Estimation-error injection (paper §III-A "robustness to estimation
+// errors": input data or code changes between runs of a recurring job make
+// prior-run estimates wrong in either direction).
+//
+// The generators produce jobs whose estimates are exact
+// (actual_runtime_factor == 1). This module perturbs ground truth while
+// leaving the estimates — which are all schedulers ever see — untouched.
+#pragma once
+
+#include "util/rng.h"
+#include "workload/workflow.h"
+
+namespace flowtime::workload {
+
+struct EstimationErrorConfig {
+  /// Fraction of jobs whose ground truth diverges from the estimate.
+  double affected_fraction = 0.3;
+  /// Probability an affected job is under-estimated (actual > estimate);
+  /// otherwise it is over-estimated.
+  double under_probability = 0.5;
+  /// Under-estimated jobs draw actual_runtime_factor from
+  /// [1, 1 + under_severity]; over-estimated from [1 - over_severity, 1].
+  double under_severity = 0.25;
+  double over_severity = 0.25;
+};
+
+/// Perturbs every job of the workflow in place.
+void inject_estimation_error(Workflow& workflow,
+                             const EstimationErrorConfig& config,
+                             util::Rng& rng);
+
+/// Convenience overload for a whole scenario.
+void inject_estimation_error(std::vector<Workflow>& workflows,
+                             const EstimationErrorConfig& config,
+                             util::Rng& rng);
+
+}  // namespace flowtime::workload

@@ -1,0 +1,52 @@
+#include "workload/history.h"
+
+#include "util/stats.h"
+
+namespace flowtime::workload {
+
+namespace {
+const std::vector<double> kEmpty;
+}
+
+void RunHistory::record(int template_id, dag::NodeId node,
+                        double actual_runtime_s) {
+  data_[{template_id, node}].push_back(actual_runtime_s);
+}
+
+void RunHistory::record_run(int template_id, const Workflow& instance) {
+  for (dag::NodeId v = 0; v < instance.dag.num_nodes(); ++v) {
+    const JobSpec& job = instance.jobs[static_cast<std::size_t>(v)];
+    record(template_id, v, job.task.runtime_s * job.actual_runtime_factor);
+  }
+}
+
+int RunHistory::runs(int template_id, dag::NodeId node) const {
+  const auto it = data_.find({template_id, node});
+  return it == data_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+const std::vector<double>& RunHistory::observations(int template_id,
+                                                    dag::NodeId node) const {
+  const auto it = data_.find({template_id, node});
+  return it == data_.end() ? kEmpty : it->second;
+}
+
+int apply_history_estimates(const RunHistory& history, int template_id,
+                            Workflow& instance,
+                            const HistoryEstimatorConfig& config) {
+  int replaced = 0;
+  for (dag::NodeId v = 0; v < instance.dag.num_nodes(); ++v) {
+    const auto& observed = history.observations(template_id, v);
+    if (static_cast<int>(observed.size()) < config.min_runs) continue;
+    JobSpec& job = instance.jobs[static_cast<std::size_t>(v)];
+    const double actual = job.task.runtime_s * job.actual_runtime_factor;
+    const double estimate = util::percentile(observed, config.percentile);
+    if (estimate <= 0.0) continue;
+    job.task.runtime_s = estimate;
+    job.actual_runtime_factor = actual / estimate;
+    ++replaced;
+  }
+  return replaced;
+}
+
+}  // namespace flowtime::workload

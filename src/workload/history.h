@@ -1,0 +1,58 @@
+// Run history and history-based runtime estimation.
+//
+// The paper's premise (§I, §II-A) is that workflows recur, so per-job
+// estimates come from prior runs — and §III-A demands robustness precisely
+// because "the input data or the code may have changed in different runs".
+// The generators elsewhere hand schedulers oracle estimates; this module
+// closes the loop for recurring traces: record each completed run's actual
+// task runtimes, and estimate the next release from a percentile of the
+// observations (Morpheus uses the same idea for SLO inference [5]).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "workload/workflow.h"
+
+namespace flowtime::workload {
+
+/// Observed actual runtimes per (template id, node), appended run by run.
+class RunHistory {
+ public:
+  /// Records one completed run of a template job.
+  void record(int template_id, dag::NodeId node, double actual_runtime_s);
+
+  /// Records every job of a finished instance (actual = estimate x factor).
+  void record_run(int template_id, const Workflow& instance);
+
+  /// Number of recorded runs for a template job.
+  int runs(int template_id, dag::NodeId node) const;
+
+  /// Observations for one template job (empty if none).
+  const std::vector<double>& observations(int template_id,
+                                          dag::NodeId node) const;
+
+ private:
+  std::map<std::pair<int, dag::NodeId>, std::vector<double>> data_;
+};
+
+struct HistoryEstimatorConfig {
+  /// Estimate = this percentile of the observed runtimes. High percentiles
+  /// buy safety (fewer under-estimates) at the cost of reserving more.
+  double percentile = 90.0;
+  /// With fewer observations than this, fall back to the provided prior.
+  int min_runs = 2;
+};
+
+/// Rewrites a workflow instance's task runtime estimates from history.
+/// Each job's `task.runtime_s` becomes the configured percentile of its
+/// recorded actuals; `actual_runtime_factor` is re-derived so the GROUND
+/// TRUTH (estimate x factor) is unchanged — only the scheduler's knowledge
+/// shifts. Jobs without enough history keep their prior estimate.
+/// Returns the number of jobs whose estimate was replaced.
+int apply_history_estimates(const RunHistory& history, int template_id,
+                            Workflow& instance,
+                            const HistoryEstimatorConfig& config = {});
+
+}  // namespace flowtime::workload

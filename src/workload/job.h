@@ -1,0 +1,77 @@
+// Job model (paper §II-A).
+//
+// A job is a gang of identical tasks, each with an estimated runtime and a
+// per-task resource demand. For recurring workflow jobs these estimates come
+// from prior runs and may be wrong; `actual_runtime_factor` injects that
+// error (actual = estimate * factor). Ad-hoc jobs reuse the same shape but
+// the scheduler never sees their size.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "workload/resources.h"
+
+namespace flowtime::workload {
+
+/// One task wave's profile, identical across a job's tasks.
+struct TaskProfile {
+  double runtime_s = 0.0;   // estimated runtime of one task
+  ResourceVec demand{};     // resources one running task occupies
+};
+
+/// A data-processing job: `num_tasks` identical tasks.
+struct JobSpec {
+  std::string name;
+  int num_tasks = 1;
+  TaskProfile task;
+  /// Ground truth divergence from the estimate; 1.0 = estimate exact,
+  /// 1.2 = 20% under-estimated, 0.8 = over-estimated. Hidden from schedulers.
+  double actual_runtime_factor = 1.0;
+
+  /// s_i^r of the paper: total resource-time demand (estimated), in
+  /// resource-seconds — tasks x runtime x per-task demand.
+  ResourceVec total_demand() const {
+    return scale(task.demand, task.runtime_s * num_tasks);
+  }
+
+  /// Ground-truth total demand the simulator executes against.
+  ResourceVec actual_total_demand() const {
+    return scale(total_demand(), actual_runtime_factor);
+  }
+
+  /// Widest footprint the job can occupy in one instant: all tasks running.
+  /// Upper-bounds any per-slot allocation.
+  ResourceVec max_parallel_demand() const {
+    return scale(task.demand, num_tasks);
+  }
+
+  /// Minimum wall-clock runtime on a cluster with `capacity`: tasks run in
+  /// waves of at most `fit` at a time.
+  double min_runtime_s(const ResourceVec& capacity) const {
+    int fit = num_tasks;
+    for (int r = 0; r < kNumResources; ++r) {
+      if (task.demand[r] > 0.0) {
+        fit = std::min(
+            fit, static_cast<int>(std::floor(capacity[r] / task.demand[r])));
+      }
+    }
+    if (fit <= 0) return std::numeric_limits<double>::infinity();
+    const int waves =
+        (num_tasks + fit - 1) / fit;
+    return waves * task.runtime_s;
+  }
+};
+
+/// A non-recurring best-effort job (paper §II-A). The spec carries its true
+/// size for the simulator; schedulers receive only identity, arrival and
+/// width (max parallelism), never the demand.
+struct AdhocJob {
+  int id = 0;
+  double arrival_s = 0.0;
+  JobSpec spec;
+};
+
+}  // namespace flowtime::workload

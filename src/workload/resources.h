@@ -1,0 +1,92 @@
+// Multi-resource vectors (paper notation: resource types r in R).
+//
+// The evaluation cluster has two resource types — CPU cores and memory GB
+// (500 cores / 1 TB in Fig. 7) — but everything loops over kNumResources so
+// adding a type is a one-line change.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace flowtime::workload {
+
+inline constexpr int kNumResources = 2;
+inline constexpr int kCpu = 0;
+inline constexpr int kMemory = 1;
+
+using ResourceVec = std::array<double, kNumResources>;
+
+inline const char* resource_name(int r) {
+  switch (r) {
+    case kCpu:
+      return "cpu";
+    case kMemory:
+      return "mem_gb";
+    default:
+      return "?";
+  }
+}
+
+inline ResourceVec zeros() { return ResourceVec{}; }
+
+inline ResourceVec add(const ResourceVec& a, const ResourceVec& b) {
+  ResourceVec out{};
+  for (int r = 0; r < kNumResources; ++r) out[r] = a[r] + b[r];
+  return out;
+}
+
+inline ResourceVec sub(const ResourceVec& a, const ResourceVec& b) {
+  ResourceVec out{};
+  for (int r = 0; r < kNumResources; ++r) out[r] = a[r] - b[r];
+  return out;
+}
+
+inline ResourceVec scale(const ResourceVec& a, double k) {
+  ResourceVec out{};
+  for (int r = 0; r < kNumResources; ++r) out[r] = a[r] * k;
+  return out;
+}
+
+inline ResourceVec elementwise_min(const ResourceVec& a,
+                                   const ResourceVec& b) {
+  ResourceVec out{};
+  for (int r = 0; r < kNumResources; ++r) out[r] = a[r] < b[r] ? a[r] : b[r];
+  return out;
+}
+
+inline ResourceVec clamp_nonnegative(const ResourceVec& a) {
+  ResourceVec out{};
+  for (int r = 0; r < kNumResources; ++r) out[r] = a[r] > 0.0 ? a[r] : 0.0;
+  return out;
+}
+
+/// True when every component of `a` is <= the matching component of `b`
+/// within `tol`.
+inline bool fits_within(const ResourceVec& a, const ResourceVec& b,
+                        double tol = 1e-9) {
+  for (int r = 0; r < kNumResources; ++r) {
+    if (a[r] > b[r] + tol) return false;
+  }
+  return true;
+}
+
+/// True when every component is <= tol (a fully delivered demand).
+inline bool is_zero(const ResourceVec& a, double tol = 1e-9) {
+  for (int r = 0; r < kNumResources; ++r) {
+    if (a[r] > tol || a[r] < -tol) return false;
+  }
+  return true;
+}
+
+inline std::string to_string(const ResourceVec& a) {
+  std::string out = "(";
+  for (int r = 0; r < kNumResources; ++r) {
+    if (r > 0) out += ", ";
+    out += std::to_string(a[r]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace flowtime::workload

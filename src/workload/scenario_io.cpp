@@ -1,0 +1,308 @@
+#include "workload/scenario_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace flowtime::workload {
+
+namespace {
+
+// key=value fields after the directive word.
+using Fields = std::map<std::string, std::string>;
+
+bool parse_fields(const std::vector<std::string>& tokens, std::size_t first,
+                  Fields* fields, std::string* message) {
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *message = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    (*fields)[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return true;
+}
+
+bool get_double(const Fields& fields, const std::string& key, bool required,
+                double fallback, double* out, std::string* message) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    if (required) {
+      *message = "missing field '" + key + "'";
+      return false;
+    }
+    *out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    *message = "field '" + key + "' is not a number: " + it->second;
+    return false;
+  }
+  return true;
+}
+
+bool get_int(const Fields& fields, const std::string& key, bool required,
+             int fallback, int* out, std::string* message) {
+  double value = 0.0;
+  if (!get_double(fields, key, required, fallback, &value, message)) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::optional<ParsedScenario> parse_scenario(std::istream& input,
+                                             ParseError* error) {
+  ParsedScenario parsed;
+  std::optional<Workflow> current;
+  std::map<int, JobSpec> current_jobs;  // by node id
+  std::vector<std::pair<int, int>> current_edges;
+
+  auto fail = [&](int line, std::string message) {
+    if (error != nullptr) *error = ParseError{line, std::move(message)};
+    return std::nullopt;
+  };
+
+  auto finish_workflow = [&](int line_number,
+                             std::string* message) -> bool {
+    const int n = current_jobs.empty()
+                      ? 0
+                      : current_jobs.rbegin()->first + 1;
+    if (n == 0) {
+      *message = "workflow has no jobs";
+      return false;
+    }
+    if (static_cast<int>(current_jobs.size()) != n) {
+      *message = "job nodes must cover 0.." + std::to_string(n - 1) +
+                 " densely";
+      return false;
+    }
+    current->dag = dag::Dag(n);
+    for (const auto& [from, to] : current_edges) {
+      if (from < 0 || from >= n || to < 0 || to >= n) {
+        *message = "edge references unknown node";
+        return false;
+      }
+      current->dag.add_edge(from, to);
+    }
+    current->jobs.clear();
+    for (auto& [node, job] : current_jobs) {
+      (void)node;
+      current->jobs.push_back(std::move(job));
+    }
+    if (!current->valid()) {
+      *message = "workflow is invalid (cycle, bad deadline or empty jobs)";
+      return false;
+    }
+    parsed.scenario.workflows.push_back(std::move(*current));
+    current.reset();
+    current_jobs.clear();
+    current_edges.clear();
+    (void)line_number;
+    return true;
+  };
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> tokens = tokenize(trimmed);
+    const std::string& directive = tokens.front();
+    Fields fields;
+    std::string message;
+
+    if (directive == "cluster") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      ScenarioCluster cluster;
+      if (!get_double(fields, "cores", true, 0, &cluster.capacity[kCpu],
+                      &message) ||
+          !get_double(fields, "mem_gb", true, 0,
+                      &cluster.capacity[kMemory], &message) ||
+          !get_double(fields, "slot_seconds", false, 10.0,
+                      &cluster.slot_seconds, &message)) {
+        return fail(line_number, message);
+      }
+      parsed.cluster = cluster;
+    } else if (directive == "workflow") {
+      if (current.has_value()) {
+        return fail(line_number, "previous workflow not closed with 'end'");
+      }
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      Workflow w;
+      if (!get_int(fields, "id", true, 0, &w.id, &message) ||
+          !get_double(fields, "start", true, 0, &w.start_s, &message) ||
+          !get_double(fields, "deadline", true, 0, &w.deadline_s,
+                      &message)) {
+        return fail(line_number, message);
+      }
+      w.name = fields.count("name") ? fields["name"]
+                                    : "workflow-" + std::to_string(w.id);
+      current = std::move(w);
+    } else if (directive == "job") {
+      if (!current.has_value()) {
+        return fail(line_number, "'job' outside a workflow block");
+      }
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      int node = 0;
+      JobSpec job;
+      double cores = 0.0;
+      double mem = 0.0;
+      if (!get_int(fields, "node", true, 0, &node, &message) ||
+          !get_int(fields, "tasks", true, 0, &job.num_tasks, &message) ||
+          !get_double(fields, "runtime", true, 0, &job.task.runtime_s,
+                      &message) ||
+          !get_double(fields, "cores", true, 0, &cores, &message) ||
+          !get_double(fields, "mem", true, 0, &mem, &message) ||
+          !get_double(fields, "error", false, 1.0,
+                      &job.actual_runtime_factor, &message)) {
+        return fail(line_number, message);
+      }
+      job.task.demand = ResourceVec{cores, mem};
+      job.name = fields.count("name") ? fields["name"]
+                                      : "job-" + std::to_string(node);
+      if (current_jobs.count(node)) {
+        return fail(line_number,
+                    "duplicate job node " + std::to_string(node));
+      }
+      current_jobs[node] = std::move(job);
+    } else if (directive == "edge") {
+      if (!current.has_value()) {
+        return fail(line_number, "'edge' outside a workflow block");
+      }
+      if (tokens.size() != 3) {
+        return fail(line_number, "edge needs exactly two node ids");
+      }
+      current_edges.emplace_back(std::atoi(tokens[1].c_str()),
+                                 std::atoi(tokens[2].c_str()));
+    } else if (directive == "end") {
+      if (!current.has_value()) {
+        return fail(line_number, "'end' without a workflow block");
+      }
+      if (!finish_workflow(line_number, &message)) {
+        return fail(line_number, message);
+      }
+    } else if (directive == "adhoc") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      AdhocJob job;
+      double cores = 0.0;
+      double mem = 0.0;
+      if (!get_int(fields, "id", true, 0, &job.id, &message) ||
+          !get_double(fields, "arrival", true, 0, &job.arrival_s,
+                      &message) ||
+          !get_int(fields, "tasks", true, 0, &job.spec.num_tasks,
+                   &message) ||
+          !get_double(fields, "runtime", true, 0, &job.spec.task.runtime_s,
+                      &message) ||
+          !get_double(fields, "cores", true, 0, &cores, &message) ||
+          !get_double(fields, "mem", true, 0, &mem, &message) ||
+          !get_double(fields, "error", false, 1.0,
+                      &job.spec.actual_runtime_factor, &message)) {
+        return fail(line_number, message);
+      }
+      job.spec.task.demand = ResourceVec{cores, mem};
+      job.spec.name = fields.count("name")
+                          ? fields["name"]
+                          : "adhoc-" + std::to_string(job.id);
+      parsed.scenario.adhoc_jobs.push_back(std::move(job));
+    } else {
+      return fail(line_number, "unknown directive '" + directive + "'");
+    }
+  }
+  if (current.has_value()) {
+    return fail(line_number, "file ended inside a workflow block");
+  }
+  return parsed;
+}
+
+std::optional<ParsedScenario> parse_scenario(const std::string& text,
+                                             ParseError* error) {
+  std::istringstream stream(text);
+  return parse_scenario(stream, error);
+}
+
+std::string write_scenario(const Scenario& scenario,
+                           const std::optional<ScenarioCluster>& cluster) {
+  std::ostringstream out;
+  out << std::setprecision(15);  // lossless enough for round-trips
+  out << "# FlowTime scenario\n";
+  if (cluster) {
+    out << "cluster cores=" << cluster->capacity[kCpu]
+        << " mem_gb=" << cluster->capacity[kMemory]
+        << " slot_seconds=" << cluster->slot_seconds << "\n";
+  }
+  for (const Workflow& w : scenario.workflows) {
+    out << "\nworkflow id=" << w.id << " name=" << w.name
+        << " start=" << w.start_s << " deadline=" << w.deadline_s << "\n";
+    for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
+      const JobSpec& job = w.jobs[static_cast<std::size_t>(v)];
+      out << "job node=" << v << " name=" << job.name
+          << " tasks=" << job.num_tasks << " runtime=" << job.task.runtime_s
+          << " cores=" << job.task.demand[kCpu]
+          << " mem=" << job.task.demand[kMemory];
+      if (job.actual_runtime_factor != 1.0) {
+        out << " error=" << job.actual_runtime_factor;
+      }
+      out << "\n";
+    }
+    for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
+      for (dag::NodeId child : w.dag.children(v)) {
+        out << "edge " << v << " " << child << "\n";
+      }
+    }
+    out << "end\n";
+  }
+  if (!scenario.adhoc_jobs.empty()) out << "\n";
+  for (const AdhocJob& job : scenario.adhoc_jobs) {
+    out << "adhoc id=" << job.id << " name=" << job.spec.name
+        << " arrival=" << job.arrival_s << " tasks=" << job.spec.num_tasks
+        << " runtime=" << job.spec.task.runtime_s
+        << " cores=" << job.spec.task.demand[kCpu]
+        << " mem=" << job.spec.task.demand[kMemory];
+    if (job.spec.actual_runtime_factor != 1.0) {
+      out << " error=" << job.spec.actual_runtime_factor;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::optional<ParsedScenario> load_scenario_file(const std::string& path,
+                                                 ParseError* error) {
+  std::ifstream input(path);
+  if (!input) {
+    if (error != nullptr) {
+      *error = ParseError{0, "cannot open file: " + path};
+    }
+    return std::nullopt;
+  }
+  return parse_scenario(input, error);
+}
+
+}  // namespace flowtime::workload

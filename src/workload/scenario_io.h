@@ -1,0 +1,62 @@
+// Plain-text scenario files: load and save complete simulation scenarios so
+// downstream users can describe their own workloads without writing C++.
+//
+// Format (one directive per line, `#` comments, whitespace-separated
+// key=value fields):
+//
+//     cluster cores=500 mem_gb=1024 slot_seconds=10
+//
+//     workflow id=0 name=nightly-etl start=0 deadline=1800
+//     job node=0 name=extract tasks=20 runtime=60 cores=1 mem=2
+//     job node=1 name=clean tasks=40 runtime=45 cores=1 mem=2 error=1.1
+//     edge 0 1
+//     end
+//
+//     adhoc id=0 arrival=120 tasks=8 runtime=30 cores=1 mem=1
+//
+// `error` is the hidden actual_runtime_factor (defaults to 1). Jobs must
+// cover nodes 0..N-1 densely; edges reference those nodes. The writer
+// produces files the parser round-trips exactly (modulo formatting).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workload/trace_gen.h"
+
+namespace flowtime::workload {
+
+/// Cluster line contents (optional in a file; callers fall back to their
+/// own defaults when absent).
+struct ScenarioCluster {
+  ResourceVec capacity{500.0, 1024.0};
+  double slot_seconds = 10.0;
+};
+
+struct ParsedScenario {
+  Scenario scenario;
+  std::optional<ScenarioCluster> cluster;
+};
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parses a scenario; on failure returns std::nullopt and fills `error`.
+std::optional<ParsedScenario> parse_scenario(std::istream& input,
+                                             ParseError* error);
+std::optional<ParsedScenario> parse_scenario(const std::string& text,
+                                             ParseError* error);
+
+/// Serializes a scenario (with an optional cluster line) into the format
+/// parse_scenario reads.
+std::string write_scenario(const Scenario& scenario,
+                           const std::optional<ScenarioCluster>& cluster);
+
+/// Convenience: load from a file path.
+std::optional<ParsedScenario> load_scenario_file(const std::string& path,
+                                                 ParseError* error);
+
+}  // namespace flowtime::workload

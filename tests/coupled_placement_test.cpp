@@ -1,0 +1,150 @@
+// Tests for the resource-coupled placement variant: proportionality of the
+// produced allocations, demand satisfaction, and the relationship with the
+// paper's decoupled formulation (coupled is never flatter).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lp_formulation.h"
+#include "util/rng.h"
+
+namespace flowtime::core {
+namespace {
+
+using workload::kCpu;
+using workload::kMemory;
+using workload::ResourceVec;
+
+std::vector<ResourceVec> uniform_caps(int slots, double cpu, double mem) {
+  return std::vector<ResourceVec>(static_cast<std::size_t>(slots),
+                                  ResourceVec{cpu, mem});
+}
+
+// A gang job: demand and width share the per-task bundle ratio.
+LpJob gang_job(int uid, int release, int deadline, int tasks,
+               double task_seconds, double cpu_per_task,
+               double mem_per_task, double slot_seconds = 10.0) {
+  LpJob job;
+  job.uid = uid;
+  job.release_slot = release;
+  job.deadline_slot = deadline;
+  job.demand = ResourceVec{tasks * task_seconds * cpu_per_task,
+                           tasks * task_seconds * mem_per_task};
+  job.width = ResourceVec{tasks * cpu_per_task * slot_seconds,
+                          tasks * mem_per_task * slot_seconds};
+  return job;
+}
+
+LpScheduleOptions coupled_options() {
+  LpScheduleOptions options;
+  options.coupled_resources = true;
+  return options;
+}
+
+TEST(CoupledPlacement, AllocationsAreProportionalAcrossResources) {
+  const std::vector<LpJob> jobs = {gang_job(0, 0, 5, 10, 60.0, 1.0, 3.0)};
+  const LpSchedule s = solve_placement(
+      jobs, uniform_caps(6, 1000.0, 3000.0), 0, coupled_options());
+  ASSERT_TRUE(s.ok());
+  for (int t = 0; t < 6; ++t) {
+    const ResourceVec& a = s.allocation[0][static_cast<std::size_t>(t)];
+    // mem = 3x cpu in every slot, matching the task bundle.
+    EXPECT_NEAR(a[kMemory], 3.0 * a[kCpu], 1e-6) << "slot " << t;
+  }
+}
+
+TEST(CoupledPlacement, SatisfiesBothResourceDemands) {
+  util::Rng rng(5);
+  std::vector<LpJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    const int release = static_cast<int>(rng.uniform_int(0, 5));
+    const int deadline = release + static_cast<int>(rng.uniform_int(3, 8));
+    // Task runtime bounded by the window so the job can fit at full width.
+    const double max_runtime = (deadline - release + 1) * 10.0;
+    jobs.push_back(gang_job(i, release, deadline,
+                            static_cast<int>(rng.uniform_int(5, 30)),
+                            rng.uniform_real(20.0, 0.9 * max_runtime), 1.0,
+                            rng.uniform_real(1.0, 4.0)));
+  }
+  const LpSchedule s = solve_placement(
+      jobs, uniform_caps(16, 2000.0, 6000.0), 0, coupled_options());
+  ASSERT_TRUE(s.ok());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    ResourceVec placed{};
+    for (int t = 0; t < s.num_slots; ++t) {
+      placed = workload::add(placed,
+                             s.allocation[j][static_cast<std::size_t>(t)]);
+      EXPECT_TRUE(workload::fits_within(
+          s.allocation[j][static_cast<std::size_t>(t)], jobs[j].width,
+          1e-5));
+    }
+    EXPECT_NEAR(placed[kCpu], jobs[j].demand[kCpu], 1e-4);
+    EXPECT_NEAR(placed[kMemory], jobs[j].demand[kMemory], 1e-4);
+  }
+}
+
+TEST(CoupledPlacement, NeverFlatterThanTheDecoupledFormulation) {
+  // The coupled feasible set is contained in the decoupled one, so its
+  // min-max level is >= the paper's (usually equal for gang jobs on
+  // uniform caps).
+  util::Rng rng(9);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<LpJob> jobs;
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    for (int i = 0; i < n; ++i) {
+      const int release = static_cast<int>(rng.uniform_int(0, 4));
+      const int deadline = release + static_cast<int>(rng.uniform_int(2, 7));
+      const double max_runtime = (deadline - release + 1) * 10.0;
+      jobs.push_back(gang_job(i, release, deadline,
+                              static_cast<int>(rng.uniform_int(4, 20)),
+                              rng.uniform_real(15.0, 0.9 * max_runtime), 1.0,
+                              rng.uniform_real(1.0, 4.0)));
+    }
+    const auto caps = uniform_caps(12, 1500.0, 5000.0);
+    const LpSchedule coupled =
+        solve_placement(jobs, caps, 0, coupled_options());
+    const LpSchedule decoupled = solve_placement(jobs, caps, 0);
+    ASSERT_TRUE(coupled.ok());
+    ASSERT_TRUE(decoupled.ok());
+    EXPECT_GE(coupled.max_normalized_load,
+              decoupled.max_normalized_load - 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(CoupledPlacement, EmptyWindowIsInfeasible) {
+  const std::vector<LpJob> jobs = {gang_job(0, 0, 1, 4, 30.0, 1.0, 2.0)};
+  const LpSchedule s = solve_placement(
+      jobs, uniform_caps(4, 100.0, 200.0), /*first_slot=*/2,
+      coupled_options());
+  EXPECT_EQ(s.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(CoupledPlacement, SingleResourceJobsStillWork) {
+  LpJob job = gang_job(0, 0, 3, 5, 40.0, 1.0, 0.0);
+  const LpSchedule s = solve_placement(
+      {job}, uniform_caps(4, 500.0, 500.0), 0, coupled_options());
+  ASSERT_TRUE(s.ok());
+  ResourceVec placed{};
+  for (int t = 0; t < 4; ++t) {
+    placed =
+        workload::add(placed, s.allocation[0][static_cast<std::size_t>(t)]);
+  }
+  EXPECT_NEAR(placed[kCpu], 200.0, 1e-6);
+  EXPECT_NEAR(placed[kMemory], 0.0, 1e-9);
+}
+
+TEST(CoupledPlacement, LoadsReportedPerResource) {
+  const std::vector<LpJob> jobs = {gang_job(0, 0, 3, 10, 40.0, 1.0, 4.0)};
+  // Memory cap relatively tighter: its normalized load rules the peak.
+  const LpSchedule s = solve_placement(
+      jobs, uniform_caps(4, 1000.0, 2000.0), 0, coupled_options());
+  ASSERT_TRUE(s.ok());
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_GT(s.normalized_load[static_cast<std::size_t>(t)][kMemory],
+              s.normalized_load[static_cast<std::size_t>(t)][kCpu]);
+  }
+}
+
+}  // namespace
+}  // namespace flowtime::core

@@ -1,0 +1,238 @@
+// Tests for deadline decomposition (paper §IV), including the Fig. 3
+// fork-join example and the critical-path fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decomposition.h"
+#include "dag/generators.h"
+#include "util/rng.h"
+#include "workload/trace_gen.h"
+
+namespace flowtime::core {
+namespace {
+
+using workload::ResourceVec;
+
+workload::JobSpec uniform_job(double runtime = 100.0) {
+  workload::JobSpec job;
+  job.name = "j";
+  job.num_tasks = 10;
+  job.task.runtime_s = runtime;
+  job.task.demand = ResourceVec{1.0, 2.0};
+  return job;
+}
+
+// The paper's Fig. 3: fork-join with n-1 parallel middle jobs, all jobs
+// identical.
+workload::Workflow fig3_workflow(int middle_jobs, double deadline) {
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "fig3";
+  w.start_s = 0.0;
+  w.deadline_s = deadline;
+  w.dag = dag::make_fork_join(middle_jobs);
+  w.jobs.assign(static_cast<std::size_t>(middle_jobs + 2), uniform_job());
+  return w;
+}
+
+TEST(Decomposition, Fig3ResourceDemandShares) {
+  // n+1 = 11 identical jobs: 1 source, 9 middle, 1 sink. The demand-based
+  // split gives the middle level 9/11 of the slack (vs 1/3 under the
+  // critical-path scheme) — the §IV-B example.
+  const int middle = 9;
+  const double deadline = 11000.0;
+  const workload::Workflow w = fig3_workflow(middle, deadline);
+  DecompositionConfig config;
+  config.cluster_capacity = ResourceVec{500.0, 1024.0};
+  const DeadlineDecomposer decomposer(config);
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->used_fallback);
+  ASSERT_EQ(result->levels.size(), 3u);
+
+  // All jobs identical: min runtime 100 s per level; slack = 11000 - 300.
+  const double slack = deadline - 300.0;
+  const double expected_middle = 100.0 + slack * (middle / (middle + 2.0));
+  EXPECT_NEAR(result->level_duration_s[1], expected_middle, 1e-6);
+  EXPECT_NEAR(result->level_duration_s[0],
+              100.0 + slack / (middle + 2.0), 1e-6);
+}
+
+TEST(Decomposition, CriticalPathModeGivesEqualSharesForUniformChain) {
+  const workload::Workflow w = fig3_workflow(9, 11000.0);
+  DecompositionConfig config;
+  config.mode = DecompositionMode::kCriticalPath;
+  const DeadlineDecomposer decomposer(config);
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->used_fallback);
+  // Equal min runtimes -> each level gets 1/3 of the whole budget, the
+  // "traditional approach" of the Fig. 3 discussion.
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_NEAR(result->level_duration_s[static_cast<std::size_t>(l)],
+                11000.0 / 3.0, 1e-6);
+  }
+}
+
+TEST(Decomposition, NegativeSlackFallsBackToCriticalPath) {
+  // Deadline below the 300 s minimum makespan.
+  const workload::Workflow w = fig3_workflow(9, 250.0);
+  const DeadlineDecomposer decomposer;
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->used_fallback);
+  double total = 0.0;
+  for (double d : result->level_duration_s) total += d;
+  EXPECT_NEAR(total, 250.0, 1e-6);
+}
+
+TEST(Decomposition, WindowsAreContiguousAndEndAtDeadline) {
+  util::Rng rng(5);
+  workload::WorkflowGenConfig config;
+  config.num_jobs = 20;
+  const workload::Workflow w = workload::make_workflow(rng, 0, 50.0, config);
+  const DeadlineDecomposer decomposer;
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+
+  // Every level's jobs share one window; consecutive windows abut.
+  double cursor = w.start_s;
+  for (std::size_t l = 0; l < result->levels.size(); ++l) {
+    for (dag::NodeId v : result->levels[l]) {
+      const JobWindow& window = result->windows[static_cast<std::size_t>(v)];
+      EXPECT_NEAR(window.start_s, cursor, 1e-6);
+    }
+    cursor += result->level_duration_s[l];
+  }
+  EXPECT_NEAR(cursor, w.deadline_s, 1e-6);
+}
+
+TEST(Decomposition, ParentWindowsPrecedeChildWindows) {
+  util::Rng rng(6);
+  workload::WorkflowGenConfig config;
+  config.num_jobs = 24;
+  const workload::Workflow w = workload::make_workflow(rng, 0, 0.0, config);
+  const DeadlineDecomposer decomposer;
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
+    for (dag::NodeId c : w.dag.children(v)) {
+      EXPECT_LE(result->windows[static_cast<std::size_t>(v)].deadline_s,
+                result->windows[static_cast<std::size_t>(c)].start_s + 1e-6);
+    }
+  }
+}
+
+TEST(Decomposition, EveryLevelGetsAtLeastItsMinimumRuntime) {
+  util::Rng rng(7);
+  workload::WorkflowGenConfig config;
+  config.num_jobs = 18;
+  config.looseness_min = 1.5;
+  config.looseness_max = 2.0;
+  const workload::Workflow w = workload::make_workflow(rng, 0, 0.0, config);
+  DecompositionConfig dconfig;
+  const DeadlineDecomposer decomposer(dconfig);
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->used_fallback);
+  for (std::size_t l = 0; l < result->levels.size(); ++l) {
+    double level_min = 0.0;
+    for (dag::NodeId v : result->levels[l]) {
+      level_min = std::max(
+          level_min, w.jobs[static_cast<std::size_t>(v)].min_runtime_s(
+                         dconfig.cluster_capacity));
+    }
+    EXPECT_GE(result->level_duration_s[l], level_min - 1e-6);
+  }
+}
+
+TEST(Decomposition, WiderLevelsGetProportionallyMoreSlack) {
+  // Two-level workflow where level 1 holds 4x the demand of level 0.
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "two-level";
+  w.start_s = 0.0;
+  w.deadline_s = 5000.0;
+  w.dag = dag::make_fork_join(4);
+  w.dag = [] {
+    // source -> 4 parallel -> no sink: build manually for a 2-level shape.
+    dag::Dag d(5);
+    for (int k = 1; k <= 4; ++k) d.add_edge(0, k);
+    return d;
+  }();
+  w.jobs.assign(5, uniform_job());
+  const DeadlineDecomposer decomposer;
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->level_duration_s.size(), 2u);
+  const double slack = 5000.0 - 200.0;
+  EXPECT_NEAR(result->level_duration_s[0], 100.0 + slack * (1.0 / 5.0), 1e-6);
+  EXPECT_NEAR(result->level_duration_s[1], 100.0 + slack * (4.0 / 5.0), 1e-6);
+}
+
+TEST(Decomposition, RejectsInvalidWorkflow) {
+  workload::Workflow w = fig3_workflow(3, 1000.0);
+  w.jobs[0].num_tasks = 0;
+  const DeadlineDecomposer decomposer;
+  EXPECT_FALSE(decomposer.decompose(w).has_value());
+}
+
+TEST(Decomposition, RejectsJobThatCannotFitCluster) {
+  workload::Workflow w = fig3_workflow(3, 1000.0);
+  w.jobs[1].task.demand = ResourceVec{9999.0, 1.0};
+  DecompositionConfig config;
+  config.cluster_capacity = ResourceVec{500.0, 1024.0};
+  const DeadlineDecomposer decomposer(config);
+  EXPECT_FALSE(decomposer.decompose(w).has_value());
+}
+
+TEST(Decomposition, MultiWaveJobsExtendLevelMinimumRuntime) {
+  // 100 tasks of 10 cores on a 500-core cluster: 2 waves of 50.
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "wavy";
+  w.start_s = 0.0;
+  w.deadline_s = 10000.0;
+  w.dag = dag::make_chain(1);
+  workload::JobSpec job = uniform_job(100.0);
+  job.num_tasks = 100;
+  job.task.demand = ResourceVec{10.0, 1.0};
+  w.jobs = {job};
+  DecompositionConfig config;
+  config.cluster_capacity = ResourceVec{500.0, 1024.0};
+  const DeadlineDecomposer decomposer(config);
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->min_makespan_s, 200.0, 1e-9);
+}
+
+class DecompositionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompositionProperty, WindowsPartitionTheBudgetOnRandomWorkflows) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  workload::WorkflowGenConfig config;
+  config.num_jobs = static_cast<int>(rng.uniform_int(5, 40));
+  const workload::Workflow w =
+      workload::make_workflow(rng, 0, rng.uniform_real(0.0, 500.0), config);
+  const DeadlineDecomposer decomposer;
+  const auto result = decomposer.decompose(w);
+  ASSERT_TRUE(result.has_value());
+  double total = 0.0;
+  for (double d : result->level_duration_s) {
+    EXPECT_GE(d, -1e-9);
+    total += d;
+  }
+  EXPECT_NEAR(total, w.deadline_s - w.start_s, 1e-6);
+  // Last level's jobs end exactly at the workflow deadline.
+  for (dag::NodeId v : result->levels.back()) {
+    EXPECT_NEAR(result->windows[static_cast<std::size_t>(v)].deadline_s,
+                w.deadline_s, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace flowtime::core

@@ -1,0 +1,178 @@
+// Tests for the comparison harness plus the §IV -> §V hand-off: when do
+// decomposed windows remain jointly feasible for the placement LP?
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decomposition.h"
+#include "dag/generators.h"
+#include "core/flow_placement.h"
+#include "sched/experiment.h"
+#include "util/rng.h"
+#include "workload/trace_gen.h"
+
+namespace flowtime {
+namespace {
+
+using workload::ResourceVec;
+
+std::vector<core::LpJob> windows_to_lp_jobs(
+    const workload::Workflow& w,
+    const core::DecompositionResult& decomposition, double slot_s) {
+  std::vector<core::LpJob> jobs;
+  for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
+    const core::JobWindow& window =
+        decomposition.windows[static_cast<std::size_t>(v)];
+    const workload::JobSpec& spec = w.jobs[static_cast<std::size_t>(v)];
+    core::LpJob job;
+    job.uid = v;
+    job.release_slot =
+        static_cast<int>(std::floor(window.start_s / slot_s + 1e-9));
+    job.deadline_slot = std::max(
+        job.release_slot,
+        static_cast<int>(std::ceil(window.deadline_s / slot_s - 1e-9)) - 1);
+    job.demand = spec.total_demand();
+    job.width = workload::scale(spec.max_parallel_demand(), slot_s);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+class DecompositionFeasibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompositionFeasibility, LooseWorkflowsYieldJointlyFeasibleWindows) {
+  // The §IV decomposition guarantees per-level minimum runtimes, and its
+  // demand-proportional slack split is designed so whole levels fit; with
+  // realistic looseness (>= 2.5x makespan) the resulting windows must be
+  // placeable within capacity (peak load <= 1).
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const ResourceVec capacity{300.0, 640.0};
+  workload::WorkflowGenConfig gen;
+  gen.num_jobs = static_cast<int>(rng.uniform_int(6, 20));
+  gen.cluster_capacity = capacity;
+  gen.looseness_min = 2.5;
+  gen.looseness_max = 4.0;
+  const workload::Workflow w = workload::make_workflow(rng, 0, 0.0, gen);
+
+  core::DecompositionConfig dconfig;
+  dconfig.cluster_capacity = capacity;
+  const auto decomposition = core::DeadlineDecomposer(dconfig).decompose(w);
+  ASSERT_TRUE(decomposition.has_value());
+
+  const double slot_s = 10.0;
+  const auto jobs = windows_to_lp_jobs(w, *decomposition, slot_s);
+  int horizon = 1;
+  for (const core::LpJob& job : jobs) {
+    horizon = std::max(horizon, job.deadline_slot + 1);
+  }
+  const std::vector<ResourceVec> caps(
+      static_cast<std::size_t>(horizon), workload::scale(capacity, slot_s));
+  const auto placement = core::solve_flow_placement(jobs, caps, 0);
+  EXPECT_TRUE(placement.feasible)
+      << "peak " << placement.min_max_level;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionFeasibility,
+                         ::testing::Range(1, 11));
+
+TEST(DecompositionFeasibility, TightDeadlinesCanExceedCapacityHonestly) {
+  // No guarantee at looseness ~1: a wide fork-join whose middle level
+  // needs more than the whole cluster per slot shows up as peak > 1 —
+  // the signal FlowTimeScheduler reacts to, not a solver failure.
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "tight";
+  w.start_s = 0.0;
+  w.dag = dag::make_fork_join(8);
+  workload::JobSpec job;
+  job.name = "j";
+  job.num_tasks = 40;
+  job.task.runtime_s = 60.0;
+  job.task.demand = ResourceVec{1.0, 2.0};
+  w.jobs.assign(10, job);
+  const ResourceVec capacity{100.0, 220.0};
+  w.deadline_s = 1.02 * w.min_makespan_s(capacity);
+
+  core::DecompositionConfig dconfig;
+  dconfig.cluster_capacity = capacity;
+  const auto decomposition = core::DeadlineDecomposer(dconfig).decompose(w);
+  ASSERT_TRUE(decomposition.has_value());
+  const auto jobs = windows_to_lp_jobs(w, *decomposition, 10.0);
+  int horizon = 1;
+  for (const core::LpJob& j : jobs) {
+    horizon = std::max(horizon, j.deadline_slot + 1);
+  }
+  const std::vector<ResourceVec> caps(
+      static_cast<std::size_t>(horizon), workload::scale(capacity, 10.0));
+  const auto placement = core::solve_flow_placement(jobs, caps, 0);
+  EXPECT_FALSE(placement.feasible);
+  EXPECT_GT(placement.min_max_level, 1.0);
+}
+
+TEST(ExperimentHarness, DefaultSchedulerSetIsThePaperFigure4Set) {
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{100.0, 220.0};
+  config.sim.max_horizon_s = 1800.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 1;
+  fig4.jobs_per_workflow = 5;
+  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.adhoc.rate_per_s = 0.01;
+  fig4.adhoc.horizon_s = 200.0;
+  const workload::Scenario scenario = workload::make_fig4_scenario(3, fig4);
+  const auto outcomes = sched::run_comparison(scenario, config);
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_EQ(outcomes[0].name, "FlowTime");
+  EXPECT_EQ(outcomes[1].name, "CORA");
+  EXPECT_EQ(outcomes[2].name, "EDF");
+  EXPECT_EQ(outcomes[3].name, "Fair");
+  EXPECT_EQ(outcomes[4].name, "FIFO");
+}
+
+TEST(ExperimentHarness, MilestonesAreSlotAligned) {
+  sched::ExperimentConfig config;
+  config.sim.slot_seconds = 10.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 2;
+  fig4.jobs_per_workflow = 6;
+  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.adhoc.rate_per_s = 0.001;
+  fig4.adhoc.horizon_s = 100.0;
+  const workload::Scenario scenario = workload::make_fig4_scenario(8, fig4);
+  const sim::JobDeadlines deadlines =
+      sched::milestone_deadlines(scenario, config);
+  for (const auto& [ref, deadline] : deadlines) {
+    (void)ref;
+    EXPECT_NEAR(std::fmod(deadline, 10.0), 0.0, 1e-6) << deadline;
+  }
+}
+
+TEST(ExperimentHarness, FlowTimeOutcomeCarriesSolverTelemetry) {
+  sched::ExperimentConfig config;
+  config.sim.capacity = ResourceVec{100.0, 220.0};
+  config.sim.max_horizon_s = 3600.0;
+  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.schedulers = {"FlowTime", "Fair"};
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 1;
+  fig4.jobs_per_workflow = 6;
+  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.adhoc.rate_per_s = 0.01;
+  fig4.adhoc.horizon_s = 300.0;
+  const workload::Scenario scenario = workload::make_fig4_scenario(4, fig4);
+  const auto outcomes = sched::run_comparison(scenario, config);
+  EXPECT_GE(outcomes[0].replans, 1);
+  EXPECT_GT(outcomes[0].pivots, 0);
+  EXPECT_EQ(outcomes[1].replans, 0);  // Fair has no solver
+  EXPECT_EQ(outcomes[1].pivots, 0);
+}
+
+}  // namespace
+}  // namespace flowtime

@@ -1,0 +1,165 @@
+// Tests for the max-flow engine and the flow-based placement fast path,
+// including cross-checks against the LP solver (they must agree on the
+// first lexmin level).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flow_placement.h"
+#include "core/lp_formulation.h"
+#include "lp/maxflow.h"
+#include "util/rng.h"
+
+namespace flowtime {
+namespace {
+
+using core::LpJob;
+using workload::kCpu;
+using workload::ResourceVec;
+
+TEST(MaxFlow, ClassicSmallNetwork) {
+  // CLRS-style example: max flow 23.
+  lp::FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_NEAR(net.max_flow(0, 5), 23.0, 1e-9);
+}
+
+TEST(MaxFlow, DisconnectedSinkGivesZero) {
+  lp::FlowNetwork net(3);
+  net.add_edge(0, 1, 5);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 2), 0.0);
+}
+
+TEST(MaxFlow, FlowConservationAndEdgeQueries) {
+  lp::FlowNetwork net(4);
+  const int a = net.add_edge(0, 1, 3);
+  const int b = net.add_edge(0, 2, 2);
+  const int c = net.add_edge(1, 3, 2);
+  const int d = net.add_edge(2, 3, 4);
+  const double total = net.max_flow(0, 3);
+  EXPECT_NEAR(total, 4.0, 1e-9);
+  EXPECT_NEAR(net.flow(a) + net.flow(b), total, 1e-9);
+  EXPECT_NEAR(net.flow(c) + net.flow(d), total, 1e-9);
+  EXPECT_LE(net.flow(a), 3.0 + 1e-9);
+  EXPECT_LE(net.flow(c), 2.0 + 1e-9);
+}
+
+TEST(MaxFlow, SetCapacityReparameterizes) {
+  lp::FlowNetwork net(3);
+  const int edge = net.add_edge(0, 1, 1);
+  net.add_edge(1, 2, 10);
+  EXPECT_NEAR(net.max_flow(0, 2), 1.0, 1e-9);
+  net.set_capacity(edge, 7);
+  EXPECT_NEAR(net.max_flow(0, 2), 7.0, 1e-9);
+}
+
+std::vector<ResourceVec> uniform_caps(int slots, double cpu, double mem) {
+  return std::vector<ResourceVec>(static_cast<std::size_t>(slots),
+                                  ResourceVec{cpu, mem});
+}
+
+LpJob make_job(int uid, int release, int deadline, double cpu_demand,
+               double mem_demand, double cpu_width, double mem_width) {
+  LpJob job;
+  job.uid = uid;
+  job.release_slot = release;
+  job.deadline_slot = deadline;
+  job.demand = ResourceVec{cpu_demand, mem_demand};
+  job.width = ResourceVec{cpu_width, mem_width};
+  return job;
+}
+
+TEST(FlowPlacement, SingleJobLevelMatchesArithmetic) {
+  const std::vector<LpJob> jobs = {make_job(0, 0, 4, 50.0, 0.0, 20.0, 0.0)};
+  const auto result =
+      core::solve_flow_placement(jobs, uniform_caps(5, 100.0, 100.0), 0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.min_max_level, 0.1, 1e-5);  // 50 / (5 x 100)
+  ResourceVec placed{};
+  for (int t = 0; t < 5; ++t) {
+    placed = workload::add(placed, result.allocation[0][static_cast<std::size_t>(t)]);
+  }
+  EXPECT_NEAR(placed[kCpu], 50.0, 1e-6);
+}
+
+TEST(FlowPlacement, DetectsWindowInfeasibility) {
+  // Demand 100, width 10, window 5 slots: impossible.
+  const std::vector<LpJob> jobs = {make_job(0, 0, 4, 100.0, 0.0, 10.0, 0.0)};
+  const auto result =
+      core::solve_flow_placement(jobs, uniform_caps(5, 1000.0, 1000.0), 0);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(std::isinf(result.min_max_level));
+}
+
+TEST(FlowPlacement, OverCapacityReportsLevelAboveOne) {
+  const std::vector<LpJob> jobs = {
+      make_job(0, 0, 0, 100.0, 0.0, 100.0, 0.0),
+      make_job(1, 0, 0, 100.0, 0.0, 100.0, 0.0)};
+  const auto result =
+      core::solve_flow_placement(jobs, uniform_caps(1, 100.0, 100.0), 0);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NEAR(result.min_max_level, 2.0, 1e-4);
+}
+
+TEST(FlowPlacement, EmptyWindowAfterClippingIsInfeasible) {
+  const std::vector<LpJob> jobs = {make_job(0, 0, 2, 10.0, 0.0, 10.0, 0.0)};
+  const auto result = core::solve_flow_placement(
+      jobs, uniform_caps(5, 100.0, 100.0), /*first_slot=*/3);
+  EXPECT_FALSE(result.feasible);
+}
+
+class FlowVsLpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowVsLpProperty, FirstLevelAgreesWithTheLpSolver) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int slots = static_cast<int>(rng.uniform_int(4, 16));
+  const int n = static_cast<int>(rng.uniform_int(2, 12));
+  std::vector<LpJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    const int release = static_cast<int>(rng.uniform_int(0, slots - 1));
+    const int deadline =
+        static_cast<int>(rng.uniform_int(release, slots - 1));
+    const int window = deadline - release + 1;
+    const double cpu_width = rng.uniform_real(5.0, 30.0);
+    const double mem_width = rng.uniform_real(5.0, 60.0);
+    jobs.push_back(make_job(i, release, deadline,
+                            rng.uniform_real(0.0, cpu_width * window),
+                            rng.uniform_real(0.0, mem_width * window),
+                            cpu_width, mem_width));
+  }
+  const auto caps = uniform_caps(slots, 200.0, 400.0);
+  const auto flow = core::solve_flow_placement(jobs, caps, 0);
+  const auto lp = core::solve_placement(jobs, caps, 0);
+  ASSERT_TRUE(lp.ok());
+  ASSERT_TRUE(flow.feasible || flow.min_max_level > 1.0);
+  EXPECT_NEAR(flow.min_max_level, lp.max_normalized_load, 1e-3)
+      << "flow and LP disagree on the first lexmin level";
+
+  // The flow allocation must satisfy all the same invariants.
+  for (int j = 0; j < n; ++j) {
+    ResourceVec placed{};
+    for (int t = 0; t < slots; ++t) {
+      const ResourceVec& a =
+          flow.allocation[static_cast<std::size_t>(j)][static_cast<std::size_t>(t)];
+      EXPECT_TRUE(workload::fits_within(
+          a, jobs[static_cast<std::size_t>(j)].width, 1e-5));
+      placed = workload::add(placed, a);
+    }
+    EXPECT_NEAR(placed[kCpu], jobs[static_cast<std::size_t>(j)].demand[kCpu],
+                1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowVsLpProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace flowtime

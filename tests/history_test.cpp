@@ -1,0 +1,122 @@
+// Tests for run-history estimation and the text histogram.
+#include <gtest/gtest.h>
+
+#include "dag/generators.h"
+#include "util/histogram.h"
+#include "workload/history.h"
+
+namespace flowtime::workload {
+namespace {
+
+using workload::ResourceVec;
+
+Workflow template_instance(double runtime0, double factor0, double runtime1,
+                           double factor1) {
+  Workflow w;
+  w.id = 0;
+  w.name = "t";
+  w.start_s = 0.0;
+  w.deadline_s = 1000.0;
+  w.dag = dag::make_chain(2);
+  JobSpec a;
+  a.name = "a";
+  a.num_tasks = 4;
+  a.task.runtime_s = runtime0;
+  a.task.demand = ResourceVec{1.0, 2.0};
+  a.actual_runtime_factor = factor0;
+  JobSpec b = a;
+  b.name = "b";
+  b.task.runtime_s = runtime1;
+  b.actual_runtime_factor = factor1;
+  w.jobs = {a, b};
+  return w;
+}
+
+TEST(RunHistory, RecordsAndCounts) {
+  RunHistory history;
+  EXPECT_EQ(history.runs(1, 0), 0);
+  history.record(1, 0, 42.0);
+  history.record(1, 0, 44.0);
+  history.record(1, 1, 10.0);
+  EXPECT_EQ(history.runs(1, 0), 2);
+  EXPECT_EQ(history.runs(1, 1), 1);
+  EXPECT_EQ(history.runs(2, 0), 0);
+  EXPECT_EQ(history.observations(1, 0).size(), 2u);
+  EXPECT_TRUE(history.observations(9, 9).empty());
+}
+
+TEST(RunHistory, RecordRunCapturesActuals) {
+  RunHistory history;
+  // Estimate 30 s, actual factor 1.2 -> observed 36 s.
+  history.record_run(5, template_instance(30.0, 1.2, 40.0, 0.9));
+  ASSERT_EQ(history.runs(5, 0), 1);
+  EXPECT_DOUBLE_EQ(history.observations(5, 0)[0], 36.0);
+  EXPECT_DOUBLE_EQ(history.observations(5, 1)[0], 36.0);
+}
+
+TEST(HistoryEstimator, ReplacesEstimatesButPreservesGroundTruth) {
+  RunHistory history;
+  // Three prior runs of job 0 with actuals 33, 36, 30.
+  history.record(0, 0, 33.0);
+  history.record(0, 0, 36.0);
+  history.record(0, 0, 30.0);
+
+  Workflow instance = template_instance(30.0, 1.2, 40.0, 1.0);
+  const double truth_before =
+      instance.jobs[0].task.runtime_s * instance.jobs[0].actual_runtime_factor;
+  const int replaced = apply_history_estimates(history, 0, instance);
+  EXPECT_EQ(replaced, 1);  // job 1 has no history
+  // p90 of {30, 33, 36} by nearest rank = 36.
+  EXPECT_DOUBLE_EQ(instance.jobs[0].task.runtime_s, 36.0);
+  const double truth_after =
+      instance.jobs[0].task.runtime_s * instance.jobs[0].actual_runtime_factor;
+  EXPECT_NEAR(truth_after, truth_before, 1e-9);
+  // Job 1 untouched.
+  EXPECT_DOUBLE_EQ(instance.jobs[1].task.runtime_s, 40.0);
+}
+
+TEST(HistoryEstimator, MinRunsGate) {
+  RunHistory history;
+  history.record(0, 0, 50.0);
+  Workflow instance = template_instance(30.0, 1.0, 40.0, 1.0);
+  HistoryEstimatorConfig config;
+  config.min_runs = 2;
+  EXPECT_EQ(apply_history_estimates(history, 0, instance, config), 0);
+  config.min_runs = 1;
+  EXPECT_EQ(apply_history_estimates(history, 0, instance, config), 1);
+}
+
+TEST(HistoryEstimator, HighPercentileUnderestimatesLessOverRecurrences) {
+  // A job whose actual runtime is noisy around 60 s: after a few runs the
+  // p90 estimate should sit at (or above) most actuals, so the derived
+  // actual_runtime_factor is <= ~1 for typical instances.
+  RunHistory history;
+  for (double actual : {55.0, 62.0, 58.0, 66.0, 60.0}) {
+    history.record(0, 0, actual);
+  }
+  Workflow instance = template_instance(50.0, 1.2, 40.0, 1.0);  // truth 60
+  apply_history_estimates(history, 0, instance);
+  EXPECT_GE(instance.jobs[0].task.runtime_s, 60.0);
+  EXPECT_LE(instance.jobs[0].actual_runtime_factor, 1.0 + 1e-9);
+}
+
+TEST(Histogram, RendersBucketsAndCounts) {
+  const std::string rendered =
+      util::render_histogram({1, 1, 2, 9, 10}, {.bins = 3});
+  // 3 lines, first bucket holds {1,1,2} -> count 3.
+  EXPECT_NE(rendered.find("| 3"), std::string::npos);
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 3);
+}
+
+TEST(Histogram, EmptyInput) {
+  EXPECT_EQ(util::render_histogram({}), "(no data)\n");
+}
+
+TEST(Histogram, ConstantValuesSingleSpike) {
+  const std::string rendered =
+      util::render_histogram({5, 5, 5}, {.bins = 4});
+  EXPECT_NE(rendered.find("| 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowtime::workload

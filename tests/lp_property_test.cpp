@@ -1,0 +1,195 @@
+// Deeper property tests for the LP stack: strong duality and complementary
+// slackness on random LPs, branch-and-bound versus exhaustive enumeration
+// on random boxed ILPs, and lexmin invariants under permutation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "lp/branch_and_bound.h"
+#include "lp/lexmin.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace flowtime::lp {
+namespace {
+
+// Random LP with nonnegative bounded variables and <= rows; always feasible
+// (x = 0 is a point) and always bounded (box constraints).
+LpProblem random_boxed_lp(util::Rng& rng, int columns, int rows) {
+  LpProblem p;
+  for (int j = 0; j < columns; ++j) {
+    p.add_column(rng.uniform_real(-5.0, 5.0), 0.0,
+                 rng.uniform_real(1.0, 10.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<RowEntry> entries;
+    for (int j = 0; j < columns; ++j) {
+      if (rng.bernoulli(0.6)) {
+        entries.push_back(RowEntry{j, rng.uniform_real(-2.0, 4.0)});
+      }
+    }
+    p.add_row(RowSense::kLessEqual, rng.uniform_real(1.0, 20.0),
+              std::move(entries));
+  }
+  return p;
+}
+
+class RandomLpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpProperty, SolutionIsFeasibleAndObjectiveConsistent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const LpProblem p = random_boxed_lp(rng, 12, 8);
+  SimplexSolver solver;
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.optimal()) << to_string(s.status);
+  EXPECT_TRUE(p.is_feasible(s.x, 1e-5));
+  EXPECT_NEAR(s.objective, p.objective_value(s.x), 1e-6);
+}
+
+TEST_P(RandomLpProperty, NoFeasiblePointBeatsTheReportedOptimum) {
+  // Sample feasible points: the optimum must weakly dominate all of them.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const LpProblem p = random_boxed_lp(rng, 10, 6);
+  SimplexSolver solver;
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.optimal());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(p.num_columns()));
+    for (int j = 0; j < p.num_columns(); ++j) {
+      x[static_cast<std::size_t>(j)] =
+          rng.uniform_real(0.0, p.upper_bound(j));
+    }
+    if (!p.is_feasible(x, 1e-9)) continue;
+    EXPECT_GE(p.objective_value(x), s.objective - 1e-6);
+  }
+}
+
+TEST_P(RandomLpProperty, ComplementarySlacknessHolds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const LpProblem p = random_boxed_lp(rng, 9, 5);
+  SimplexSolver solver;
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.optimal());
+  ASSERT_EQ(s.duals.size(), static_cast<std::size_t>(p.num_rows()));
+  for (int i = 0; i < p.num_rows(); ++i) {
+    const double slack = p.row_rhs(i) - s.row_activity[static_cast<std::size_t>(i)];
+    const double dual = s.duals[static_cast<std::size_t>(i)];
+    // A <= row with positive slack must carry a zero dual.
+    if (slack > 1e-5) {
+      EXPECT_NEAR(dual, 0.0, 1e-5)
+          << "row " << i << " slack " << slack << " dual " << dual;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpProperty, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Branch and bound vs exhaustive enumeration over small integer boxes.
+// ---------------------------------------------------------------------------
+
+class RandomIlpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIlpProperty, MatchesExhaustiveEnumeration) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const int columns = 5;
+  LpProblem p;
+  std::vector<int> upper(columns);
+  for (int j = 0; j < columns; ++j) {
+    upper[static_cast<std::size_t>(j)] = static_cast<int>(rng.uniform_int(1, 3));
+    p.add_column(rng.uniform_real(-4.0, 4.0), 0.0,
+                 upper[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<RowEntry> entries;
+    for (int j = 0; j < columns; ++j) {
+      entries.push_back(RowEntry{j, rng.uniform_real(-1.0, 3.0)});
+    }
+    p.add_row(RowSense::kLessEqual, rng.uniform_real(2.0, 10.0),
+              std::move(entries));
+  }
+
+  std::vector<int> ints(columns);
+  std::iota(ints.begin(), ints.end(), 0);
+  BranchAndBound bnb;
+  const Solution s = bnb.solve(p, ints);
+
+  // Exhaustive search over the integer box.
+  double best = kInfinity;
+  std::vector<double> x(static_cast<std::size_t>(columns), 0.0);
+  std::function<void(int)> enumerate = [&](int j) {
+    if (j == columns) {
+      if (p.is_feasible(x, 1e-9)) {
+        best = std::min(best, p.objective_value(x));
+      }
+      return;
+    }
+    for (int v = 0; v <= upper[static_cast<std::size_t>(j)]; ++v) {
+      x[static_cast<std::size_t>(j)] = v;
+      enumerate(j + 1);
+    }
+  };
+  enumerate(0);
+
+  if (std::isinf(best)) {
+    EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  } else {
+    ASSERT_TRUE(s.optimal());
+    EXPECT_NEAR(s.objective, best, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIlpProperty, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Lexmin invariants.
+// ---------------------------------------------------------------------------
+
+TEST(LexMinMaxInvariance, LoadOrderPermutationDoesNotChangeTheProfile) {
+  // Same balancing problem, load rows listed in two different orders: the
+  // multiset of final loads must match.
+  auto build = [](bool reversed) {
+    LpProblem base;
+    std::vector<int> cols;
+    std::vector<RowEntry> demand;
+    for (int t = 0; t < 5; ++t) {
+      cols.push_back(base.add_column(0.0, 0.0, 8.0));
+      demand.push_back(RowEntry{cols.back(), 1.0});
+    }
+    base.add_row(RowSense::kEqual, 18.0, std::move(demand));
+    std::vector<LoadRow> loads;
+    for (int t = 0; t < 5; ++t) {
+      const int index = reversed ? 4 - t : t;
+      loads.push_back(LoadRow{
+          {{cols[static_cast<std::size_t>(index)], 1.0}}, 10.0, ""});
+    }
+    LexMinMaxSolver solver;
+    auto result = solver.solve(base, loads);
+    std::sort(result.load.begin(), result.load.end());
+    return result;
+  };
+  const auto forward = build(false);
+  const auto backward = build(true);
+  ASSERT_TRUE(forward.optimal());
+  ASSERT_TRUE(backward.optimal());
+  ASSERT_EQ(forward.load.size(), backward.load.size());
+  for (std::size_t i = 0; i < forward.load.size(); ++i) {
+    EXPECT_NEAR(forward.load[i], backward.load[i], 1e-6);
+  }
+}
+
+TEST(LexMinMaxInvariance, ScalingNormalizersScalesLevels) {
+  LpProblem base;
+  const int x = base.add_column(0.0, 0.0, kInfinity);
+  base.add_row(RowSense::kEqual, 12.0, {{x, 1.0}});
+  LexMinMaxSolver solver;
+  const auto small = solver.solve(base, {LoadRow{{{x, 1.0}}, 10.0, ""}});
+  const auto large = solver.solve(base, {LoadRow{{{x, 1.0}}, 100.0, ""}});
+  ASSERT_TRUE(small.optimal());
+  ASSERT_TRUE(large.optimal());
+  EXPECT_NEAR(small.max_level(), 10.0 * large.max_level(), 1e-6);
+}
+
+}  // namespace
+}  // namespace flowtime::lp

@@ -1,0 +1,159 @@
+// Tests for the node-granular (YARN-like) execution mode: container
+// quantization, first-fit packing, fragmentation accounting, and the
+// equivalence with fluid mode when nodes are large.
+#include <gtest/gtest.h>
+
+#include "core/flowtime_scheduler.h"
+#include "dag/generators.h"
+#include "sched/baselines.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace flowtime::sim {
+namespace {
+
+using workload::ResourceVec;
+
+workload::JobSpec simple_job(int tasks, double runtime, double cpu,
+                             double mem) {
+  workload::JobSpec job;
+  job.name = "j";
+  job.num_tasks = tasks;
+  job.task.runtime_s = runtime;
+  job.task.demand = ResourceVec{cpu, mem};
+  return job;
+}
+
+class FullWidthScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "full-width"; }
+  std::vector<Allocation> allocate(const ClusterState& state) override {
+    std::vector<Allocation> out;
+    for (const JobView& view : state.active) {
+      if (view.ready) out.push_back(Allocation{view.uid, view.width});
+    }
+    return out;
+  }
+};
+
+workload::Scenario one_job(int tasks, double runtime, double cpu,
+                           double mem) {
+  workload::Scenario scenario;
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "w";
+  w.start_s = 0.0;
+  w.deadline_s = 4000.0;
+  w.dag = dag::make_chain(1);
+  w.jobs = {simple_job(tasks, runtime, cpu, mem)};
+  scenario.workflows.push_back(std::move(w));
+  return scenario;
+}
+
+TEST(NodeMode, MatchesFluidModeWhenContainersPackPerfectly) {
+  // 10 tasks of 1 core on 10 nodes of 2 cores: 5 waves? No — width 10 of
+  // 20-core cluster, 2 containers per node fit exactly.
+  SimConfig fluid;
+  fluid.capacity = ResourceVec{20.0, 40.0};
+  SimConfig nodes = fluid;
+  nodes.num_nodes = 10;
+
+  FullWidthScheduler scheduler;
+  const SimResult a = Simulator(fluid).run(one_job(10, 60.0, 1.0, 2.0),
+                                           scheduler);
+  const SimResult b = Simulator(nodes).run(one_job(10, 60.0, 1.0, 2.0),
+                                           scheduler);
+  ASSERT_TRUE(a.all_completed);
+  ASSERT_TRUE(b.all_completed);
+  EXPECT_DOUBLE_EQ(a.jobs[0].completion_s.value(),
+                   b.jobs[0].completion_s.value());
+  EXPECT_TRUE(workload::is_zero(b.fragmentation_lost, 1e-6));
+}
+
+TEST(NodeMode, FragmentationSlowsAwkwardContainers) {
+  // Containers of 3 cores on nodes of 4 cores: one per node, 25% of each
+  // node wasted. 8 tasks on 4 nodes: fluid width would run 5+ tasks
+  // (16 cores / 3), node mode places only 4 at a time.
+  SimConfig fluid;
+  fluid.capacity = ResourceVec{16.0, 64.0};
+  SimConfig nodes = fluid;
+  nodes.num_nodes = 4;
+
+  FullWidthScheduler scheduler;
+  const workload::Scenario scenario = one_job(8, 60.0, 3.0, 2.0);
+  const SimResult a = Simulator(fluid).run(scenario, scheduler);
+  const SimResult b = Simulator(nodes).run(scenario, scheduler);
+  ASSERT_TRUE(a.all_completed);
+  ASSERT_TRUE(b.all_completed);
+  EXPECT_GT(b.jobs[0].completion_s.value(), a.jobs[0].completion_s.value());
+  EXPECT_GT(b.fragmentation_lost[workload::kCpu], 0.0);
+}
+
+TEST(NodeMode, PartialContainersAreNeverDelivered) {
+  // Grant is always quantized: with 1 node of 1 core and 2-core containers
+  // nothing ever runs.
+  SimConfig config;
+  config.capacity = ResourceVec{1.0, 64.0};
+  config.num_nodes = 1;
+  config.max_horizon_s = 300.0;
+  FullWidthScheduler scheduler;
+  const SimResult result =
+      Simulator(config).run(one_job(2, 30.0, 2.0, 1.0), scheduler);
+  EXPECT_FALSE(result.all_completed);
+  for (const auto& used : result.used_per_slot) {
+    EXPECT_TRUE(workload::is_zero(used, 1e-9));
+  }
+}
+
+TEST(NodeMode, FlowTimeStillMeetsDeadlinesOnNodeCluster) {
+  SimConfig config;
+  config.capacity = ResourceVec{48.0, 96.0};
+  config.num_nodes = 12;
+  config.max_horizon_s = 2.0 * 3600.0;
+
+  workload::Scenario scenario;
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "w";
+  w.start_s = 0.0;
+  w.deadline_s = 2400.0;
+  w.dag = dag::make_fork_join(3);
+  w.jobs.assign(5, simple_job(8, 50.0, 1.0, 2.0));
+  scenario.workflows.push_back(std::move(w));
+
+  core::FlowTimeConfig flowtime;
+  flowtime.cluster_capacity = config.capacity;
+  flowtime.slot_seconds = config.slot_seconds;
+  core::FlowTimeScheduler scheduler(flowtime);
+  const SimResult result = Simulator(config).run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  const DeadlineReport report = evaluate_deadlines(
+      result, scenario.workflows,
+      JobDeadlines(scheduler.job_deadlines().begin(),
+                   scheduler.job_deadlines().end()));
+  EXPECT_EQ(report.jobs_missed, 0);
+}
+
+TEST(NodeMode, BaselinesCompleteOnNodeCluster) {
+  SimConfig config;
+  config.capacity = ResourceVec{48.0, 96.0};
+  config.num_nodes = 12;
+  config.max_horizon_s = 2.0 * 3600.0;
+  workload::Scenario scenario = one_job(16, 40.0, 1.0, 2.0);
+  workload::AdhocJob adhoc;
+  adhoc.id = 0;
+  adhoc.arrival_s = 0.0;
+  adhoc.spec = simple_job(4, 30.0, 2.0, 4.0);
+  adhoc.spec.name = "adhoc";
+  scenario.adhoc_jobs.push_back(adhoc);
+
+  sched::FairScheduler fair;
+  const SimResult fair_result = Simulator(config).run(scenario, fair);
+  EXPECT_TRUE(fair_result.all_completed);
+  sched::FifoScheduler fifo;
+  const SimResult fifo_result = Simulator(config).run(scenario, fifo);
+  EXPECT_TRUE(fifo_result.all_completed);
+}
+
+}  // namespace
+}  // namespace flowtime::sim

@@ -1,0 +1,142 @@
+// Tests for the CSV report helpers and a few solver edge paths that the
+// main suites do not reach (iteration limits, option clamps).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dag/generators.h"
+#include "lp/simplex.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "util/strings.h"
+
+namespace flowtime {
+namespace {
+
+using workload::ResourceVec;
+
+workload::Scenario tiny_scenario() {
+  workload::Scenario scenario;
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "w";
+  w.start_s = 0.0;
+  w.deadline_s = 500.0;
+  w.dag = dag::make_chain(1);
+  workload::JobSpec job;
+  job.name = "solo";
+  job.num_tasks = 4;
+  job.task.runtime_s = 30.0;
+  job.task.demand = ResourceVec{1.0, 2.0};
+  w.jobs = {job};
+  scenario.workflows.push_back(std::move(w));
+  workload::AdhocJob adhoc;
+  adhoc.id = 0;
+  adhoc.arrival_s = 10.0;
+  adhoc.spec = job;
+  adhoc.spec.name = "adhoc";
+  scenario.adhoc_jobs.push_back(adhoc);
+  return scenario;
+}
+
+class GreedyScheduler : public sim::Scheduler {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::vector<sim::Allocation> allocate(
+      const sim::ClusterState& state) override {
+    std::vector<sim::Allocation> out;
+    for (const sim::JobView& view : state.active) {
+      if (view.ready) out.push_back(sim::Allocation{view.uid, view.width});
+    }
+    return out;
+  }
+};
+
+sim::SimResult run_tiny() {
+  sim::SimConfig config;
+  config.capacity = ResourceVec{20.0, 40.0};
+  sim::Simulator simulator(config);
+  GreedyScheduler scheduler;
+  return simulator.run(tiny_scenario(), scheduler);
+}
+
+TEST(Report, UtilizationCsvHasHeaderAndOneRowPerSlot) {
+  const sim::SimResult result = run_tiny();
+  const std::string csv = sim::utilization_csv(result);
+  const auto lines = util::split(csv, '\n');
+  // header + slots + trailing empty from final newline
+  EXPECT_EQ(static_cast<int>(lines.size()),
+            result.slots_simulated + 2);
+  EXPECT_NE(lines[0].find("used_cpu"), std::string::npos);
+  EXPECT_NE(lines[0].find("allocated_mem_gb"), std::string::npos);
+  // First data row starts with slot 0 at time 0.
+  EXPECT_TRUE(util::starts_with(lines[1], "0,0"));
+}
+
+TEST(Report, JobsCsvListsEveryJobWithOutcome) {
+  const sim::SimResult result = run_tiny();
+  const std::string csv = sim::jobs_csv(result);
+  const auto lines = util::split(csv, '\n');
+  EXPECT_EQ(lines.size(), 2u + result.jobs.size());
+  EXPECT_NE(csv.find("deadline"), std::string::npos);
+  EXPECT_NE(csv.find("adhoc"), std::string::npos);
+  EXPECT_NE(csv.find("solo"), std::string::npos);
+}
+
+TEST(Report, UnfinishedJobsHaveEmptyCompletionFields) {
+  sim::SimConfig config;
+  config.capacity = ResourceVec{20.0, 40.0};
+  config.max_horizon_s = 10.0;  // too short to finish anything
+  sim::Simulator simulator(config);
+  GreedyScheduler scheduler;
+  const sim::SimResult result = simulator.run(tiny_scenario(), scheduler);
+  const std::string csv = sim::jobs_csv(result);
+  // A row ending in ",," marks a job without completion/turnaround.
+  EXPECT_NE(csv.find(",,"), std::string::npos);
+}
+
+TEST(Report, WriteFileRoundTrips) {
+  const std::string path = "/tmp/flowtime_report_test.csv";
+  ASSERT_TRUE(sim::write_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(sim::write_file("/nonexistent_dir_xyz/file.csv", "x"));
+}
+
+TEST(SimplexEdge, IterationLimitIsReported) {
+  // A non-trivial LP with an absurdly small pivot budget.
+  lp::LpProblem p;
+  std::vector<lp::RowEntry> row;
+  for (int j = 0; j < 20; ++j) {
+    const int col = p.add_column(-1.0, 0.0, 5.0);
+    row.push_back(lp::RowEntry{col, 1.0});
+  }
+  p.add_row(lp::RowSense::kLessEqual, 30.0, std::move(row));
+  lp::SimplexOptions options;
+  options.max_iterations = 2;
+  lp::SimplexSolver solver(options);
+  const lp::Solution s = solver.solve(p);
+  EXPECT_EQ(s.status, lp::SolveStatus::kIterationLimit);
+}
+
+TEST(SimplexEdge, TinyIterationBudgetStillFindsTrivialOptimum) {
+  lp::LpProblem p;
+  const int x = p.add_column(1.0, 2.0, 9.0);
+  p.add_row(lp::RowSense::kLessEqual, 100.0, {{x, 1.0}});
+  lp::SimplexOptions options;
+  options.max_iterations = 50;
+  lp::SimplexSolver solver(options);
+  const lp::Solution s = solver.solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.x[0], 2.0);
+}
+
+}  // namespace
+}  // namespace flowtime

@@ -1,0 +1,186 @@
+// Tests for the scenario file parser/writer: happy path, every error
+// branch, and write->parse round-trips.
+#include <gtest/gtest.h>
+
+#include "dag/generators.h"
+#include "util/rng.h"
+#include "workload/scenario_io.h"
+#include "workload/trace_gen.h"
+
+namespace flowtime::workload {
+namespace {
+
+constexpr const char* kValid = R"(
+# comment
+cluster cores=100 mem_gb=256 slot_seconds=5
+
+workflow id=3 name=etl start=10 deadline=1800
+job node=0 name=extract tasks=20 runtime=60 cores=1 mem=2
+job node=1 name=clean tasks=40 runtime=45 cores=1 mem=2 error=1.2
+edge 0 1
+end
+
+adhoc id=0 name=q arrival=120 tasks=8 runtime=30 cores=1 mem=1
+)";
+
+TEST(ScenarioIo, ParsesValidFile) {
+  ParseError error;
+  const auto parsed = parse_scenario(std::string(kValid), &error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  ASSERT_TRUE(parsed->cluster.has_value());
+  EXPECT_DOUBLE_EQ(parsed->cluster->capacity[kCpu], 100.0);
+  EXPECT_DOUBLE_EQ(parsed->cluster->capacity[kMemory], 256.0);
+  EXPECT_DOUBLE_EQ(parsed->cluster->slot_seconds, 5.0);
+
+  ASSERT_EQ(parsed->scenario.workflows.size(), 1u);
+  const Workflow& w = parsed->scenario.workflows[0];
+  EXPECT_EQ(w.id, 3);
+  EXPECT_EQ(w.name, "etl");
+  EXPECT_DOUBLE_EQ(w.start_s, 10.0);
+  EXPECT_DOUBLE_EQ(w.deadline_s, 1800.0);
+  ASSERT_EQ(w.jobs.size(), 2u);
+  EXPECT_EQ(w.jobs[0].name, "extract");
+  EXPECT_EQ(w.jobs[0].num_tasks, 20);
+  EXPECT_DOUBLE_EQ(w.jobs[1].actual_runtime_factor, 1.2);
+  EXPECT_TRUE(w.dag.has_edge(0, 1));
+
+  ASSERT_EQ(parsed->scenario.adhoc_jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->scenario.adhoc_jobs[0].arrival_s, 120.0);
+}
+
+TEST(ScenarioIo, ClusterLineIsOptional) {
+  ParseError error;
+  const auto parsed = parse_scenario(
+      std::string("adhoc id=0 arrival=0 tasks=1 runtime=10 cores=1 mem=1\n"),
+      &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->cluster.has_value());
+}
+
+struct ErrorCase {
+  const char* name;
+  const char* text;
+  const char* expected_fragment;
+};
+
+class ScenarioIoErrors : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(ScenarioIoErrors, ReportsLineAndMessage) {
+  ParseError error;
+  const auto parsed = parse_scenario(std::string(GetParam().text), &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_GE(error.line, 0);
+  EXPECT_NE(error.message.find(GetParam().expected_fragment),
+            std::string::npos)
+      << "actual message: " << error.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScenarioIoErrors,
+    ::testing::Values(
+        ErrorCase{"unknown", "frobnicate a=1\n", "unknown directive"},
+        ErrorCase{"badfield", "cluster cores\n", "expected key=value"},
+        ErrorCase{"missing", "cluster cores=5\n", "missing field"},
+        ErrorCase{"notnum", "cluster cores=x mem_gb=1\n", "not a number"},
+        ErrorCase{"joboutside",
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\n",
+                  "outside a workflow"},
+        ErrorCase{"edgeoutside", "edge 0 1\n", "outside a workflow"},
+        ErrorCase{"endoutside", "end\n", "'end' without"},
+        ErrorCase{"unclosed",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\n",
+                  "ended inside"},
+        ErrorCase{"nojobs", "workflow id=0 start=0 deadline=10\nend\n",
+                  "no jobs"},
+        ErrorCase{"sparse",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=1 tasks=1 runtime=1 cores=1 mem=1\nend\n",
+                  "densely"},
+        ErrorCase{"dupnode",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\nend\n",
+                  "duplicate job node"},
+        ErrorCase{"badedge",
+                  "workflow id=0 start=0 deadline=100\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\n"
+                  "edge 0 5\nend\n",
+                  "unknown node"},
+        ErrorCase{"cycle",
+                  "workflow id=0 start=0 deadline=100\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\n"
+                  "job node=1 tasks=1 runtime=1 cores=1 mem=1\n"
+                  "edge 0 1\nedge 1 0\nend\n",
+                  "invalid"},
+        ErrorCase{"nested",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "workflow id=1 start=0 deadline=10\n",
+                  "not closed"}));
+
+TEST(ScenarioIo, MissingFileReportsError) {
+  ParseError error;
+  const auto parsed =
+      load_scenario_file("/nonexistent/path.scn", &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(error.message.find("cannot open"), std::string::npos);
+}
+
+TEST(ScenarioIo, RoundTripsGeneratedScenarios) {
+  const Scenario original = make_fig4_scenario(5);
+  ScenarioCluster cluster;
+  cluster.capacity = ResourceVec{500.0, 1024.0};
+  const std::string text = write_scenario(original, cluster);
+
+  ParseError error;
+  const auto parsed = parse_scenario(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << "line " << error.line << ": "
+                                  << error.message;
+  ASSERT_EQ(parsed->scenario.workflows.size(), original.workflows.size());
+  ASSERT_EQ(parsed->scenario.adhoc_jobs.size(), original.adhoc_jobs.size());
+  for (std::size_t i = 0; i < original.workflows.size(); ++i) {
+    const Workflow& a = original.workflows[i];
+    const Workflow& b = parsed->scenario.workflows[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.dag.num_nodes(), b.dag.num_nodes());
+    EXPECT_EQ(a.dag.num_edges(), b.dag.num_edges());
+    EXPECT_NEAR(a.deadline_s, b.deadline_s, 1e-3);
+    for (dag::NodeId v = 0; v < a.dag.num_nodes(); ++v) {
+      EXPECT_EQ(a.jobs[static_cast<std::size_t>(v)].num_tasks,
+                b.jobs[static_cast<std::size_t>(v)].num_tasks);
+      EXPECT_EQ(a.dag.children(v), b.dag.children(v));
+    }
+  }
+  for (std::size_t i = 0; i < original.adhoc_jobs.size(); ++i) {
+    EXPECT_NEAR(original.adhoc_jobs[i].arrival_s,
+                parsed->scenario.adhoc_jobs[i].arrival_s, 1e-3);
+  }
+}
+
+TEST(ScenarioIo, RoundTripPreservesErrorFactors) {
+  Scenario scenario;
+  Workflow w;
+  w.id = 0;
+  w.name = "w";
+  w.start_s = 0.0;
+  w.deadline_s = 100.0;
+  w.dag = dag::make_chain(1);
+  JobSpec job;
+  job.name = "j";
+  job.num_tasks = 3;
+  job.task.runtime_s = 10.0;
+  job.task.demand = ResourceVec{1.0, 2.0};
+  job.actual_runtime_factor = 1.3;
+  w.jobs = {job};
+  scenario.workflows.push_back(std::move(w));
+
+  ParseError error;
+  const auto parsed =
+      parse_scenario(write_scenario(scenario, std::nullopt), &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(parsed->scenario.workflows[0].jobs[0].actual_runtime_factor,
+              1.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace flowtime::workload

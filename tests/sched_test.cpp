@@ -1,0 +1,308 @@
+// Tests for the baseline schedulers: FIFO, Fair, EDF, CORA-like and
+// Morpheus-like.
+#include <gtest/gtest.h>
+
+#include "dag/generators.h"
+#include "sched/allocation_util.h"
+#include "sched/baselines.h"
+#include "sched/cora.h"
+#include "sched/morpheus.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace flowtime::sched {
+namespace {
+
+using workload::kCpu;
+using workload::ResourceVec;
+
+workload::JobSpec simple_job(int tasks, double runtime, double cpu,
+                             double mem) {
+  workload::JobSpec job;
+  job.name = "j";
+  job.num_tasks = tasks;
+  job.task.runtime_s = runtime;
+  job.task.demand = ResourceVec{cpu, mem};
+  return job;
+}
+
+workload::Workflow one_job_workflow(int id, double start, double deadline,
+                                    const workload::JobSpec& job) {
+  workload::Workflow w;
+  w.id = id;
+  w.name = "w" + std::to_string(id);
+  w.start_s = start;
+  w.deadline_s = deadline;
+  w.dag = dag::make_chain(1);
+  w.jobs = {job};
+  return w;
+}
+
+workload::AdhocJob adhoc(int id, double arrival, int tasks, double runtime) {
+  workload::AdhocJob job;
+  job.id = id;
+  job.arrival_s = arrival;
+  job.spec = simple_job(tasks, runtime, 1.0, 1.0);
+  job.spec.name = "adhoc" + std::to_string(id);
+  return job;
+}
+
+sim::SimConfig tiny_cluster() {
+  sim::SimConfig config;
+  config.capacity = ResourceVec{10.0, 20.0};
+  config.max_horizon_s = 5000.0;
+  return config;
+}
+
+TEST(Fifo, ServesInArrivalOrder) {
+  // Two identical 1-job workflows with different starts; a 10-core cluster
+  // fits exactly one at a time (width 10 each).
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 4000.0, simple_job(10, 30.0, 1.0, 1.0)));
+  scenario.workflows.push_back(
+      one_job_workflow(1, 10.0, 4000.0, simple_job(10, 30.0, 1.0, 1.0)));
+  sim::Simulator sim(tiny_cluster());
+  FifoScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  // First job monopolizes: 300 core-s / 100 per slot = 3 slots.
+  EXPECT_DOUBLE_EQ(result.jobs[0].completion_s.value(), 30.0);
+  EXPECT_DOUBLE_EQ(result.jobs[1].completion_s.value(), 60.0);
+  EXPECT_EQ(result.capacity_violations, 0);
+}
+
+TEST(Fifo, AdhocAheadOfLaterDeadlineJob) {
+  // FIFO is deadline-oblivious: an earlier ad-hoc job outranks a later
+  // deadline job.
+  workload::Scenario scenario;
+  scenario.adhoc_jobs.push_back(adhoc(0, 0.0, 10, 30.0));
+  scenario.workflows.push_back(
+      one_job_workflow(0, 10.0, 100.0, simple_job(10, 30.0, 1.0, 1.0)));
+  sim::Simulator sim(tiny_cluster());
+  FifoScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  const auto& adhoc_record = result.jobs[1];  // workflow job laid out first
+  ASSERT_EQ(adhoc_record.kind, sim::JobKind::kAdhoc);
+  EXPECT_LT(adhoc_record.completion_s.value(),
+            result.jobs[0].completion_s.value());
+}
+
+TEST(Fair, SplitsCapacityEqually) {
+  // Two identical jobs arriving together share the 10 cores 5/5, finishing
+  // together at twice the solo time.
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 4000.0, simple_job(10, 30.0, 1.0, 1.0)));
+  scenario.workflows.push_back(
+      one_job_workflow(1, 0.0, 4000.0, simple_job(10, 30.0, 1.0, 1.0)));
+  sim::Simulator sim(tiny_cluster());
+  FairScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_DOUBLE_EQ(result.jobs[0].completion_s.value(), 60.0);
+  EXPECT_DOUBLE_EQ(result.jobs[1].completion_s.value(), 60.0);
+}
+
+TEST(Fair, LetsSmallAdhocFinishQuicklyUnderLoad) {
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 4000.0, simple_job(10, 100.0, 1.0, 1.0)));
+  scenario.adhoc_jobs.push_back(adhoc(0, 0.0, 2, 10.0));
+  sim::Simulator sim(tiny_cluster());
+  FairScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  const sim::AdhocReport report = sim::evaluate_adhoc(result);
+  // The ad-hoc job's fair share lets it finish far sooner than the big job.
+  EXPECT_LT(report.mean_turnaround_s,
+            result.jobs[0].completion_s.value() / 2.0);
+}
+
+TEST(Edf, DeadlineJobsBlockAdhoc) {
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 2000.0, simple_job(10, 100.0, 1.0, 1.0)));
+  scenario.adhoc_jobs.push_back(adhoc(0, 0.0, 10, 30.0));
+  sim::Simulator sim(tiny_cluster());
+  EdfScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  // Deadline job (1000 core-s / 100 per slot = 10 slots) hogs everything;
+  // adhoc runs after.
+  EXPECT_DOUBLE_EQ(result.jobs[0].completion_s.value(), 100.0);
+  EXPECT_DOUBLE_EQ(result.jobs[1].completion_s.value(), 130.0);
+}
+
+TEST(Edf, OrdersByDecomposedDeadline) {
+  // Workflow 1 has a much tighter deadline and must preempt workflow 0 in
+  // priority even though it arrives second.
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 3000.0, simple_job(10, 50.0, 1.0, 1.0)));
+  scenario.workflows.push_back(
+      one_job_workflow(1, 10.0, 200.0, simple_job(10, 50.0, 1.0, 1.0)));
+  sim::Simulator sim(tiny_cluster());
+  EdfScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_LT(result.jobs[1].completion_s.value(),
+            result.jobs[0].completion_s.value());
+}
+
+TEST(Edf, MultiJobWorkflowRespectsPrecedence) {
+  workload::Scenario scenario;
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "w";
+  w.start_s = 0.0;
+  w.deadline_s = 2000.0;
+  w.dag = dag::make_chain(2);
+  w.jobs = {simple_job(5, 40.0, 1.0, 1.0), simple_job(5, 40.0, 1.0, 1.0)};
+  scenario.workflows.push_back(std::move(w));
+  sim::Simulator sim(tiny_cluster());
+  EdfScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_EQ(result.not_ready_allocations, 0);
+  EXPECT_GT(result.jobs[1].completion_s.value(),
+            result.jobs[0].completion_s.value());
+}
+
+TEST(Cora, PacesDeadlineJobsInsteadOfRushing) {
+  // Under contention CORA paces the deadline job (it only owns its paced
+  // rate; the rest is shared), so it finishes later than EDF's full-width
+  // optimum of 50 s — but still within its loose deadline.
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 1000.0, simple_job(10, 50.0, 1.0, 1.0)));
+  scenario.adhoc_jobs.push_back(adhoc(0, 0.0, 10, 200.0));  // big competitor
+  sim::Simulator sim(tiny_cluster());
+  CoraScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_GT(result.jobs[0].completion_s.value(), 50.0);
+  EXPECT_LE(result.jobs[0].completion_s.value(), 1000.0);
+}
+
+TEST(Cora, SharesLeftoversWithAdhoc) {
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 1000.0, simple_job(10, 50.0, 1.0, 1.0)));
+  scenario.adhoc_jobs.push_back(adhoc(0, 0.0, 5, 20.0));
+  sim::Simulator sim(tiny_cluster());
+  CoraScheduler scheduler;
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  const sim::AdhocReport report = sim::evaluate_adhoc(result);
+  // The ad-hoc job is not starved behind the deadline job.
+  EXPECT_LT(report.mean_turnaround_s, 100.0);
+}
+
+TEST(Morpheus, InfersDeadlinesFromHistoryShape) {
+  workload::Scenario scenario;
+  workload::Workflow w;
+  w.id = 0;
+  w.name = "w";
+  w.start_s = 100.0;
+  w.deadline_s = 5000.0;
+  w.dag = dag::make_chain(2);
+  w.jobs = {simple_job(5, 40.0, 1.0, 1.0), simple_job(5, 60.0, 1.0, 1.0)};
+  scenario.workflows.push_back(w);
+  sim::Simulator sim(tiny_cluster());
+  MorpheusConfig config;
+  config.slo_padding = 1.5;
+  config.cluster_capacity = ResourceVec{10.0, 20.0};
+  MorpheusScheduler scheduler(config);
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  // Historical offsets: job0 finishes at 40, job1 at 100 (uncontended).
+  EXPECT_NEAR(scheduler.inferred_deadline(0), 100.0 + 1.5 * 40.0, 1e-6);
+  EXPECT_NEAR(scheduler.inferred_deadline(1), 100.0 + 1.5 * 100.0, 1e-6);
+}
+
+TEST(Morpheus, MeetsInferredSlosWhenUncontended) {
+  workload::Scenario scenario;
+  scenario.workflows.push_back(
+      one_job_workflow(0, 0.0, 2000.0, simple_job(10, 50.0, 1.0, 1.0)));
+  sim::Simulator sim(tiny_cluster());
+  MorpheusScheduler scheduler(
+      MorpheusConfig{1.5, ResourceVec{10.0, 20.0}});
+  const sim::SimResult result = sim.run(scenario, scheduler);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_LE(result.jobs[0].completion_s.value(),
+            scheduler.inferred_deadline(0) + 10.0);
+}
+
+TEST(AllocationUtil, DesiredAmountRespectsEstimate) {
+  sim::JobView view;
+  view.kind = sim::JobKind::kDeadline;
+  view.width = ResourceVec{100.0, 200.0};
+  view.remaining_estimate = ResourceVec{30.0, 60.0};
+  EXPECT_EQ(desired_amount(view), (ResourceVec{30.0, 60.0}));
+  view.overrun = true;
+  EXPECT_EQ(desired_amount(view), (ResourceVec{100.0, 200.0}));
+  sim::JobView adhoc_view;
+  adhoc_view.kind = sim::JobKind::kAdhoc;
+  adhoc_view.width = ResourceVec{10.0, 20.0};
+  EXPECT_EQ(desired_amount(adhoc_view), (ResourceVec{10.0, 20.0}));
+}
+
+TEST(AllocationUtil, GreedyScalesGangProportionally) {
+  sim::JobView view;
+  view.uid = 0;
+  view.kind = sim::JobKind::kAdhoc;
+  view.ready = true;
+  view.width = ResourceVec{100.0, 50.0};
+  std::vector<const sim::JobView*> views{&view};
+  workload::ResourceVec issued{};
+  std::vector<sim::Allocation> out;
+  // Capacity limits CPU to half the width: both resources shrink by half.
+  grant_greedy_in_order(views, ResourceVec{50.0, 1000.0}, true, issued, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].amount[0], 50.0);
+  EXPECT_DOUBLE_EQ(out[0].amount[1], 25.0);
+}
+
+TEST(AllocationUtil, MaxMinFairSplitsAndSweeps) {
+  sim::JobView a, b;
+  a.uid = 0;
+  a.kind = sim::JobKind::kAdhoc;
+  a.ready = true;
+  a.arrival_s = 0.0;
+  a.width = ResourceVec{60.0, 60.0};
+  b = a;
+  b.uid = 1;
+  b.arrival_s = 1.0;
+  std::vector<const sim::JobView*> views{&a, &b};
+  std::vector<sim::Allocation> out;
+  grant_max_min_fair(views, ResourceVec{90.0, 90.0}, out);
+  ASSERT_EQ(out.size(), 2u);
+  // lambda = 90/120 = 0.75 -> 45 each; nothing left for the sweep.
+  EXPECT_DOUBLE_EQ(out[0].amount[0], 45.0);
+  EXPECT_DOUBLE_EQ(out[1].amount[0], 45.0);
+}
+
+TEST(AllocationUtil, SweepGivesRemainderInArrivalOrder) {
+  sim::JobView a, b;
+  a.uid = 0;
+  a.kind = sim::JobKind::kAdhoc;
+  a.ready = true;
+  a.arrival_s = 5.0;
+  a.width = ResourceVec{30.0, 30.0};
+  b = a;
+  b.uid = 1;
+  b.arrival_s = 1.0;  // earlier arrival
+  b.width = ResourceVec{100.0, 100.0};
+  std::vector<const sim::JobView*> views{&a, &b};
+  std::vector<sim::Allocation> out;
+  // lambda = 100/130; leftovers go to b first (earlier arrival).
+  grant_max_min_fair(views, ResourceVec{100.0, 100.0}, out);
+  double total = 0.0;
+  for (const auto& allocation : out) total += allocation.amount[0];
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flowtime::sched

@@ -1,0 +1,162 @@
+// Unit tests for the util module: stats, tables, strings, flags, rng.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace flowtime::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanOfValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, StddevPopulation) {
+  // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+  EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 20), 10.0);
+}
+
+TEST(Stats, MinMaxSum) {
+  std::vector<double> v{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 3.0);
+  EXPECT_DOUBLE_EQ(sum_of(v), 4.0);
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStat rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.begin_row().add("alpha").add(1.5, 1);
+  t.begin_row().add("b").add(std::int64_t{42});
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("1.5"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.begin_row().add("x").add(std::int64_t{1});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1\n");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--workflows=7", "--rate", "0.5", "--verbose"};
+  Flags flags(5, argv);
+  EXPECT_EQ(flags.get_int("workflows", 0), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.5);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("absent", 9), 9);
+}
+
+TEST(Flags, TracksUnqueriedFlags) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Flags flags(2, argv);
+  EXPECT_EQ(flags.unqueried().size(), 1u);
+  flags.get_int("typo", 0);
+  EXPECT_TRUE(flags.unqueried().empty());
+}
+
+TEST(Flags, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Flags(2, argv), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ForkDecorrelatesStreams) {
+  Rng parent(1);
+  Rng child = parent.fork();
+  // The forked stream must not replay the parent's stream.
+  Rng parent_copy(1);
+  parent_copy.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.uniform_int(0, 1 << 30) == parent_copy.uniform_int(0, 1 << 30)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 100);
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace flowtime::util
