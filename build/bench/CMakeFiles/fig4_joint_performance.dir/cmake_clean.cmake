@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_joint_performance.dir/fig4_joint_performance.cpp.o"
+  "CMakeFiles/fig4_joint_performance.dir/fig4_joint_performance.cpp.o.d"
+  "fig4_joint_performance"
+  "fig4_joint_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_joint_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deadline_slack.dir/fig5_deadline_slack.cpp.o"
+  "CMakeFiles/fig5_deadline_slack.dir/fig5_deadline_slack.cpp.o.d"
+  "fig5_deadline_slack"
+  "fig5_deadline_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deadline_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_trace_driven.dir/fig8_trace_driven.cpp.o"
+  "CMakeFiles/fig8_trace_driven.dir/fig8_trace_driven.cpp.o.d"
+  "fig8_trace_driven"
+  "fig8_trace_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_trace_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_estimation_robustness.dir/fig9_estimation_robustness.cpp.o"
+  "CMakeFiles/fig9_estimation_robustness.dir/fig9_estimation_robustness.cpp.o.d"
+  "fig9_estimation_robustness"
+  "fig9_estimation_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_estimation_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

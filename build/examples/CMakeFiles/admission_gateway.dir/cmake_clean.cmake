@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_gateway.dir/admission_gateway.cpp.o"
+  "CMakeFiles/admission_gateway.dir/admission_gateway.cpp.o.d"
+  "admission_gateway"
+  "admission_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

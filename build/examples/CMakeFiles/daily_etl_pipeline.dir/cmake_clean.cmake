@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_etl_pipeline.dir/daily_etl_pipeline.cpp.o"
+  "CMakeFiles/daily_etl_pipeline.dir/daily_etl_pipeline.cpp.o.d"
+  "daily_etl_pipeline"
+  "daily_etl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_etl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

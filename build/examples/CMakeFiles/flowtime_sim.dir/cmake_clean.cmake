@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowtime_sim.dir/flowtime_sim.cpp.o"
+  "CMakeFiles/flowtime_sim.dir/flowtime_sim.cpp.o.d"
+  "flowtime_sim"
+  "flowtime_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowtime_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/ft_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/core/CMakeFiles/ft_core.dir/decomposition.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/decomposition.cpp.o.d"
+  "/root/repo/src/core/flow_placement.cpp" "src/core/CMakeFiles/ft_core.dir/flow_placement.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/flow_placement.cpp.o.d"
+  "/root/repo/src/core/flowtime_scheduler.cpp" "src/core/CMakeFiles/ft_core.dir/flowtime_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/flowtime_scheduler.cpp.o.d"
+  "/root/repo/src/core/lp_formulation.cpp" "src/core/CMakeFiles/ft_core.dir/lp_formulation.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/lp_formulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ft_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

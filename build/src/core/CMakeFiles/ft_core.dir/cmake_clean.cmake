@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_core.dir/admission.cpp.o"
+  "CMakeFiles/ft_core.dir/admission.cpp.o.d"
+  "CMakeFiles/ft_core.dir/decomposition.cpp.o"
+  "CMakeFiles/ft_core.dir/decomposition.cpp.o.d"
+  "CMakeFiles/ft_core.dir/flow_placement.cpp.o"
+  "CMakeFiles/ft_core.dir/flow_placement.cpp.o.d"
+  "CMakeFiles/ft_core.dir/flowtime_scheduler.cpp.o"
+  "CMakeFiles/ft_core.dir/flowtime_scheduler.cpp.o.d"
+  "CMakeFiles/ft_core.dir/lp_formulation.cpp.o"
+  "CMakeFiles/ft_core.dir/lp_formulation.cpp.o.d"
+  "libft_core.a"
+  "libft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/critical_path.cpp" "src/dag/CMakeFiles/ft_dag.dir/critical_path.cpp.o" "gcc" "src/dag/CMakeFiles/ft_dag.dir/critical_path.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "src/dag/CMakeFiles/ft_dag.dir/dag.cpp.o" "gcc" "src/dag/CMakeFiles/ft_dag.dir/dag.cpp.o.d"
+  "/root/repo/src/dag/dot.cpp" "src/dag/CMakeFiles/ft_dag.dir/dot.cpp.o" "gcc" "src/dag/CMakeFiles/ft_dag.dir/dot.cpp.o.d"
+  "/root/repo/src/dag/generators.cpp" "src/dag/CMakeFiles/ft_dag.dir/generators.cpp.o" "gcc" "src/dag/CMakeFiles/ft_dag.dir/generators.cpp.o.d"
+  "/root/repo/src/dag/topology.cpp" "src/dag/CMakeFiles/ft_dag.dir/topology.cpp.o" "gcc" "src/dag/CMakeFiles/ft_dag.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_dag.dir/critical_path.cpp.o"
+  "CMakeFiles/ft_dag.dir/critical_path.cpp.o.d"
+  "CMakeFiles/ft_dag.dir/dag.cpp.o"
+  "CMakeFiles/ft_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/ft_dag.dir/dot.cpp.o"
+  "CMakeFiles/ft_dag.dir/dot.cpp.o.d"
+  "CMakeFiles/ft_dag.dir/generators.cpp.o"
+  "CMakeFiles/ft_dag.dir/generators.cpp.o.d"
+  "CMakeFiles/ft_dag.dir/topology.cpp.o"
+  "CMakeFiles/ft_dag.dir/topology.cpp.o.d"
+  "libft_dag.a"
+  "libft_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

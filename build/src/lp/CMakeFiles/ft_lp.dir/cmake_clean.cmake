@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_lp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/ft_lp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/ft_lp.dir/lambda.cpp.o"
+  "CMakeFiles/ft_lp.dir/lambda.cpp.o.d"
+  "CMakeFiles/ft_lp.dir/lexmin.cpp.o"
+  "CMakeFiles/ft_lp.dir/lexmin.cpp.o.d"
+  "CMakeFiles/ft_lp.dir/maxflow.cpp.o"
+  "CMakeFiles/ft_lp.dir/maxflow.cpp.o.d"
+  "CMakeFiles/ft_lp.dir/model.cpp.o"
+  "CMakeFiles/ft_lp.dir/model.cpp.o.d"
+  "CMakeFiles/ft_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ft_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/ft_lp.dir/unimodular.cpp.o"
+  "CMakeFiles/ft_lp.dir/unimodular.cpp.o.d"
+  "libft_lp.a"
+  "libft_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

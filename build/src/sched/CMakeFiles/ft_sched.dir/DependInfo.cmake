@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation_util.cpp" "src/sched/CMakeFiles/ft_sched.dir/allocation_util.cpp.o" "gcc" "src/sched/CMakeFiles/ft_sched.dir/allocation_util.cpp.o.d"
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/ft_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/ft_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/cora.cpp" "src/sched/CMakeFiles/ft_sched.dir/cora.cpp.o" "gcc" "src/sched/CMakeFiles/ft_sched.dir/cora.cpp.o.d"
+  "/root/repo/src/sched/experiment.cpp" "src/sched/CMakeFiles/ft_sched.dir/experiment.cpp.o" "gcc" "src/sched/CMakeFiles/ft_sched.dir/experiment.cpp.o.d"
+  "/root/repo/src/sched/morpheus.cpp" "src/sched/CMakeFiles/ft_sched.dir/morpheus.cpp.o" "gcc" "src/sched/CMakeFiles/ft_sched.dir/morpheus.cpp.o.d"
+  "/root/repo/src/sched/rayon.cpp" "src/sched/CMakeFiles/ft_sched.dir/rayon.cpp.o" "gcc" "src/sched/CMakeFiles/ft_sched.dir/rayon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ft_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

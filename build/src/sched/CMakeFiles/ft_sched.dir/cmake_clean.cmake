@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_sched.dir/allocation_util.cpp.o"
+  "CMakeFiles/ft_sched.dir/allocation_util.cpp.o.d"
+  "CMakeFiles/ft_sched.dir/baselines.cpp.o"
+  "CMakeFiles/ft_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/ft_sched.dir/cora.cpp.o"
+  "CMakeFiles/ft_sched.dir/cora.cpp.o.d"
+  "CMakeFiles/ft_sched.dir/experiment.cpp.o"
+  "CMakeFiles/ft_sched.dir/experiment.cpp.o.d"
+  "CMakeFiles/ft_sched.dir/morpheus.cpp.o"
+  "CMakeFiles/ft_sched.dir/morpheus.cpp.o.d"
+  "CMakeFiles/ft_sched.dir/rayon.cpp.o"
+  "CMakeFiles/ft_sched.dir/rayon.cpp.o.d"
+  "libft_sched.a"
+  "libft_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/ft_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/ft_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ft_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/task_simulator.cpp" "src/sim/CMakeFiles/ft_sim.dir/task_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/task_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ft_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ft_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/report.cpp.o"
+  "CMakeFiles/ft_sim.dir/report.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ft_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/task_simulator.cpp.o"
+  "CMakeFiles/ft_sim.dir/task_simulator.cpp.o.d"
+  "libft_sim.a"
+  "libft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_util.dir/flags.cpp.o"
+  "CMakeFiles/ft_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ft_util.dir/histogram.cpp.o"
+  "CMakeFiles/ft_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ft_util.dir/logging.cpp.o"
+  "CMakeFiles/ft_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ft_util.dir/stats.cpp.o"
+  "CMakeFiles/ft_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ft_util.dir/strings.cpp.o"
+  "CMakeFiles/ft_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ft_util.dir/table.cpp.o"
+  "CMakeFiles/ft_util.dir/table.cpp.o.d"
+  "libft_util.a"
+  "libft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

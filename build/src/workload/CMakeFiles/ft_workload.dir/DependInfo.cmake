@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dot.cpp" "src/workload/CMakeFiles/ft_workload.dir/dot.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/dot.cpp.o.d"
+  "/root/repo/src/workload/estimator.cpp" "src/workload/CMakeFiles/ft_workload.dir/estimator.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/estimator.cpp.o.d"
+  "/root/repo/src/workload/history.cpp" "src/workload/CMakeFiles/ft_workload.dir/history.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/history.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/ft_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/scenario_io.cpp" "src/workload/CMakeFiles/ft_workload.dir/scenario_io.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/scenario_io.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/ft_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/workflow.cpp" "src/workload/CMakeFiles/ft_workload.dir/workflow.cpp.o" "gcc" "src/workload/CMakeFiles/ft_workload.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ft_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_workload.dir/dot.cpp.o"
+  "CMakeFiles/ft_workload.dir/dot.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/estimator.cpp.o"
+  "CMakeFiles/ft_workload.dir/estimator.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/history.cpp.o"
+  "CMakeFiles/ft_workload.dir/history.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/profiles.cpp.o"
+  "CMakeFiles/ft_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/scenario_io.cpp.o"
+  "CMakeFiles/ft_workload.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/ft_workload.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/ft_workload.dir/workflow.cpp.o"
+  "CMakeFiles/ft_workload.dir/workflow.cpp.o.d"
+  "libft_workload.a"
+  "libft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_placement_test.dir/coupled_placement_test.cpp.o"
+  "CMakeFiles/coupled_placement_test.dir/coupled_placement_test.cpp.o.d"
+  "coupled_placement_test"
+  "coupled_placement_test.pdb"
+  "coupled_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

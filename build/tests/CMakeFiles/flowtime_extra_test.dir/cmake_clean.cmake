@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowtime_extra_test.dir/flowtime_extra_test.cpp.o"
+  "CMakeFiles/flowtime_extra_test.dir/flowtime_extra_test.cpp.o.d"
+  "flowtime_extra_test"
+  "flowtime_extra_test.pdb"
+  "flowtime_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowtime_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowtime_scheduler_test.dir/flowtime_scheduler_test.cpp.o"
+  "CMakeFiles/flowtime_scheduler_test.dir/flowtime_scheduler_test.cpp.o.d"
+  "flowtime_scheduler_test"
+  "flowtime_scheduler_test.pdb"
+  "flowtime_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowtime_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_formulation_test.dir/lp_formulation_test.cpp.o"
+  "CMakeFiles/lp_formulation_test.dir/lp_formulation_test.cpp.o.d"
+  "lp_formulation_test"
+  "lp_formulation_test.pdb"
+  "lp_formulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_formulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_simulator_test.dir/task_simulator_test.cpp.o"
+  "CMakeFiles/task_simulator_test.dir/task_simulator_test.cpp.o.d"
+  "task_simulator_test"
+  "task_simulator_test.pdb"
+  "task_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/decomposition_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_formulation_test[1]_include.cmake")
+include("/root/repo/build/tests/flowtime_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/flowtime_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/lemma_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_placement_test[1]_include.cmake")
+include("/root/repo/build/tests/rayon_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_io_test[1]_include.cmake")
+include("/root/repo/build/tests/node_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/admission_test[1]_include.cmake")
+include("/root/repo/build/tests/coupled_placement_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/task_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/history_test[1]_include.cmake")
