@@ -61,7 +61,7 @@ void part1_decomposition_mode() {
   for (const auto mode : {core::DecompositionMode::kResourceDemand,
                           core::DecompositionMode::kCriticalPath}) {
     core::DecompositionConfig dconfig;
-    dconfig.cluster_capacity = ResourceVec{120.0, 256.0};
+    dconfig.cluster.capacity = ResourceVec{120.0, 256.0};
     dconfig.mode = mode;
     const core::DeadlineDecomposer decomposer(dconfig);
     const auto result = decomposer.decompose(scenario.workflows[0]);
@@ -71,9 +71,9 @@ void part1_decomposition_mode() {
         "paper: demand-aware -> (n-1)/(n+1) = %.2f, critical-path -> 1/3)\n",
         mode == core::DecompositionMode::kResourceDemand ? "demand-aware "
                                                          : "critical-path",
-        result->level_duration_s[0], result->level_duration_s[1],
-        result->level_duration_s[2],
-        result->level_duration_s[1] / 3300.0,
+        result.level_duration_s[0], result.level_duration_s[1],
+        result.level_duration_s[2],
+        result.level_duration_s[1] / 3300.0,
         static_cast<double>(middle) / (middle + 2));
   }
 
@@ -83,10 +83,10 @@ void part1_decomposition_mode() {
   for (const auto mode : {core::DecompositionMode::kResourceDemand,
                           core::DecompositionMode::kCriticalPath}) {
     sched::ExperimentConfig config;
-    config.sim.capacity = ResourceVec{120.0, 256.0};
+    config.sim.cluster.capacity = ResourceVec{120.0, 256.0};
     config.sim.max_horizon_s = 8.0 * 3600.0;
-    config.flowtime.cluster_capacity = config.sim.capacity;
-    config.flowtime.slot_seconds = config.sim.slot_seconds;
+    config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+    config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
     config.flowtime.decomposition_mode = mode;
     config.schedulers = {"FlowTime"};
 
@@ -105,7 +105,7 @@ void part1_decomposition_mode() {
       // Deadline: 2.6x the minimum makespan — meetable, but only if the
       // wide middle level receives its demand-proportional share.
       w.deadline_s =
-          w.start_s + 2.6 * w.min_makespan_s(config.sim.capacity);
+          w.start_s + 2.6 * w.min_makespan_s(config.sim.cluster.capacity);
       end_to_end.workflows.push_back(std::move(w));
     }
     const auto outcomes = sched::run_comparison(end_to_end, config);

@@ -22,7 +22,7 @@ int main() {
   fig4.num_workflows = 3;
   fig4.jobs_per_workflow = 12;
   fig4.workflow_start_spread_s = 400.0;
-  fig4.workflow.cluster_capacity = ResourceVec{500.0, 1024.0};
+  fig4.workflow.cluster.capacity = ResourceVec{500.0, 1024.0};
   fig4.workflow.looseness_min = 4.0;
   fig4.workflow.looseness_max = 6.0;
   fig4.adhoc.rate_per_s = 0.08;
@@ -46,14 +46,14 @@ int main() {
                         Row{25, true}, Row{100, false}}) {
     const int nodes = row.nodes;
     sched::ExperimentConfig config;
-    config.sim.capacity = ResourceVec{500.0, 1024.0};
+    config.sim.cluster.capacity = ResourceVec{500.0, 1024.0};
     // The fractional-grant row starves and would otherwise burn the whole
     // safety horizon; 2 h is ample to demonstrate the failure.
     config.sim.max_horizon_s = row.round || nodes == 0 ? 6.0 * 3600.0
                                                        : 2.0 * 3600.0;
     config.sim.num_nodes = nodes;
-    config.flowtime.cluster_capacity = config.sim.capacity;
-    config.flowtime.slot_seconds = config.sim.slot_seconds;
+    config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+    config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
     // A YARN port issues whole containers; without this, fractional LP
     // grants quantize to zero and starve (measured: >40% loss).
     config.flowtime.round_to_containers = row.round;
@@ -84,11 +84,11 @@ int main() {
   // execution. Run FlowTime against it with container-shaped grants.
   {
     sim::TaskSimConfig task_config;
-    task_config.capacity = ResourceVec{500.0, 1024.0};
+    task_config.cluster.capacity = ResourceVec{500.0, 1024.0};
     task_config.max_horizon_s = 6.0 * 3600.0;
     core::FlowTimeConfig flowtime;
-    flowtime.cluster_capacity = task_config.capacity;
-    flowtime.slot_seconds = task_config.slot_seconds;
+    flowtime.cluster.capacity = task_config.cluster.capacity;
+    flowtime.cluster.slot_seconds = task_config.cluster.slot_seconds;
     flowtime.round_to_containers = true;
     sim::TaskLevelSimulator task_sim(task_config);
     core::FlowTimeScheduler scheduler(flowtime);

@@ -58,9 +58,9 @@ int main() {
       "cap 2.\n\n");
 
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{2.0, 2.0};
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.sim.cluster.capacity = ResourceVec{2.0, 2.0};
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   // The example's windows are exact; slack would shrink them below the
   // jobs' minimum runtimes.
   config.flowtime.deadline_slack_s = 0.0;

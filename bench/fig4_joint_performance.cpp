@@ -16,7 +16,9 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/trace.h"
 #include "sched/experiment.h"
+#include "util/flags.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -38,12 +40,19 @@ const std::map<std::string, double> kPaperTurnaroundRatio = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string trace_out = flags.get_string("trace-out", "");
+  if (!trace_out.empty() && !obs::open_trace_file(trace_out)) {
+    std::fprintf(stderr, "error: cannot open trace file %s\n",
+                 trace_out.c_str());
+    return 1;
+  }
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{500.0, 1024.0};  // Fig. 7 cluster
+  config.sim.cluster.capacity = ResourceVec{500.0, 1024.0};  // Fig. 7 cluster
   config.sim.max_horizon_s = 8.0 * 3600.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.schedulers = {"FlowTime", "CORA", "EDF", "Fair", "FIFO",
                        "Morpheus", "Rayon"};
 
@@ -51,7 +60,7 @@ int main() {
   fig4.num_workflows = 5;
   fig4.jobs_per_workflow = 18;
   fig4.workflow_start_spread_s = 400.0;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.workflow.task_multiplier = 1;
   fig4.workflow.looseness_min = 4.0;
   fig4.workflow.looseness_max = 6.0;
@@ -153,5 +162,6 @@ int main() {
     }
   }
   std::printf("%s", stability.to_string().c_str());
+  if (!trace_out.empty()) obs::clear_trace_sink();
   return 0;
 }

@@ -10,20 +10,30 @@
 // by the same Fig. 4 metrics.
 #include <cstdio>
 
+#include "obs/trace.h"
 #include "sched/experiment.h"
+#include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workload/trace_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flowtime;
   using workload::ResourceVec;
 
+  util::Flags flags(argc, argv);
+  const std::string trace_out = flags.get_string("trace-out", "");
+  if (!trace_out.empty() && !obs::open_trace_file(trace_out)) {
+    std::fprintf(stderr, "error: cannot open trace file %s\n",
+                 trace_out.c_str());
+    return 1;
+  }
+
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{500.0, 1024.0};
+  config.sim.cluster.capacity = ResourceVec{500.0, 1024.0};
   config.sim.max_horizon_s = 24.0 * 3600.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   // Long-horizon LPs: a shallower lexmin budget keeps re-plans snappy
   // without affecting the peak (see the ablation bench).
   config.flowtime.lp.lexmin.max_rounds = 4;
@@ -35,7 +45,7 @@ int main() {
   trace.recurrences = 3;
   trace.period_s = 1500.0;
   trace.workflow.num_jobs = 12;
-  trace.workflow.cluster_capacity = config.sim.capacity;
+  trace.workflow.cluster.capacity = config.sim.cluster.capacity;
   // The trace regime: deadlines much looser than the testbed experiment.
   trace.workflow.looseness_min = 6.0;
   trace.workflow.looseness_max = 10.0;
@@ -79,5 +89,6 @@ int main() {
       "Expected shape: same ordering as Fig. 4, with EDF's ad-hoc penalty "
       "even larger because loose-deadline workflows occupy the cluster "
       "almost continuously under EDF.\n");
+  if (!trace_out.empty()) obs::clear_trace_sink();
   return 0;
 }

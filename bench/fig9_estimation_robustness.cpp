@@ -20,17 +20,17 @@ int main() {
   using workload::ResourceVec;
 
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{500.0, 1024.0};
+  config.sim.cluster.capacity = ResourceVec{500.0, 1024.0};
   config.sim.max_horizon_s = 8.0 * 3600.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.schedulers = {"FlowTime", "FlowTime_no_ds"};
 
   workload::Fig4Config fig4;
   fig4.num_workflows = 3;
   fig4.jobs_per_workflow = 12;
   fig4.workflow_start_spread_s = 400.0;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.workflow.looseness_min = 4.0;
   fig4.workflow.looseness_max = 6.0;
   fig4.adhoc.rate_per_s = 0.10;

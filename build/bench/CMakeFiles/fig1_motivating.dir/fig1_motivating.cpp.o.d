@@ -245,12 +245,12 @@ bench/CMakeFiles/fig1_motivating.dir/fig1_motivating.cpp.o: \
  /root/repo/src/core/flowtime_scheduler.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/core/decomposition.h /root/repo/src/workload/workflow.h \
+ /root/repo/src/core/decomposition.h /root/repo/src/workload/resources.h \
+ /usr/include/c++/12/cstddef /root/repo/src/workload/workflow.h \
  /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/workload/resources.h /usr/include/c++/12/cstddef \
  /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
  /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
  /root/repo/src/sim/scheduler.h /root/repo/src/sim/metrics.h \

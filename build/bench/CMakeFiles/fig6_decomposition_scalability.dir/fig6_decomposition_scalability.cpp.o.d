@@ -183,11 +183,13 @@ bench/CMakeFiles/fig6_decomposition_scalability.dir/fig6_decomposition_scalabili
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/decomposition.h /usr/include/c++/12/optional \
+ /root/repo/src/core/decomposition.h /root/repo/src/dag/dag.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/dag/dag.h /root/repo/src/workload/workflow.h \
- /root/repo/src/workload/job.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/workload/resources.h /usr/include/c++/12/array \
+ /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -207,10 +209,9 @@ bench/CMakeFiles/fig6_decomposition_scalability.dir/fig6_decomposition_scalabili
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /usr/include/c++/12/array \
- /root/repo/src/dag/generators.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/dag/generators.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \

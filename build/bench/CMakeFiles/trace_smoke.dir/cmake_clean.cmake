@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_smoke.dir/trace_smoke.cpp.o"
+  "CMakeFiles/trace_smoke.dir/trace_smoke.cpp.o.d"
+  "trace_smoke"
+  "trace_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(trace_smoke "/root/repo/build/bench/trace_smoke" "--trace-out=/root/repo/build/bench/trace_smoke.jsonl")
+set_tests_properties(trace_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")

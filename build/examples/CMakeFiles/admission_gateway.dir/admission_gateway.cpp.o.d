@@ -129,9 +129,10 @@ examples/CMakeFiles/admission_gateway.dir/admission_gateway.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/decomposition.h \
- /root/repo/src/dag/dag.h /root/repo/src/workload/workflow.h \
- /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/dag/dag.h /root/repo/src/workload/resources.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -163,8 +164,7 @@ examples/CMakeFiles/admission_gateway.dir/admission_gateway.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/core/flow_placement.h \
+ /root/repo/src/core/flow_placement.h \
  /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
  /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
  /root/repo/src/util/flags.h /usr/include/c++/12/map \

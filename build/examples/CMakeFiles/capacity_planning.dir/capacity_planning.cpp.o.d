@@ -101,15 +101,7 @@ examples/CMakeFiles/capacity_planning.dir/capacity_planning.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /root/repo/src/core/decomposition.h /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
- /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/initializer_list \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/vector \
+ /root/repo/src/core/decomposition.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -118,8 +110,11 @@ examples/CMakeFiles/capacity_planning.dir/capacity_planning.cpp.o: \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
  /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/invoke.h \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
@@ -128,7 +123,13 @@ examples/CMakeFiles/capacity_planning.dir/capacity_planning.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/workload/workflow.h /usr/include/c++/12/string \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/workload/resources.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -152,7 +153,8 @@ examples/CMakeFiles/capacity_planning.dir/capacity_planning.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/workload/job.h \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -163,11 +165,10 @@ examples/CMakeFiles/capacity_planning.dir/capacity_planning.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/workload/resources.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/core/lp_formulation.h \
- /root/repo/src/lp/lexmin.h /root/repo/src/lp/model.h \
- /root/repo/src/lp/simplex.h /root/repo/src/util/flags.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
+ /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
+ /root/repo/src/util/flags.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \

@@ -214,6 +214,7 @@ examples/CMakeFiles/daily_etl_pipeline.dir/daily_etl_pipeline.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/core/decomposition.h /root/repo/src/dag/dag.h \
+ /root/repo/src/workload/resources.h /usr/include/c++/12/cstddef \
  /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -240,7 +241,6 @@ examples/CMakeFiles/daily_etl_pipeline.dir/daily_etl_pipeline.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /usr/include/c++/12/cstddef \
  /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
  /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
  /root/repo/src/sim/scheduler.h /root/repo/src/sim/metrics.h \

@@ -135,9 +135,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/decomposition.h \
- /root/repo/src/dag/dag.h /root/repo/src/workload/workflow.h \
- /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/dag/dag.h /root/repo/src/workload/resources.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -169,13 +170,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/core/lp_formulation.h \
- /root/repo/src/lp/lexmin.h /root/repo/src/lp/model.h \
- /root/repo/src/lp/simplex.h /root/repo/src/sim/scheduler.h \
- /root/repo/src/dag/generators.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
+ /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
+ /root/repo/src/sim/scheduler.h /root/repo/src/dag/generators.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/dag/CMakeFiles/ft_dag.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/ft_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ft_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

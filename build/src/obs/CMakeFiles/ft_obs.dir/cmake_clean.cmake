@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ft_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ft_obs.dir/trace.cpp.o"
+  "CMakeFiles/ft_obs.dir/trace.cpp.o.d"
+  "libft_obs.a"
+  "libft_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
   "/root/repo/build/src/lp/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ft_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -131,12 +131,13 @@ src/sched/CMakeFiles/ft_sched.dir/baselines.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/decomposition.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/dag/dag.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/dag/dag.h /root/repo/src/workload/workflow.h \
+ /root/repo/src/workload/resources.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/workload/workflow.h \
  /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -169,9 +170,7 @@ src/sched/CMakeFiles/ft_sched.dir/baselines.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/sim/scheduler.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sim/scheduler.h \
  /root/repo/src/sched/allocation_util.h /root/repo/src/util/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \

@@ -294,9 +294,9 @@ tests/CMakeFiles/admission_test.dir/admission_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/admission.h /root/repo/src/core/decomposition.h \
- /root/repo/src/dag/dag.h /root/repo/src/workload/workflow.h \
- /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/dag/dag.h /root/repo/src/workload/resources.h \
+ /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -320,7 +320,7 @@ tests/CMakeFiles/admission_test.dir/admission_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /root/repo/src/core/flow_placement.h \
+ /root/repo/src/core/flow_placement.h \
  /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
  /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
  /root/repo/src/dag/dot.h /root/repo/src/dag/generators.h \

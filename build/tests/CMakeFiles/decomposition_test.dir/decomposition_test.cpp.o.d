@@ -316,13 +316,13 @@ tests/CMakeFiles/decomposition_test.dir/decomposition_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/decomposition.h /root/repo/src/dag/dag.h \
- /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/workload/resources.h /root/repo/src/workload/workflow.h \
+ /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/workload/resources.h /root/repo/src/dag/generators.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/bits/random.h \
+ /root/repo/src/dag/generators.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -295,8 +295,9 @@ tests/CMakeFiles/flowtime_extra_test.dir/flowtime_extra_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/flowtime_scheduler.h \
  /root/repo/src/core/decomposition.h /root/repo/src/dag/dag.h \
- /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/workload/resources.h /root/repo/src/workload/workflow.h \
+ /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -320,11 +321,11 @@ tests/CMakeFiles/flowtime_extra_test.dir/flowtime_extra_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /root/repo/src/core/lp_formulation.h \
- /root/repo/src/lp/lexmin.h /root/repo/src/lp/model.h \
- /root/repo/src/lp/simplex.h /root/repo/src/sim/scheduler.h \
- /root/repo/src/dag/generators.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
+ /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
+ /root/repo/src/sim/scheduler.h /root/repo/src/dag/generators.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -296,8 +296,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/sched/experiment.h \
  /root/repo/src/core/flowtime_scheduler.h \
  /root/repo/src/core/decomposition.h /root/repo/src/dag/dag.h \
- /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/workload/resources.h /root/repo/src/workload/workflow.h \
+ /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -321,12 +322,12 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workload/resources.h /root/repo/src/core/lp_formulation.h \
- /root/repo/src/lp/lexmin.h /root/repo/src/lp/model.h \
- /root/repo/src/lp/simplex.h /root/repo/src/sim/scheduler.h \
- /root/repo/src/sim/metrics.h /root/repo/src/sim/simulator.h \
- /root/repo/src/workload/trace_gen.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /root/repo/src/core/lp_formulation.h /root/repo/src/lp/lexmin.h \
+ /root/repo/src/lp/model.h /root/repo/src/lp/simplex.h \
+ /root/repo/src/sim/scheduler.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/workload/trace_gen.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ft_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ft_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ft_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

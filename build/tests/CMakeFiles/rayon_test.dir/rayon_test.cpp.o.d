@@ -323,10 +323,10 @@ tests/CMakeFiles/rayon_test.dir/rayon_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sched/rayon.h /root/repo/src/core/decomposition.h \
- /root/repo/src/workload/workflow.h /root/repo/src/workload/job.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/workload/resources.h /root/repo/src/workload/workflow.h \
+ /root/repo/src/workload/job.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/workload/resources.h /root/repo/src/sim/scheduler.h \
- /root/repo/src/sim/metrics.h /root/repo/src/sim/simulator.h \
- /root/repo/src/workload/trace_gen.h
+ /root/repo/src/sim/scheduler.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/workload/trace_gen.h

@@ -33,23 +33,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
   }
 
+  // The operator's authoritative cluster spec; the gateway prices every SLA
+  // answer against it, so a skewed copy silently mis-prices admissions.
+  const workload::ClusterSpec authoritative{ResourceVec{300.0, 640.0}, 10.0};
+
   core::AdmissionConfig config;
-  config.cluster_capacity = ResourceVec{300.0, 640.0};
+  config.cluster = authoritative;
   config.deadline_cap_fraction = 1.0 - headroom;
   core::AdmissionController controller(config);
+  if (!controller.verify_cluster(authoritative)) {
+    std::fprintf(stderr, "error: admission gateway cluster spec skew\n");
+    return 1;
+  }
 
   util::Rng rng(seed);
   workload::WorkflowGenConfig gen;
   gen.num_jobs = 10;
-  gen.cluster_capacity = config.cluster_capacity;
+  gen.cluster.capacity = config.cluster.capacity;
   gen.looseness_min = 1.5;
   gen.looseness_max = 3.0;
 
   std::printf(
       "Admission gateway: %.0f cores / %.0f GB, %.0f%% reserved for ad-hoc "
       "work.\n\n",
-      config.cluster_capacity[workload::kCpu],
-      config.cluster_capacity[workload::kMemory], 100.0 * headroom);
+      config.cluster.capacity[workload::kCpu],
+      config.cluster.capacity[workload::kMemory], 100.0 * headroom);
 
   util::Table table({"t_s", "workflow", "deadline_s", "decision",
                      "peak_load", "pending_jobs"});

@@ -26,7 +26,7 @@ std::vector<core::LpJob> to_lp_jobs(
     const std::vector<workload::Workflow>& workflows,
     const ResourceVec& capacity, double slot_s, int* horizon_slots) {
   core::DecompositionConfig dconfig;
-  dconfig.cluster_capacity = capacity;
+  dconfig.cluster.capacity = capacity;
   const core::DeadlineDecomposer decomposer(dconfig);
   std::vector<core::LpJob> jobs;
   int uid = 0;
@@ -36,7 +36,7 @@ std::vector<core::LpJob> to_lp_jobs(
     if (!decomposition) continue;
     for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
       const core::JobWindow& window =
-          decomposition->windows[static_cast<std::size_t>(v)];
+          decomposition.windows[static_cast<std::size_t>(v)];
       const workload::JobSpec& spec = w.jobs[static_cast<std::size_t>(v)];
       core::LpJob job;
       job.uid = uid++;
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < num_workflows; ++i) {
     // Deadlines are set against a mid-sized reference cluster so the sweep
     // below has a real crossover.
-    gen.cluster_capacity = ResourceVec{250.0, 512.0};
+    gen.cluster.capacity = ResourceVec{250.0, 512.0};
     portfolio.push_back(workload::make_workflow(rng, i, i * 150.0, gen));
   }
   std::printf("Portfolio: %d workflows, %d jobs each.\n\n", num_workflows,

@@ -96,10 +96,10 @@ int main(int argc, char** argv) {
   }
 
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{300.0, 768.0};
+  config.sim.cluster.capacity = ResourceVec{300.0, 768.0};
   config.sim.max_horizon_s = (runs + 1) * 24.0 * kHour;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.schedulers =
       only.empty() ? std::vector<std::string>{"FlowTime", "EDF", "Fair"}
                    : std::vector<std::string>{only};

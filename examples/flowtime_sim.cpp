@@ -11,9 +11,13 @@
 //   --slack SECONDS      FlowTime deadline slack (default 60)
 //   --csv-prefix PREFIX  write <PREFIX><scheduler>_util.csv and
 //                        <PREFIX><scheduler>_jobs.csv per scheduler
+//   --trace-out PATH     stream solver/scheduler/simulator events to PATH
+//                        as JSONL (see DESIGN.md "Observability")
 //   --dump-example       print a commented example scenario and exit
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/experiment.h"
 #include "sim/report.h"
 #include "util/flags.h"
@@ -54,8 +58,14 @@ int main(int argc, char** argv) {
       "schedulers", "FlowTime,CORA,EDF,Fair,FIFO,Morpheus,Rayon");
   const double slack = flags.get_double("slack", 60.0);
   const std::string csv_prefix = flags.get_string("csv-prefix", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
   for (const std::string& typo : flags.unqueried()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
+  }
+  if (!trace_out.empty() && !obs::open_trace_file(trace_out)) {
+    std::fprintf(stderr, "error: cannot open trace file %s\n",
+                 trace_out.c_str());
+    return 1;
   }
   if (path.empty()) {
     std::fprintf(stderr,
@@ -74,11 +84,11 @@ int main(int argc, char** argv) {
 
   sched::ExperimentConfig config;
   if (parsed->cluster) {
-    config.sim.capacity = parsed->cluster->capacity;
-    config.sim.slot_seconds = parsed->cluster->slot_seconds;
+    config.sim.cluster.capacity = parsed->cluster->capacity;
+    config.sim.cluster.slot_seconds = parsed->cluster->slot_seconds;
   }
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.flowtime.deadline_slack_s = slack;
   for (const std::string& name : util::split(scheduler_list, ',')) {
     if (!name.empty()) config.schedulers.push_back(name);
@@ -88,8 +98,8 @@ int main(int argc, char** argv) {
               "cores / %.0f GB.\n\n",
               parsed->scenario.workflows.size(),
               parsed->scenario.adhoc_jobs.size(),
-              config.sim.capacity[workload::kCpu],
-              config.sim.capacity[workload::kMemory]);
+              config.sim.cluster.capacity[workload::kCpu],
+              config.sim.cluster.capacity[workload::kMemory]);
 
   const auto outcomes = sched::run_comparison(parsed->scenario, config);
   util::Table table({"scheduler", "jobs_missed", "workflows_missed",
@@ -113,5 +123,11 @@ int main(int argc, char** argv) {
         .add(std::string(outcome.result.all_completed ? "all" : "PARTIAL"));
   }
   std::printf("%s", table.to_string().c_str());
+  if (!trace_out.empty()) {
+    obs::clear_trace_sink();  // flush + close before reporting the path
+    std::printf("\nObservability: events written to %s; solver/replan "
+                "counters:\n%s",
+                trace_out.c_str(), obs::registry().render_text().c_str());
+  }
   return 0;
 }

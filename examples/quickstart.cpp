@@ -45,7 +45,7 @@ int main() {
 
   // --- 2. Decompose the workflow deadline into per-job windows.
   core::DecompositionConfig decomposition_config;
-  decomposition_config.cluster_capacity = ResourceVec{100.0, 256.0};
+  decomposition_config.cluster.capacity = ResourceVec{100.0, 256.0};
   const core::DeadlineDecomposer decomposer(decomposition_config);
   const auto decomposition = decomposer.decompose(etl);
   if (!decomposition) {
@@ -56,7 +56,7 @@ int main() {
               etl.deadline_s);
   for (dag::NodeId v = 0; v < etl.dag.num_nodes(); ++v) {
     const core::JobWindow& window =
-        decomposition->windows[static_cast<std::size_t>(v)];
+        decomposition.windows[static_cast<std::size_t>(v)];
     std::printf("  %-8s window [%6.0f, %6.0f] s\n",
                 etl.jobs[static_cast<std::size_t>(v)].name.c_str(),
                 window.start_s, window.deadline_s);
@@ -72,10 +72,10 @@ int main() {
   scenario.adhoc_jobs.push_back(query);
 
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{100.0, 256.0};
+  sim_config.cluster.capacity = ResourceVec{100.0, 256.0};
   core::FlowTimeConfig flowtime_config;
-  flowtime_config.cluster_capacity = sim_config.capacity;
-  flowtime_config.slot_seconds = sim_config.slot_seconds;
+  flowtime_config.cluster.capacity = sim_config.cluster.capacity;
+  flowtime_config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
 
   sim::Simulator simulator(sim_config);
   core::FlowTimeScheduler scheduler(flowtime_config);

@@ -4,41 +4,69 @@
 #include <cmath>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
 namespace flowtime::core {
+
+namespace {
+
+void trace_decision(const char* op, const workload::Workflow& candidate,
+                    double now_s, const AdmissionDecision& decision) {
+  if (!obs::enabled()) return;
+  obs::registry().counter("core.admission.evaluations").add();
+  if (decision.admitted) {
+    obs::registry().counter("core.admission.admitted").add();
+  } else {
+    obs::registry().counter("core.admission.rejected").add();
+  }
+  obs::emit(obs::TraceEvent("admission")
+                .field("op", op)
+                .field("workflow", candidate.id)
+                .field("now_s", now_s)
+                .field("admitted", decision.admitted)
+                .field("peak_load", decision.peak_load)
+                .field("reason", decision.reason));
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(AdmissionConfig config)
     : config_(config) {}
 
 std::optional<std::vector<AdmissionController::AdmittedJob>>
-AdmissionController::decompose_to_jobs(
-    const workload::Workflow& workflow) const {
+AdmissionController::decompose_to_jobs(const workload::Workflow& workflow,
+                                       DecomposeStatus* status) const {
   DecompositionConfig decomposition_config;
-  decomposition_config.cluster_capacity = config_.cluster_capacity;
+  decomposition_config.cluster = config_.cluster;
   decomposition_config.mode = config_.decomposition_mode;
   const DeadlineDecomposer decomposer(decomposition_config);
-  const auto decomposition = decomposer.decompose(workflow);
-  if (!decomposition) return std::nullopt;
+  const DecompositionResult decomposition = decomposer.decompose(workflow);
+  if (status != nullptr) *status = decomposition.status;
+  if (!decomposition.ok()) return std::nullopt;
 
+  const double slot_seconds = config_.cluster.slot_seconds;
   std::vector<AdmittedJob> jobs;
   jobs.reserve(static_cast<std::size_t>(workflow.dag.num_nodes()));
   for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
     const JobWindow& window =
-        decomposition->windows[static_cast<std::size_t>(v)];
+        decomposition.windows[static_cast<std::size_t>(v)];
     const workload::JobSpec& spec =
         workflow.jobs[static_cast<std::size_t>(v)];
     AdmittedJob job;
     job.ref = workload::WorkflowJobRef{workflow.id, v};
     job.lp_job.uid = workflow.id * 100000 + v;
     job.lp_job.release_slot = static_cast<int>(
-        std::floor(window.start_s / config_.slot_seconds + 1e-9));
+        std::floor(window.start_s / slot_seconds + 1e-9));
     job.lp_job.deadline_slot = std::max(
         job.lp_job.release_slot,
         static_cast<int>(
-            std::ceil(window.deadline_s / config_.slot_seconds - 1e-9)) -
+            std::ceil(window.deadline_s / slot_seconds - 1e-9)) -
             1);
     job.lp_job.demand = spec.total_demand();
     job.lp_job.width =
-        workload::scale(spec.max_parallel_demand(), config_.slot_seconds);
+        workload::scale(spec.max_parallel_demand(), slot_seconds);
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -47,14 +75,18 @@ AdmissionController::decompose_to_jobs(
 AdmissionDecision AdmissionController::evaluate(
     const workload::Workflow& candidate, double now_s) const {
   AdmissionDecision decision;
-  const auto candidate_jobs = decompose_to_jobs(candidate);
+  DecomposeStatus status = DecomposeStatus::kOk;
+  const auto candidate_jobs = decompose_to_jobs(candidate, &status);
   if (!candidate_jobs) {
-    decision.reason = "workflow is structurally invalid";
+    decision.reason =
+        std::string("decomposition failed: ") + to_string(status);
+    trace_decision("evaluate", candidate, now_s, decision);
     return decision;
   }
 
+  const double slot_seconds = config_.cluster.slot_seconds;
   const int now_slot =
-      static_cast<int>(std::floor(now_s / config_.slot_seconds + 1e-9));
+      static_cast<int>(std::floor(now_s / slot_seconds + 1e-9));
   std::vector<LpJob> lp_jobs;
   int last_slot = now_slot;
   auto append = [&](const AdmittedJob& job, bool already_admitted) {
@@ -88,20 +120,21 @@ AdmissionDecision AdmissionController::evaluate(
       std::clamp(config_.deadline_cap_fraction, 0.05, 1.0);
   const std::vector<workload::ResourceVec> caps(
       static_cast<std::size_t>(last_slot - now_slot + 1),
-      workload::scale(config_.cluster_capacity,
-                      config_.slot_seconds * fraction));
+      workload::scale(config_.cluster.capacity, slot_seconds * fraction));
   const FlowPlacementResult placement =
       solve_flow_placement(lp_jobs, caps, now_slot);
   decision.peak_load = placement.min_max_level;
   if (std::isinf(placement.min_max_level)) {
     decision.reason =
         "a job cannot fit its window at any load (width-limited)";
+    trace_decision("evaluate", candidate, now_s, decision);
     return decision;
   }
   decision.admitted = placement.feasible;
   decision.reason = placement.feasible
                         ? "fits within the deadline capacity"
                         : "would overload the deadline capacity";
+  trace_decision("evaluate", candidate, now_s, decision);
   return decision;
 }
 
@@ -109,8 +142,9 @@ AdmissionDecision AdmissionController::admit(
     const workload::Workflow& candidate, double now_s) {
   AdmissionDecision decision = evaluate(candidate, now_s);
   if (!decision.admitted) return decision;
-  auto jobs = decompose_to_jobs(candidate);
+  auto jobs = decompose_to_jobs(candidate, nullptr);
   for (AdmittedJob& job : *jobs) admitted_.push_back(std::move(job));
+  trace_decision("admit", candidate, now_s, decision);
   return decision;
 }
 
@@ -130,7 +164,7 @@ int AdmissionController::admitted_workflows() const {
 
 int AdmissionController::pending_jobs() const {
   int count = 0;
-  for (const AdmittedJob& job : admitted_) {
+  for (const AdmissionController::AdmittedJob& job : admitted_) {
     if (!job.complete) ++count;
   }
   return count;
@@ -140,6 +174,24 @@ void AdmissionController::forget_workflow(int workflow_id) {
   std::erase_if(admitted_, [workflow_id](const AdmittedJob& job) {
     return job.ref.workflow_id == workflow_id;
   });
+}
+
+bool AdmissionController::verify_cluster(
+    const workload::ClusterSpec& authoritative) const {
+  if (workload::approx_equal(config_.cluster, authoritative)) return true;
+  FT_LOG(kWarn) << "admission controller cluster "
+                << workload::to_string(config_.cluster)
+                << " differs from authoritative "
+                << workload::to_string(authoritative);
+  if (obs::enabled()) {
+    obs::registry().counter("core.admission.config_skew").add();
+    obs::emit(obs::TraceEvent("config_skew")
+                  .field("component", "admission")
+                  .field("configured", workload::to_string(config_.cluster))
+                  .field("authoritative",
+                         workload::to_string(authoritative)));
+  }
+  return false;
 }
 
 }  // namespace flowtime::core

@@ -21,12 +21,21 @@
 namespace flowtime::core {
 
 struct AdmissionConfig {
-  workload::ResourceVec cluster_capacity{500.0, 1024.0};
-  double slot_seconds = 10.0;
+  workload::ClusterSpec cluster;
   /// Reserve this fraction of the cluster for ad-hoc work when deciding;
   /// a candidate is admitted only if the deadline plan fits the rest.
   double deadline_cap_fraction = 1.0;
   DecompositionMode decomposition_mode = DecompositionMode::kResourceDemand;
+
+  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
+  /// `cluster.slot_seconds`.
+  [[deprecated("use cluster.capacity")]] workload::ResourceVec&
+  cluster_capacity() {
+    return cluster.capacity;
+  }
+  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
+    return cluster.slot_seconds;
+  }
 };
 
 struct AdmissionDecision {
@@ -63,6 +72,12 @@ class AdmissionController {
   /// Number of incomplete admitted jobs currently tracked.
   int pending_jobs() const;
 
+  /// Checks this controller's cluster model against the authoritative one
+  /// (e.g. the simulator's). On mismatch logs, bumps the
+  /// "core.admission.config_skew" counter and emits a "config_skew" trace
+  /// event. Returns true when the specs agree.
+  bool verify_cluster(const workload::ClusterSpec& authoritative) const;
+
  private:
   struct AdmittedJob {
     workload::WorkflowJobRef ref;
@@ -70,9 +85,11 @@ class AdmissionController {
     bool complete = false;
   };
 
-  /// Decomposes a workflow into LpJobs on the slot grid.
+  /// Decomposes a workflow into LpJobs on the slot grid. On failure returns
+  /// nullopt and, when `status` is non-null, stores the machine-readable
+  /// reason.
   std::optional<std::vector<AdmittedJob>> decompose_to_jobs(
-      const workload::Workflow& workflow) const;
+      const workload::Workflow& workflow, DecomposeStatus* status) const;
 
   AdmissionConfig config_;
   std::vector<AdmittedJob> admitted_;

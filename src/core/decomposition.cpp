@@ -25,16 +25,41 @@ double normalized_demand(const workload::JobSpec& job,
   return sum;
 }
 
+DecompositionResult failure(DecomposeStatus status) {
+  DecompositionResult result;
+  result.status = status;
+  return result;
+}
+
 }  // namespace
+
+const char* to_string(DecomposeStatus status) {
+  switch (status) {
+    case DecomposeStatus::kOk:
+      return "ok";
+    case DecomposeStatus::kEmptyWorkflow:
+      return "empty_workflow";
+    case DecomposeStatus::kCyclicDag:
+      return "cyclic_dag";
+    case DecomposeStatus::kInvalidWorkflow:
+      return "invalid_workflow";
+    case DecomposeStatus::kJobExceedsCapacity:
+      return "job_exceeds_capacity";
+  }
+  return "?";
+}
 
 DeadlineDecomposer::DeadlineDecomposer(DecompositionConfig config)
     : config_(config) {}
 
-std::optional<DecompositionResult> DeadlineDecomposer::decompose(
+DecompositionResult DeadlineDecomposer::decompose(
     const workload::Workflow& workflow) const {
-  if (!workflow.valid()) return std::nullopt;
+  if (workflow.dag.num_nodes() == 0) {
+    return failure(DecomposeStatus::kEmptyWorkflow);
+  }
   const auto levels = dag::level_groups(workflow.dag);
-  if (!levels) return std::nullopt;
+  if (!levels) return failure(DecomposeStatus::kCyclicDag);
+  if (!workflow.valid()) return failure(DecomposeStatus::kInvalidWorkflow);
 
   DecompositionResult result;
   result.levels = *levels;
@@ -47,14 +72,14 @@ std::optional<DecompositionResult> DeadlineDecomposer::decompose(
     for (dag::NodeId v : result.levels[l]) {
       const workload::JobSpec& job =
           workflow.jobs[static_cast<std::size_t>(v)];
-      const double runtime = job.min_runtime_s(config_.cluster_capacity);
+      const double runtime = job.min_runtime_s(config_.cluster.capacity);
       if (!std::isfinite(runtime)) {
         FT_LOG(kWarn) << "job " << job.name
                       << " cannot fit the cluster at any parallelism";
-        return std::nullopt;
+        return failure(DecomposeStatus::kJobExceedsCapacity);
       }
       min_runtime[l] = std::max(min_runtime[l], runtime);
-      demand[l] += normalized_demand(job, config_.cluster_capacity);
+      demand[l] += normalized_demand(job, config_.cluster.capacity);
     }
   }
   const double total_min =

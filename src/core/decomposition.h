@@ -22,10 +22,10 @@
 // implements — both for the fallback and as the ablation baseline.
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "dag/dag.h"
+#include "workload/resources.h"
 #include "workload/workflow.h"
 
 namespace flowtime::core {
@@ -39,8 +39,14 @@ enum class DecompositionMode {
 };
 
 struct DecompositionConfig {
-  workload::ResourceVec cluster_capacity{500.0, 1024.0};
+  workload::ClusterSpec cluster;
   DecompositionMode mode = DecompositionMode::kResourceDemand;
+
+  /// Deprecated pre-ClusterSpec spelling; use `cluster.capacity`.
+  [[deprecated("use cluster.capacity")]] workload::ResourceVec&
+  cluster_capacity() {
+    return cluster.capacity;
+  }
 };
 
 /// Absolute execution window of one job: the job may run in
@@ -50,13 +56,30 @@ struct JobWindow {
   double deadline_s = 0.0;
 };
 
+/// Machine-readable reason a decomposition failed. Mirrors
+/// AdmissionDecision::reason so schedulers/gateways can surface it in trace
+/// events instead of collapsing every failure into "nullopt".
+enum class DecomposeStatus {
+  kOk,
+  kEmptyWorkflow,       // zero DAG nodes
+  kCyclicDag,           // precedence graph has a cycle
+  kInvalidWorkflow,     // non-positive job, deadline before start, ...
+  kJobExceedsCapacity,  // some task demand cannot fit the cluster at all
+};
+
+const char* to_string(DecomposeStatus status);
+
 struct DecompositionResult {
+  DecomposeStatus status = DecomposeStatus::kOk;
   std::vector<JobWindow> windows;              // per DAG node
   std::vector<std::vector<dag::NodeId>> levels;  // the node-set sequence
   std::vector<double> level_duration_s;        // window of each set
   /// True when negative slack forced the critical-path fallback.
   bool used_fallback = false;
   double min_makespan_s = 0.0;  // sum of per-level minimum runtimes
+
+  bool ok() const { return status == DecomposeStatus::kOk; }
+  explicit operator bool() const { return ok(); }
 };
 
 /// Decomposes workflow deadlines into job deadlines. Stateless; thread-safe.
@@ -64,11 +87,10 @@ class DeadlineDecomposer {
  public:
   explicit DeadlineDecomposer(DecompositionConfig config = {});
 
-  /// nullopt when the workflow is structurally invalid (cyclic DAG,
-  /// non-positive jobs, deadline before start) or a job cannot fit the
-  /// cluster at all.
-  std::optional<DecompositionResult> decompose(
-      const workload::Workflow& workflow) const;
+  /// On failure the result's `status` says why (cyclic DAG, empty or
+  /// invalid workflow, a job that cannot fit the cluster at all) and the
+  /// payload fields are empty.
+  DecompositionResult decompose(const workload::Workflow& workflow) const;
 
   const DecompositionConfig& config() const { return config_; }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace flowtime::core {
@@ -12,16 +14,34 @@ namespace {
 constexpr double kTol = 1e-9;
 }
 
+std::string to_string(ReplanCause causes) {
+  std::string out;
+  auto append = [&](ReplanCause bit, const char* label) {
+    if (!has_cause(causes, bit)) return;
+    if (!out.empty()) out += "|";
+    out += label;
+  };
+  append(ReplanCause::kWorkflowArrival, "arrival");
+  append(ReplanCause::kDeviation, "deviation");
+  append(ReplanCause::kOverrun, "overrun");
+  append(ReplanCause::kPlanExhausted, "plan_exhausted");
+  append(ReplanCause::kStalePlan, "stale_plan");
+  if (out.empty()) out = "none";
+  return out;
+}
+
 FlowTimeScheduler::FlowTimeScheduler(FlowTimeConfig config)
     : config_(std::move(config)) {}
 
 int FlowTimeScheduler::seconds_to_release_slot(double seconds) const {
-  return static_cast<int>(std::floor(seconds / config_.slot_seconds + kTol));
+  return static_cast<int>(
+      std::floor(seconds / config_.cluster.slot_seconds + kTol));
 }
 
 int FlowTimeScheduler::seconds_to_deadline_slot(double seconds) const {
   // Last slot fully inside [0, seconds): slot t covers [tS, (t+1)S).
-  return static_cast<int>(std::ceil(seconds / config_.slot_seconds - kTol)) -
+  return static_cast<int>(
+             std::ceil(seconds / config_.cluster.slot_seconds - kTol)) -
          1;
 }
 
@@ -42,26 +62,45 @@ void FlowTimeScheduler::on_workflow_arrival(
     const std::vector<sim::JobUid>& node_uids, double now_s) {
   (void)now_s;
   DecompositionConfig decomposition_config;
-  decomposition_config.cluster_capacity = config_.cluster_capacity;
+  decomposition_config.cluster = config_.cluster;
   decomposition_config.mode = config_.decomposition_mode;
   const DeadlineDecomposer decomposer(decomposition_config);
-  auto decomposition = decomposer.decompose(workflow);
-  if (!decomposition) {
+  DecompositionResult decomposition = decomposer.decompose(workflow);
+  if (decomposition.used_fallback &&
+      config_.decomposition_mode != DecompositionMode::kCriticalPath) {
+    ++decomposition_fallbacks_;
+  }
+  if (obs::enabled()) {
+    obs::registry().counter("core.workflow_arrivals").add();
+    if (decomposition.used_fallback) {
+      obs::registry().counter("core.decomposition_fallbacks").add();
+    }
+    obs::emit(obs::TraceEvent("workflow_arrival")
+                  .field("workflow", workflow.id)
+                  .field("now_s", now_s)
+                  .field("jobs", workflow.dag.num_nodes())
+                  .field("deadline_s", workflow.deadline_s)
+                  .field("decompose_status",
+                         to_string(decomposition.status))
+                  .field("used_fallback", decomposition.used_fallback)
+                  .field("min_makespan_s", decomposition.min_makespan_s));
+  }
+  if (!decomposition.ok()) {
     // Structurally broken workflow: fall back to the raw workflow deadline
     // for every job so they at least stay schedulable.
     FT_LOG(kError) << "decomposition failed for workflow " << workflow.id
-                   << "; using the workflow deadline for every job";
-    decomposition = DecompositionResult{};
-    decomposition->windows.assign(
+                   << " (" << to_string(decomposition.status)
+                   << "); using the workflow deadline for every job";
+    decomposition.windows.assign(
         static_cast<std::size_t>(workflow.dag.num_nodes()),
         JobWindow{workflow.start_s, workflow.deadline_s});
   }
 
   const int slack_slots = static_cast<int>(
-      std::round(config_.deadline_slack_s / config_.slot_seconds));
+      std::round(config_.deadline_slack_s / config_.cluster.slot_seconds));
   for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
     const JobWindow& window =
-        decomposition->windows[static_cast<std::size_t>(v)];
+        decomposition.windows[static_cast<std::size_t>(v)];
     const workload::JobSpec& spec =
         workflow.jobs[static_cast<std::size_t>(v)];
     DeadlineJobState job;
@@ -72,14 +111,14 @@ void FlowTimeScheduler::on_workflow_arrival(
     // Slack must not erase the window entirely.
     job.lp_deadline_slot =
         std::max(job.release_slot, deadline_slot - slack_slots);
-    job.width =
-        workload::scale(spec.max_parallel_demand(), config_.slot_seconds);
+    job.width = workload::scale(spec.max_parallel_demand(),
+                                config_.cluster.slot_seconds);
     job.remaining = spec.total_demand();
     deadline_jobs_[job.uid] = job;
     job_deadlines_[job.ref] = window.deadline_s;
   }
-  decompositions_[workflow.id] = std::move(*decomposition);
-  dirty_ = true;
+  decompositions_[workflow.id] = std::move(decomposition);
+  mark_dirty(ReplanCause::kWorkflowArrival);
 }
 
 void FlowTimeScheduler::on_adhoc_arrival(sim::JobUid uid, double now_s,
@@ -105,7 +144,7 @@ void FlowTimeScheduler::on_job_complete(sim::JobUid uid, double now_s) {
           config_.replan_deviation_slots) {
     // Early or late versus the plan: capacity freed up or borrowed;
     // re-flatten the remainder.
-    dirty_ = true;
+    mark_dirty(ReplanCause::kDeviation);
   }
   plan_.erase(uid);
 }
@@ -118,6 +157,41 @@ const DecompositionResult* FlowTimeScheduler::decomposition(
 
 void FlowTimeScheduler::replan(const sim::ClusterState& state) {
   ++replans_;
+  ReplanRecord record;
+  record.slot = state.slot;
+  record.causes = pending_causes_;
+  pending_causes_ = ReplanCause::kNone;
+  {
+    std::optional<obs::ScopedTimer> timer;
+    if (obs::enabled()) timer.emplace(&record.wall_s);
+    const std::int64_t pivots_before = total_pivots_;
+    replan_impl(state, record);
+    record.pivots = total_pivots_ - pivots_before;
+  }
+  replan_log_.push_back(record);
+  if (obs::enabled()) {
+    obs::registry().counter("core.replans").add();
+    obs::registry().counter("core.replan_pivots").add(record.pivots);
+    obs::registry().histogram("core.replan_seconds").observe(record.wall_s);
+    if (record.lp_failed) {
+      obs::registry().counter("core.replan_lp_failures").add();
+    }
+    obs::emit(obs::TraceEvent("replan")
+                  .field("slot", record.slot)
+                  .field("cause", to_string(record.causes))
+                  .field("planned_jobs", record.planned_jobs)
+                  .field("pivots", record.pivots)
+                  .field("wall_s", record.wall_s)
+                  .field("late_extensions", record.late_extensions)
+                  .field("capacity_exceeded", record.capacity_exceeded)
+                  .field("lp_failed", record.lp_failed)
+                  .field("max_normalized_load",
+                         record.max_normalized_load));
+  }
+}
+
+void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
+                                    ReplanRecord& record) {
   std::vector<LpJob> lp_jobs;
   std::vector<sim::JobUid> lp_uids;
   int horizon_last_slot = state.slot;
@@ -163,6 +237,7 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
       // deadline metrics will record the miss; the LP stays feasible.
       lp_job.deadline_slot =
           lp_job.release_slot + min_slots_needed(job) - 1;
+      ++record.late_extensions;
     }
     horizon_last_slot = std::max(horizon_last_slot, lp_job.deadline_slot);
     lp_jobs.push_back(lp_job);
@@ -175,6 +250,7 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
     (void)uid;
     if (!job.complete) job.planned_last_slot = -1;
   }
+  record.planned_jobs = static_cast<int>(lp_jobs.size());
   if (lp_jobs.empty()) return;
 
   const int num_slots = horizon_last_slot - state.slot + 1;
@@ -228,7 +304,10 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
                                bucket > 1 ? 0 : state.slot, config_.lp);
   }
   total_pivots_ += schedule.pivots;
+  record.capacity_exceeded = schedule.capacity_exceeded;
+  record.max_normalized_load = schedule.max_normalized_load;
   if (!schedule.ok()) {
+    record.lp_failed = true;
     // Should not happen (windows were made feasible above); degrade to an
     // EDF-style emergency plan: full width from now on for every job.
     FT_LOG(kError) << "FlowTime replan failed: "
@@ -287,8 +366,29 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
   }
 }
 
+void FlowTimeScheduler::check_cluster_skew(const sim::ClusterState& state) {
+  skew_checked_ = true;
+  const workload::ClusterSpec observed{
+      workload::scale(state.capacity, 1.0 / state.slot_seconds),
+      state.slot_seconds};
+  if (workload::approx_equal(config_.cluster, observed, 1e-6)) return;
+  FT_LOG(kWarn) << "FlowTime configured for "
+                << workload::to_string(config_.cluster)
+                << " but the simulator runs "
+                << workload::to_string(observed)
+                << "; plans will not match execution";
+  if (obs::enabled()) {
+    obs::registry().counter("core.scheduler.config_skew").add();
+    obs::emit(obs::TraceEvent("config_skew")
+                  .field("component", "flowtime_scheduler")
+                  .field("configured", workload::to_string(config_.cluster))
+                  .field("authoritative", workload::to_string(observed)));
+  }
+}
+
 std::vector<sim::Allocation> FlowTimeScheduler::allocate(
     const sim::ClusterState& state) {
+  if (!skew_checked_) check_cluster_skew(state);
   // Sync authoritative view state.
   std::vector<const sim::JobView*> adhoc_views;
   for (const sim::JobView& view : state.active) {
@@ -300,12 +400,12 @@ std::vector<sim::Allocation> FlowTimeScheduler::allocate(
       job.ready = view.ready;
       if (view.overrun && !job.overrun) {
         job.overrun = true;
-        dirty_ = true;  // under-estimated: needs more than planned
+        mark_dirty(ReplanCause::kOverrun);  // needs more than planned
       }
       // Plan exhausted while the job still runs: re-plan.
       if (!dirty_ && job.planned_last_slot >= 0 &&
           state.slot > job.planned_last_slot) {
-        dirty_ = true;
+        mark_dirty(ReplanCause::kPlanExhausted);
       }
     } else {
       adhoc_views.push_back(&view);
@@ -341,7 +441,7 @@ std::vector<sim::Allocation> FlowTimeScheduler::allocate(
         plan_it->second[static_cast<std::size_t>(index)], view.width);
     if (workload::is_zero(amount, kTol)) continue;
     if (!view.ready) {
-      dirty_ = true;  // plan is stale; replan next slot
+      mark_dirty(ReplanCause::kStalePlan);  // replan next slot
       continue;
     }
     if (config_.round_to_containers) {

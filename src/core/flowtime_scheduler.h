@@ -32,9 +32,9 @@
 namespace flowtime::core {
 
 struct FlowTimeConfig {
-  /// Must match the simulator's cluster for min-runtime computations.
-  workload::ResourceVec cluster_capacity{500.0, 1024.0};
-  double slot_seconds = 10.0;
+  /// Must match the simulator's cluster for min-runtime computations; the
+  /// simulator verifies this via Scheduler::cluster_spec at run start.
+  workload::ClusterSpec cluster;
   /// Jobs are planned to finish this long before their decomposed deadline
   /// (paper Fig. 5; 0 disables the feature — the FlowTime_no_ds variant).
   double deadline_slack_s = 60.0;
@@ -67,6 +67,55 @@ struct FlowTimeConfig {
     // levels; full lexicographic refinement is reserved for benches.
     lp.lexmin.max_rounds = 6;
   }
+
+  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
+  /// `cluster.slot_seconds`.
+  [[deprecated("use cluster.capacity")]] workload::ResourceVec&
+  cluster_capacity() {
+    return cluster.capacity;
+  }
+  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
+    return cluster.slot_seconds;
+  }
+};
+
+/// Why a re-plan was triggered. A single re-plan may coalesce several
+/// causes (bitmask); to_string renders e.g. "arrival|deviation".
+enum class ReplanCause : unsigned {
+  kNone = 0,
+  kWorkflowArrival = 1u << 0,  // new deadline work appeared
+  kDeviation = 1u << 1,        // completion far from the planned slot
+  kOverrun = 1u << 2,          // estimate exhausted, job still running
+  kPlanExhausted = 1u << 3,    // current slot past the planned horizon
+  kStalePlan = 1u << 4,        // plan allocates to a not-yet-ready job
+};
+
+inline ReplanCause operator|(ReplanCause a, ReplanCause b) {
+  return static_cast<ReplanCause>(static_cast<unsigned>(a) |
+                                  static_cast<unsigned>(b));
+}
+inline ReplanCause& operator|=(ReplanCause& a, ReplanCause b) {
+  return a = a | b;
+}
+inline bool has_cause(ReplanCause mask, ReplanCause bit) {
+  return (static_cast<unsigned>(mask) & static_cast<unsigned>(bit)) != 0;
+}
+
+/// "arrival|deviation|overrun|plan_exhausted|stale_plan" subset.
+std::string to_string(ReplanCause causes);
+
+/// One re-plan, as recorded in FlowTimeScheduler::replan_log() and emitted
+/// as a "replan" trace event.
+struct ReplanRecord {
+  int slot = 0;
+  ReplanCause causes = ReplanCause::kNone;
+  int planned_jobs = 0;       // incomplete deadline jobs fed to the LP
+  std::int64_t pivots = 0;    // simplex pivots this re-plan
+  double wall_s = 0.0;        // re-plan wall time (0 when obs disabled)
+  int late_extensions = 0;    // jobs whose window had to be extended
+  bool capacity_exceeded = false;
+  bool lp_failed = false;     // width-greedy emergency fallback used
+  double max_normalized_load = 0.0;
 };
 
 /// FlowTime as a sim::Scheduler. Single-threaded, one instance per run.
@@ -75,6 +124,10 @@ class FlowTimeScheduler : public sim::Scheduler {
   explicit FlowTimeScheduler(FlowTimeConfig config = {});
 
   std::string name() const override { return "FlowTime"; }
+
+  const workload::ClusterSpec* cluster_spec() const override {
+    return &config_.cluster;
+  }
 
   void on_workflow_arrival(const workload::Workflow& workflow,
                            const std::vector<sim::JobUid>& node_uids,
@@ -97,6 +150,15 @@ class FlowTimeScheduler : public sim::Scheduler {
   int replans() const { return replans_; }
   std::int64_t total_pivots() const { return total_pivots_; }
 
+  /// One record per re-plan, in order — cause tags, LP stats, fallbacks.
+  /// In-process mirror of the "replan" trace events, so tests can assert on
+  /// causes without parsing JSONL.
+  const std::vector<ReplanRecord>& replan_log() const { return replan_log_; }
+
+  /// Workflows whose decomposition fell back to critical-path splitting
+  /// (negative slack) since construction.
+  int decomposition_fallbacks() const { return decomposition_fallbacks_; }
+
  private:
   struct DeadlineJobState {
     sim::JobUid uid = -1;
@@ -112,6 +174,13 @@ class FlowTimeScheduler : public sim::Scheduler {
   };
 
   void replan(const sim::ClusterState& state);
+  void replan_impl(const sim::ClusterState& state, ReplanRecord& record);
+  void mark_dirty(ReplanCause cause) {
+    dirty_ = true;
+    pending_causes_ |= cause;
+  }
+  /// Once per run: compare config_.cluster against the simulator's view.
+  void check_cluster_skew(const sim::ClusterState& state);
   int seconds_to_release_slot(double seconds) const;
   int seconds_to_deadline_slot(double seconds) const;
   /// Minimum slots this job needs at full width.
@@ -119,8 +188,12 @@ class FlowTimeScheduler : public sim::Scheduler {
 
   FlowTimeConfig config_;
   bool dirty_ = false;
+  ReplanCause pending_causes_ = ReplanCause::kNone;
+  bool skew_checked_ = false;
   int replans_ = 0;
   std::int64_t total_pivots_ = 0;
+  int decomposition_fallbacks_ = 0;
+  std::vector<ReplanRecord> replan_log_;
 
   std::map<sim::JobUid, DeadlineJobState> deadline_jobs_;
   std::vector<sim::JobUid> adhoc_fifo_;  // arrival order

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace flowtime::lp {
@@ -43,6 +45,35 @@ LexMinMaxSolver::LexMinMaxSolver(LexMinMaxOptions options)
     : options_(options) {}
 
 LexMinMaxResult LexMinMaxSolver::solve(
+    const LpProblem& base, const std::vector<LoadRow>& loads) const {
+  if (!obs::enabled()) return solve_impl(base, loads);
+
+  double wall_s = 0.0;
+  LexMinMaxResult result;
+  {
+    obs::ScopedTimer timer(
+        &wall_s, &obs::registry().histogram("lp.lexmin.solve_seconds"));
+    result = solve_impl(base, loads);
+  }
+  obs::Registry& reg = obs::registry();
+  reg.counter("lp.lexmin.solves").add();
+  reg.counter("lp.lexmin.rounds").add(result.rounds);
+  reg.counter("lp.lexmin.pivots").add(result.pivots);
+  if (!result.optimal()) reg.counter("lp.lexmin.failures").add();
+  obs::emit(obs::TraceEvent("lexmin_solve")
+                .field("rows", base.num_rows())
+                .field("cols", base.num_columns())
+                .field("loads", loads.size())
+                .field("status", to_string(result.status))
+                .field("rounds", result.rounds)
+                .field("pivots", result.pivots)
+                .field("levels", result.levels.size())
+                .field("max_level", result.max_level())
+                .field("wall_s", wall_s));
+  return result;
+}
+
+LexMinMaxResult LexMinMaxSolver::solve_impl(
     const LpProblem& base, const std::vector<LoadRow>& loads) const {
   LexMinMaxResult result;
   const std::size_t k_total = loads.size();

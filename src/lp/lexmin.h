@@ -78,6 +78,9 @@ class LexMinMaxSolver {
                         const std::vector<LoadRow>& loads) const;
 
  private:
+  LexMinMaxResult solve_impl(const LpProblem& base,
+                             const std::vector<LoadRow>& loads) const;
+
   LexMinMaxOptions options_;
 };
 

@@ -49,6 +49,9 @@ struct Solution {
   std::vector<double> row_activity;  // Ax, one per row
   std::vector<double> duals;         // y, one per row (LP only)
   std::int64_t iterations = 0;       // simplex pivots (or B&B nodes)
+  std::int64_t phase1_iterations = 0;  // pivots spent reaching feasibility
+  /// Wall time of the solve; populated only while obs is enabled.
+  double solve_seconds = 0.0;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace flowtime::lp {
@@ -54,6 +56,7 @@ class Engine {
       phase1_cost[static_cast<std::size_t>(j)] = 1.0;
     }
     const SolveStatus phase1 = optimize(phase1_cost, limit, &result.iterations);
+    result.phase1_iterations = result.iterations;
     if (phase1 != SolveStatus::kOptimal) {
       result.status = phase1 == SolveStatus::kUnbounded
                           ? SolveStatus::kNumericalFailure  // phase 1 bounded
@@ -511,6 +514,37 @@ class Engine {
 SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
 Solution SimplexSolver::solve(const LpProblem& problem) const {
+  if (!obs::enabled()) return solve_impl(problem);
+
+  Solution result;
+  {
+    // The timer's destructor stamps result.solve_seconds when this scope
+    // closes, i.e. after the assignment below.
+    obs::ScopedTimer timer(
+        &result.solve_seconds,
+        &obs::registry().histogram("lp.simplex.solve_seconds"));
+    result = solve_impl(problem);
+  }
+  obs::Registry& reg = obs::registry();
+  reg.counter("lp.simplex.solves").add();
+  reg.counter("lp.simplex.pivots").add(result.iterations);
+  if (result.status == SolveStatus::kInfeasible) {
+    reg.counter("lp.simplex.infeasible").add();
+  }
+  obs::emit(obs::TraceEvent("simplex_solve")
+                .field("rows", problem.num_rows())
+                .field("cols", problem.num_columns())
+                .field("status", to_string(result.status))
+                .field("pivots", result.iterations)
+                .field("phase1_iters", result.phase1_iterations)
+                .field("phase2_iters",
+                       result.iterations - result.phase1_iterations)
+                .field("objective", result.objective)
+                .field("wall_s", result.solve_seconds));
+  return result;
+}
+
+Solution SimplexSolver::solve_impl(const LpProblem& problem) const {
   if (problem.num_rows() == 0) {
     // Pure bound problem: each variable rests at whichever bound minimizes.
     Solution result;

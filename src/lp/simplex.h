@@ -48,6 +48,8 @@ class SimplexSolver {
   Solution solve(const LpProblem& problem) const;
 
  private:
+  Solution solve_impl(const LpProblem& problem) const;
+
   SimplexOptions options_;
 };
 

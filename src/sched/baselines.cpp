@@ -57,7 +57,7 @@ void EdfScheduler::on_workflow_arrival(
   const auto decomposition = decomposer_.decompose(workflow);
   for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {
     deadline_by_uid_[node_uids[static_cast<std::size_t>(v)]] =
-        decomposition ? decomposition->windows[static_cast<std::size_t>(v)]
+        decomposition.ok() ? decomposition.windows[static_cast<std::size_t>(v)]
                             .deadline_s
                       : workflow.deadline_s;
   }

@@ -24,7 +24,7 @@ std::unique_ptr<sim::Scheduler> make_scheduler(
   if (name == "CORA") return std::make_unique<CoraScheduler>();
   if (name == "EDF") {
     core::DecompositionConfig decomposition;
-    decomposition.cluster_capacity = config.flowtime.cluster_capacity;
+    decomposition.cluster = config.flowtime.cluster;
     decomposition.mode = config.flowtime.decomposition_mode;
     return std::make_unique<EdfScheduler>(decomposition);
   }
@@ -32,14 +32,14 @@ std::unique_ptr<sim::Scheduler> make_scheduler(
   if (name == "FIFO") return std::make_unique<FifoScheduler>();
   if (name == "Rayon") {
     core::DecompositionConfig decomposition;
-    decomposition.cluster_capacity = config.flowtime.cluster_capacity;
+    decomposition.cluster = config.flowtime.cluster;
     decomposition.mode = config.flowtime.decomposition_mode;
-    return std::make_unique<RayonScheduler>(decomposition,
-                                             config.sim.slot_seconds);
+    decomposition.cluster.slot_seconds = config.sim.cluster.slot_seconds;
+    return std::make_unique<RayonScheduler>(decomposition);
   }
   if (name == "Morpheus") {
     MorpheusConfig morpheus;
-    morpheus.cluster_capacity = config.flowtime.cluster_capacity;
+    morpheus.cluster = config.flowtime.cluster;
     return std::make_unique<MorpheusScheduler>(morpheus);
   }
   FT_LOG(kError) << "unknown scheduler: " << name;
@@ -49,20 +49,20 @@ std::unique_ptr<sim::Scheduler> make_scheduler(
 sim::JobDeadlines milestone_deadlines(const workload::Scenario& scenario,
                                       const ExperimentConfig& config) {
   core::DecompositionConfig decomposition_config;
-  decomposition_config.cluster_capacity = config.flowtime.cluster_capacity;
+  decomposition_config.cluster = config.flowtime.cluster;
   decomposition_config.mode = config.flowtime.decomposition_mode;
   const core::DeadlineDecomposer decomposer(decomposition_config);
   // In the paper's formulation deadlines are slot indices, so milestones
   // are evaluated at slot granularity: a fractional decomposed deadline
   // rounds up to the end of its slot (completions land on slot boundaries).
-  const double slot = config.sim.slot_seconds;
+  const double slot = config.sim.cluster.slot_seconds;
   sim::JobDeadlines deadlines;
   for (const workload::Workflow& w : scenario.workflows) {
     const auto result = decomposer.decompose(w);
     for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
       const double raw =
-          result ? result->windows[static_cast<std::size_t>(v)].deadline_s
-                 : w.deadline_s;
+          result.ok() ? result.windows[static_cast<std::size_t>(v)].deadline_s
+                      : w.deadline_s;
       deadlines[workload::WorkflowJobRef{w.id, v}] =
           std::ceil(raw / slot - 1e-9) * slot;
     }

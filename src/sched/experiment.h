@@ -37,10 +37,7 @@ struct ExperimentConfig {
   /// set (FlowTime, CORA, EDF, Fair, FIFO).
   std::vector<std::string> schedulers;
 
-  ExperimentConfig() {
-    flowtime.cluster_capacity = sim.capacity;
-    flowtime.slot_seconds = sim.slot_seconds;
-  }
+  ExperimentConfig() { flowtime.cluster = sim.cluster; }
 };
 
 /// Builds a scheduler by name; terminates on unknown names.

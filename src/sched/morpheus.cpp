@@ -24,7 +24,7 @@ void MorpheusScheduler::on_workflow_arrival(
   std::vector<double> weight;
   weight.reserve(workflow.jobs.size());
   for (const workload::JobSpec& job : workflow.jobs) {
-    weight.push_back(job.min_runtime_s(config_.cluster_capacity));
+    weight.push_back(job.min_runtime_s(config_.cluster.capacity));
   }
   const auto cp = dag::critical_path(workflow.dag, weight);
   for (dag::NodeId v = 0; v < workflow.dag.num_nodes(); ++v) {

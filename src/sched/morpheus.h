@@ -26,8 +26,8 @@ namespace flowtime::sched {
 struct MorpheusConfig {
   /// Inferred SLO = start + padding x historical completion offset.
   double slo_padding = 1.5;
-  /// Cluster capacity used to reconstruct historical (uncontended) runs.
-  workload::ResourceVec cluster_capacity{500.0, 1024.0};
+  /// Cluster model used to reconstruct historical (uncontended) runs.
+  workload::ClusterSpec cluster;
 };
 
 class MorpheusScheduler : public sim::Scheduler {

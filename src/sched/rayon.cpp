@@ -12,11 +12,10 @@ namespace {
 constexpr double kTol = 1e-9;
 }
 
-RayonScheduler::RayonScheduler(core::DecompositionConfig decomposition,
-                               double slot_seconds)
-    : decomposer_(decomposition), slot_seconds_(slot_seconds) {
-  capacity_per_slot_ =
-      workload::scale(decomposition.cluster_capacity, slot_seconds_);
+RayonScheduler::RayonScheduler(core::DecompositionConfig decomposition)
+    : decomposer_(decomposition),
+      slot_seconds_(decomposition.cluster.slot_seconds) {
+  capacity_per_slot_ = decomposition.cluster.capacity_per_slot();
 }
 
 workload::ResourceVec RayonScheduler::reserved_at(int slot) const {
@@ -66,9 +65,9 @@ void RayonScheduler::on_workflow_arrival(
     double release_s = workflow.start_s;
     double deadline_s = workflow.deadline_s;
     if (decomposition) {
-      release_s = decomposition->windows[static_cast<std::size_t>(v)].start_s;
+      release_s = decomposition.windows[static_cast<std::size_t>(v)].start_s;
       deadline_s =
-          decomposition->windows[static_cast<std::size_t>(v)].deadline_s;
+          decomposition.windows[static_cast<std::size_t>(v)].deadline_s;
     }
     const int release_slot = std::max(
         now_slot,

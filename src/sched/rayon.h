@@ -27,8 +27,9 @@ namespace flowtime::sched {
 
 class RayonScheduler : public sim::Scheduler {
  public:
-  explicit RayonScheduler(core::DecompositionConfig decomposition = {},
-                          double slot_seconds = 10.0);
+  /// Slot length comes from `decomposition.cluster` — one ClusterSpec
+  /// carries the whole cluster shape.
+  explicit RayonScheduler(core::DecompositionConfig decomposition = {});
 
   std::string name() const override { return "Rayon"; }
   void on_workflow_arrival(const workload::Workflow& workflow,

@@ -77,6 +77,14 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
+  /// The cluster model this policy was configured with, or nullptr when the
+  /// policy has none. The simulator compares it against its own spec at the
+  /// start of a run and flags config skew — the classic footgun where the
+  /// scheduler plans against a different cluster than the one executing.
+  virtual const workload::ClusterSpec* cluster_spec() const {
+    return nullptr;
+  }
+
   /// A workflow was released. `node_uids[v]` is the JobUid of DAG node v.
   virtual void on_workflow_arrival(const workload::Workflow& workflow,
                                    const std::vector<JobUid>& node_uids,

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace flowtime::sim {
@@ -44,7 +46,29 @@ Simulator::Simulator(SimConfig config) : config_(std::move(config)) {}
 SimResult Simulator::run(const workload::Scenario& scenario,
                          Scheduler& scheduler) {
   SimResult result;
-  result.slot_seconds = config_.slot_seconds;
+  result.slot_seconds = config_.cluster.slot_seconds;
+
+  // Config-skew check: a scheduler that plans against a different cluster
+  // than the one executing produces plans that silently never fit (or
+  // silently underuse the cluster). Flag it up front, once per run.
+  if (const workload::ClusterSpec* spec = scheduler.cluster_spec()) {
+    if (!workload::approx_equal(*spec, config_.cluster, 1e-6)) {
+      FT_LOG(kWarn) << "scheduler " << scheduler.name()
+                    << " is configured for " << workload::to_string(*spec)
+                    << " but the simulator runs "
+                    << workload::to_string(config_.cluster);
+      if (obs::enabled()) {
+        obs::registry().counter("sim.config_skew").add();
+        obs::emit(obs::TraceEvent("config_skew")
+                      .field("component", "simulator")
+                      .field("scheduler", scheduler.name())
+                      .field("configured", workload::to_string(*spec))
+                      .field("authoritative",
+                             workload::to_string(config_.cluster)));
+      }
+    }
+  }
+
   std::vector<LiveJob> jobs;
 
   // Lay out uids: workflow jobs first (in workflow order), then ad-hoc.
@@ -66,8 +90,8 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       job.remaining_actual = job.record.actual_demand;
       job.remaining_estimate = spec.total_demand();
       job.width = workload::scale(spec.max_parallel_demand(),
-                                  config_.slot_seconds);
-      job.container = workload::scale(spec.task.demand, config_.slot_seconds);
+                                  config_.cluster.slot_seconds);
+      job.container = workload::scale(spec.task.demand, config_.cluster.slot_seconds);
       pending.node_uids.push_back(job.record.uid);
       jobs.push_back(std::move(job));
     }
@@ -92,9 +116,9 @@ SimResult Simulator::run(const workload::Scenario& scenario,
     job.remaining_actual = job.record.actual_demand;
     job.remaining_estimate = a.spec.total_demand();
     job.width =
-        workload::scale(a.spec.max_parallel_demand(), config_.slot_seconds);
+        workload::scale(a.spec.max_parallel_demand(), config_.cluster.slot_seconds);
     job.container =
-        workload::scale(a.spec.task.demand, config_.slot_seconds);
+        workload::scale(a.spec.task.demand, config_.cluster.slot_seconds);
     jobs.push_back(std::move(job));
   }
 
@@ -116,10 +140,10 @@ SimResult Simulator::run(const workload::Scenario& scenario,
   std::size_t next_adhoc = 0;
   std::size_t incomplete = jobs.size();
   const int max_slots = static_cast<int>(
-      std::ceil(config_.max_horizon_s / config_.slot_seconds));
+      std::ceil(config_.max_horizon_s / config_.cluster.slot_seconds));
 
   for (int slot = 0; slot < max_slots && incomplete > 0; ++slot) {
-    const double now = slot * config_.slot_seconds;
+    const double now = slot * config_.cluster.slot_seconds;
 
     // Release everything that has arrived by the start of this slot.
     while (next_workflow < workflow_arrivals.size() &&
@@ -147,11 +171,11 @@ SimResult Simulator::run(const workload::Scenario& scenario,
     ClusterState state;
     state.slot = slot;
     state.now_s = now;
-    state.slot_seconds = config_.slot_seconds;
-    state.capacity = workload::scale(config_.capacity, config_.slot_seconds);
+    state.slot_seconds = config_.cluster.slot_seconds;
+    state.capacity = workload::scale(config_.cluster.capacity, config_.cluster.slot_seconds);
     for (const auto& [override_slot, cap] : config_.capacity_overrides) {
       if (override_slot == slot) {
-        state.capacity = workload::scale(cap, config_.slot_seconds);
+        state.capacity = workload::scale(cap, config_.cluster.slot_seconds);
       }
     }
     for (LiveJob& job : jobs) {
@@ -271,7 +295,7 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       used = workload::add(used, delivered);
       if (workload::is_zero(job.remaining_actual, kTol)) {
         job.complete = true;
-        job.record.completion_s = now + config_.slot_seconds;
+        job.record.completion_s = now + config_.cluster.slot_seconds;
         completed_now.push_back(uid);
       }
     }
@@ -280,9 +304,34 @@ SimResult Simulator::run(const workload::Scenario& scenario,
         workload::scale(granted_total, scale_factor));
     result.slots_simulated = slot + 1;
 
+    if (obs::enabled()) {
+      obs::registry().counter("sim.slots").add();
+      int ready_jobs = 0;
+      for (const JobView& view : state.active) {
+        if (view.ready) ++ready_jobs;
+      }
+      obs::TraceEvent event("slot");
+      event.field("scheduler", scheduler.name())
+          .field("slot", slot)
+          .field("now_s", now);
+      for (int r = 0; r < workload::kNumResources; ++r) {
+        const double load =
+            state.capacity[r] > kTol ? used[r] / state.capacity[r] : 0.0;
+        event.field(std::string("load_") + workload::resource_name(r), load);
+        obs::registry()
+            .histogram(std::string("sim.load.") +
+                       workload::resource_name(r))
+            .observe(load);
+      }
+      event.field("active_jobs", state.active.size())
+          .field("ready_jobs", ready_jobs)
+          .field("completions", completed_now.size());
+      obs::emit(event);
+    }
+
     for (JobUid uid : completed_now) {
       --incomplete;
-      scheduler.on_job_complete(uid, now + config_.slot_seconds);
+      scheduler.on_job_complete(uid, now + config_.cluster.slot_seconds);
     }
   }
 
@@ -290,6 +339,17 @@ SimResult Simulator::run(const workload::Scenario& scenario,
   if (!result.all_completed) {
     FT_LOG(kWarn) << "simulation horizon expired with " << incomplete
                   << " incomplete jobs under scheduler " << scheduler.name();
+  }
+  if (obs::enabled()) {
+    obs::emit(obs::TraceEvent("sim_run")
+                  .field("scheduler", scheduler.name())
+                  .field("slots", result.slots_simulated)
+                  .field("jobs", jobs.size())
+                  .field("all_completed", result.all_completed)
+                  .field("capacity_violations", result.capacity_violations)
+                  .field("width_violations", result.width_violations)
+                  .field("not_ready_allocations",
+                         result.not_ready_allocations));
   }
   result.jobs.reserve(jobs.size());
   for (LiveJob& job : jobs) result.jobs.push_back(std::move(job.record));

@@ -27,8 +27,10 @@
 namespace flowtime::sim {
 
 struct SimConfig {
-  ResourceVec capacity{500.0, 1024.0};  // cores, memory GB (Fig. 7 cluster)
-  double slot_seconds = 10.0;           // paper §VI
+  /// The authoritative cluster model (cores, memory GB, slot length).
+  /// Schedulers exposing cluster_spec() are checked against it at run
+  /// start; mismatches are reported as config skew.
+  workload::ClusterSpec cluster;        // Fig. 7 cluster, 10 s slots (§VI)
   double max_horizon_s = 48.0 * 3600.0; // safety stop
   /// Per-slot capacity override hook: slots listed here replace the base
   /// capacity (the paper allows time-varying caps C_t^r).
@@ -39,6 +41,15 @@ struct SimConfig {
   /// is lost to fragmentation (reported in SimResult). 0 = fluid mode: the
   /// cluster is one divisible resource pool, the paper's LP abstraction.
   int num_nodes = 0;
+
+  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
+  /// `cluster.slot_seconds`.
+  [[deprecated("use cluster.capacity")]] ResourceVec& capacity() {
+    return cluster.capacity;
+  }
+  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
+    return cluster.slot_seconds;
+  }
 };
 
 /// Outcome of one job.

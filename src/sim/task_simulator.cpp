@@ -62,7 +62,7 @@ TaskLevelSimulator::TaskLevelSimulator(TaskSimConfig config)
 SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
                                   Scheduler& scheduler) {
   SimResult result;
-  result.slot_seconds = config_.slot_seconds;
+  result.slot_seconds = config_.cluster.slot_seconds;
   std::vector<TaskJob> jobs;
 
   struct PendingWorkflow {
@@ -76,7 +76,7 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
     pending.workflow = &w;
     for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
       const workload::JobSpec& spec = w.jobs[static_cast<std::size_t>(v)];
-      TaskJob job = make_task_job(spec, config_.slot_seconds);
+      TaskJob job = make_task_job(spec, config_.cluster.slot_seconds);
       job.record.uid = static_cast<JobUid>(jobs.size());
       job.record.kind = JobKind::kDeadline;
       job.record.name = w.name + "/" + spec.name + "#" + std::to_string(v);
@@ -97,7 +97,7 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
     workflow_arrivals.push_back(std::move(pending));
   }
   for (const workload::AdhocJob& a : scenario.adhoc_jobs) {
-    TaskJob job = make_task_job(a.spec, config_.slot_seconds);
+    TaskJob job = make_task_job(a.spec, config_.cluster.slot_seconds);
     job.record.uid = static_cast<JobUid>(jobs.size());
     job.record.kind = JobKind::kAdhoc;
     job.record.name = a.spec.name;
@@ -124,12 +124,12 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
   std::size_t next_adhoc = 0;
   std::size_t incomplete = jobs.size();
   const int max_slots = static_cast<int>(
-      std::ceil(config_.max_horizon_s / config_.slot_seconds));
+      std::ceil(config_.max_horizon_s / config_.cluster.slot_seconds));
   const ResourceVec slot_capacity =
-      workload::scale(config_.capacity, config_.slot_seconds);
+      workload::scale(config_.cluster.capacity, config_.cluster.slot_seconds);
 
   for (int slot = 0; slot < max_slots && incomplete > 0; ++slot) {
-    const double now = slot * config_.slot_seconds;
+    const double now = slot * config_.cluster.slot_seconds;
 
     // Tasks finishing at this boundary free their containers.
     std::vector<JobUid> completed_now;
@@ -186,7 +186,7 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
     ClusterState state;
     state.slot = slot;
     state.now_s = now;
-    state.slot_seconds = config_.slot_seconds;
+    state.slot_seconds = config_.cluster.slot_seconds;
     state.capacity = slot_capacity;
     ResourceVec occupied{};
     for (TaskJob& job : jobs) {

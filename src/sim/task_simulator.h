@@ -26,9 +26,17 @@
 namespace flowtime::sim {
 
 struct TaskSimConfig {
-  ResourceVec capacity{500.0, 1024.0};
-  double slot_seconds = 10.0;
+  workload::ClusterSpec cluster;
   double max_horizon_s = 48.0 * 3600.0;
+
+  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
+  /// `cluster.slot_seconds`.
+  [[deprecated("use cluster.capacity")]] ResourceVec& capacity() {
+    return cluster.capacity;
+  }
+  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
+    return cluster.slot_seconds;
+  }
 };
 
 /// Runs one scenario at task granularity. Reuses SimResult; the

@@ -89,4 +89,37 @@ inline std::string to_string(const ResourceVec& a) {
   return out;
 }
 
+/// The single entry point for describing the cluster to any component:
+/// total capacity in resource units (cores, GB) and the scheduling slot
+/// length in seconds. Every config struct that needs the cluster model
+/// embeds one of these — re-declaring `cluster_capacity` / `slot_seconds`
+/// as loose fields is how the pre-ClusterSpec API let callers feed the
+/// scheduler and the simulator diverging cluster models.
+struct ClusterSpec {
+  ResourceVec capacity{500.0, 1024.0};  // Fig. 7 cluster: 500 cores, 1 TB
+  double slot_seconds = 10.0;
+
+  /// Capacity integrated over one slot, in resource-seconds.
+  ResourceVec capacity_per_slot() const { return scale(capacity, slot_seconds); }
+
+  bool operator==(const ClusterSpec&) const = default;
+};
+
+/// Tolerant comparison for skew detection (configs are often rebuilt from
+/// parsed text, so exact equality is too strict).
+inline bool approx_equal(const ClusterSpec& a, const ClusterSpec& b,
+                         double tol = 1e-9) {
+  if (a.slot_seconds > b.slot_seconds + tol ||
+      b.slot_seconds > a.slot_seconds + tol) {
+    return false;
+  }
+  return fits_within(a.capacity, b.capacity, tol) &&
+         fits_within(b.capacity, a.capacity, tol);
+}
+
+inline std::string to_string(const ClusterSpec& spec) {
+  return "cluster{capacity=" + to_string(spec.capacity) +
+         ", slot_seconds=" + std::to_string(spec.slot_seconds) + "}";
+}
+
 }  // namespace flowtime::workload

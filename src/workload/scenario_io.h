@@ -28,11 +28,9 @@
 namespace flowtime::workload {
 
 /// Cluster line contents (optional in a file; callers fall back to their
-/// own defaults when absent).
-struct ScenarioCluster {
-  ResourceVec capacity{500.0, 1024.0};
-  double slot_seconds = 10.0;
-};
+/// own defaults when absent). The file format maps 1:1 onto the unified
+/// cluster model.
+using ScenarioCluster = ClusterSpec;
 
 struct ParsedScenario {
   Scenario scenario;

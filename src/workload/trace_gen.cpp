@@ -61,7 +61,7 @@ Workflow make_workflow(util::Rng& rng, int id, double start_s,
     job.num_tasks *= std::max(1, config.task_multiplier);
     w.jobs.push_back(std::move(job));
   }
-  const double makespan = w.min_makespan_s(config.cluster_capacity);
+  const double makespan = w.min_makespan_s(config.cluster.capacity);
   const double looseness =
       rng.uniform_real(config.looseness_min, config.looseness_max);
   w.deadline_s = start_s + looseness * makespan;

@@ -28,8 +28,9 @@ struct WorkflowGenConfig {
   /// experiment uses tighter values so baselines can actually miss.
   double looseness_min = 2.5;
   double looseness_max = 4.0;
-  /// Capacity used to compute the minimum makespan for deadline setting.
-  ResourceVec cluster_capacity{500.0, 1024.0};
+  /// Cluster model used to compute the minimum makespan for deadline
+  /// setting (only the capacity matters here).
+  ClusterSpec cluster;
   /// Multiplies every sampled job's task count: the paper's testbed rounds
   /// process >1 TB per round, i.e. jobs several times larger than the base
   /// profile table.

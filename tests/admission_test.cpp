@@ -35,7 +35,7 @@ workload::Workflow heavy_workflow(int id, double start, double deadline) {
 
 core::AdmissionConfig small_cluster() {
   core::AdmissionConfig config;
-  config.cluster_capacity = ResourceVec{20.0, 40.0};
+  config.cluster.capacity = ResourceVec{20.0, 40.0};
   return config;
 }
 

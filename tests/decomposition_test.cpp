@@ -44,18 +44,18 @@ TEST(Decomposition, Fig3ResourceDemandShares) {
   const double deadline = 11000.0;
   const workload::Workflow w = fig3_workflow(middle, deadline);
   DecompositionConfig config;
-  config.cluster_capacity = ResourceVec{500.0, 1024.0};
+  config.cluster.capacity = ResourceVec{500.0, 1024.0};
   const DeadlineDecomposer decomposer(config);
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->used_fallback);
-  ASSERT_EQ(result->levels.size(), 3u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.used_fallback);
+  ASSERT_EQ(result.levels.size(), 3u);
 
   // All jobs identical: min runtime 100 s per level; slack = 11000 - 300.
   const double slack = deadline - 300.0;
   const double expected_middle = 100.0 + slack * (middle / (middle + 2.0));
-  EXPECT_NEAR(result->level_duration_s[1], expected_middle, 1e-6);
-  EXPECT_NEAR(result->level_duration_s[0],
+  EXPECT_NEAR(result.level_duration_s[1], expected_middle, 1e-6);
+  EXPECT_NEAR(result.level_duration_s[0],
               100.0 + slack / (middle + 2.0), 1e-6);
 }
 
@@ -65,12 +65,12 @@ TEST(Decomposition, CriticalPathModeGivesEqualSharesForUniformChain) {
   config.mode = DecompositionMode::kCriticalPath;
   const DeadlineDecomposer decomposer(config);
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->used_fallback);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.used_fallback);
   // Equal min runtimes -> each level gets 1/3 of the whole budget, the
   // "traditional approach" of the Fig. 3 discussion.
   for (int l = 0; l < 3; ++l) {
-    EXPECT_NEAR(result->level_duration_s[static_cast<std::size_t>(l)],
+    EXPECT_NEAR(result.level_duration_s[static_cast<std::size_t>(l)],
                 11000.0 / 3.0, 1e-6);
   }
 }
@@ -80,10 +80,10 @@ TEST(Decomposition, NegativeSlackFallsBackToCriticalPath) {
   const workload::Workflow w = fig3_workflow(9, 250.0);
   const DeadlineDecomposer decomposer;
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->used_fallback);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.used_fallback);
   double total = 0.0;
-  for (double d : result->level_duration_s) total += d;
+  for (double d : result.level_duration_s) total += d;
   EXPECT_NEAR(total, 250.0, 1e-6);
 }
 
@@ -94,16 +94,16 @@ TEST(Decomposition, WindowsAreContiguousAndEndAtDeadline) {
   const workload::Workflow w = workload::make_workflow(rng, 0, 50.0, config);
   const DeadlineDecomposer decomposer;
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result.ok());
 
   // Every level's jobs share one window; consecutive windows abut.
   double cursor = w.start_s;
-  for (std::size_t l = 0; l < result->levels.size(); ++l) {
-    for (dag::NodeId v : result->levels[l]) {
-      const JobWindow& window = result->windows[static_cast<std::size_t>(v)];
+  for (std::size_t l = 0; l < result.levels.size(); ++l) {
+    for (dag::NodeId v : result.levels[l]) {
+      const JobWindow& window = result.windows[static_cast<std::size_t>(v)];
       EXPECT_NEAR(window.start_s, cursor, 1e-6);
     }
-    cursor += result->level_duration_s[l];
+    cursor += result.level_duration_s[l];
   }
   EXPECT_NEAR(cursor, w.deadline_s, 1e-6);
 }
@@ -115,11 +115,11 @@ TEST(Decomposition, ParentWindowsPrecedeChildWindows) {
   const workload::Workflow w = workload::make_workflow(rng, 0, 0.0, config);
   const DeadlineDecomposer decomposer;
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result.ok());
   for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
     for (dag::NodeId c : w.dag.children(v)) {
-      EXPECT_LE(result->windows[static_cast<std::size_t>(v)].deadline_s,
-                result->windows[static_cast<std::size_t>(c)].start_s + 1e-6);
+      EXPECT_LE(result.windows[static_cast<std::size_t>(v)].deadline_s,
+                result.windows[static_cast<std::size_t>(c)].start_s + 1e-6);
     }
   }
 }
@@ -134,16 +134,16 @@ TEST(Decomposition, EveryLevelGetsAtLeastItsMinimumRuntime) {
   DecompositionConfig dconfig;
   const DeadlineDecomposer decomposer(dconfig);
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
-  ASSERT_FALSE(result->used_fallback);
-  for (std::size_t l = 0; l < result->levels.size(); ++l) {
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.used_fallback);
+  for (std::size_t l = 0; l < result.levels.size(); ++l) {
     double level_min = 0.0;
-    for (dag::NodeId v : result->levels[l]) {
+    for (dag::NodeId v : result.levels[l]) {
       level_min = std::max(
           level_min, w.jobs[static_cast<std::size_t>(v)].min_runtime_s(
-                         dconfig.cluster_capacity));
+                         dconfig.cluster.capacity));
     }
-    EXPECT_GE(result->level_duration_s[l], level_min - 1e-6);
+    EXPECT_GE(result.level_duration_s[l], level_min - 1e-6);
   }
 }
 
@@ -164,27 +164,48 @@ TEST(Decomposition, WiderLevelsGetProportionallyMoreSlack) {
   w.jobs.assign(5, uniform_job());
   const DeadlineDecomposer decomposer;
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
-  ASSERT_EQ(result->level_duration_s.size(), 2u);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.level_duration_s.size(), 2u);
   const double slack = 5000.0 - 200.0;
-  EXPECT_NEAR(result->level_duration_s[0], 100.0 + slack * (1.0 / 5.0), 1e-6);
-  EXPECT_NEAR(result->level_duration_s[1], 100.0 + slack * (4.0 / 5.0), 1e-6);
+  EXPECT_NEAR(result.level_duration_s[0], 100.0 + slack * (1.0 / 5.0), 1e-6);
+  EXPECT_NEAR(result.level_duration_s[1], 100.0 + slack * (4.0 / 5.0), 1e-6);
 }
 
 TEST(Decomposition, RejectsInvalidWorkflow) {
   workload::Workflow w = fig3_workflow(3, 1000.0);
   w.jobs[0].num_tasks = 0;
   const DeadlineDecomposer decomposer;
-  EXPECT_FALSE(decomposer.decompose(w).has_value());
+  const DecompositionResult result = decomposer.decompose(w);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, DecomposeStatus::kInvalidWorkflow);
 }
 
 TEST(Decomposition, RejectsJobThatCannotFitCluster) {
   workload::Workflow w = fig3_workflow(3, 1000.0);
   w.jobs[1].task.demand = ResourceVec{9999.0, 1.0};
   DecompositionConfig config;
-  config.cluster_capacity = ResourceVec{500.0, 1024.0};
+  config.cluster.capacity = ResourceVec{500.0, 1024.0};
   const DeadlineDecomposer decomposer(config);
-  EXPECT_FALSE(decomposer.decompose(w).has_value());
+  const DecompositionResult result = decomposer.decompose(w);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, DecomposeStatus::kJobExceedsCapacity);
+}
+
+TEST(Decomposition, RejectsEmptyWorkflow) {
+  const workload::Workflow w;
+  const DeadlineDecomposer decomposer;
+  const DecompositionResult result = decomposer.decompose(w);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, DecomposeStatus::kEmptyWorkflow);
+}
+
+TEST(Decomposition, RejectsCyclicDag) {
+  workload::Workflow w = fig3_workflow(3, 1000.0);
+  w.dag.add_edge(2, 0);  // back edge closes a cycle
+  const DeadlineDecomposer decomposer;
+  const DecompositionResult result = decomposer.decompose(w);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, DecomposeStatus::kCyclicDag);
 }
 
 TEST(Decomposition, MultiWaveJobsExtendLevelMinimumRuntime) {
@@ -200,11 +221,11 @@ TEST(Decomposition, MultiWaveJobsExtendLevelMinimumRuntime) {
   job.task.demand = ResourceVec{10.0, 1.0};
   w.jobs = {job};
   DecompositionConfig config;
-  config.cluster_capacity = ResourceVec{500.0, 1024.0};
+  config.cluster.capacity = ResourceVec{500.0, 1024.0};
   const DeadlineDecomposer decomposer(config);
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->min_makespan_s, 200.0, 1e-9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.min_makespan_s, 200.0, 1e-9);
 }
 
 class DecompositionProperty : public ::testing::TestWithParam<int> {};
@@ -217,16 +238,16 @@ TEST_P(DecompositionProperty, WindowsPartitionTheBudgetOnRandomWorkflows) {
       workload::make_workflow(rng, 0, rng.uniform_real(0.0, 500.0), config);
   const DeadlineDecomposer decomposer;
   const auto result = decomposer.decompose(w);
-  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result.ok());
   double total = 0.0;
-  for (double d : result->level_duration_s) {
+  for (double d : result.level_duration_s) {
     EXPECT_GE(d, -1e-9);
     total += d;
   }
   EXPECT_NEAR(total, w.deadline_s - w.start_s, 1e-6);
   // Last level's jobs end exactly at the workflow deadline.
-  for (dag::NodeId v : result->levels.back()) {
-    EXPECT_NEAR(result->windows[static_cast<std::size_t>(v)].deadline_s,
+  for (dag::NodeId v : result.levels.back()) {
+    EXPECT_NEAR(result.windows[static_cast<std::size_t>(v)].deadline_s,
                 w.deadline_s, 1e-9);
   }
 }

@@ -49,18 +49,18 @@ TEST_P(DecompositionFeasibility, LooseWorkflowsYieldJointlyFeasibleWindows) {
   const ResourceVec capacity{300.0, 640.0};
   workload::WorkflowGenConfig gen;
   gen.num_jobs = static_cast<int>(rng.uniform_int(6, 20));
-  gen.cluster_capacity = capacity;
+  gen.cluster.capacity = capacity;
   gen.looseness_min = 2.5;
   gen.looseness_max = 4.0;
   const workload::Workflow w = workload::make_workflow(rng, 0, 0.0, gen);
 
   core::DecompositionConfig dconfig;
-  dconfig.cluster_capacity = capacity;
+  dconfig.cluster.capacity = capacity;
   const auto decomposition = core::DeadlineDecomposer(dconfig).decompose(w);
-  ASSERT_TRUE(decomposition.has_value());
+  ASSERT_TRUE(decomposition.ok());
 
   const double slot_s = 10.0;
-  const auto jobs = windows_to_lp_jobs(w, *decomposition, slot_s);
+  const auto jobs = windows_to_lp_jobs(w, decomposition, slot_s);
   int horizon = 1;
   for (const core::LpJob& job : jobs) {
     horizon = std::max(horizon, job.deadline_slot + 1);
@@ -94,10 +94,10 @@ TEST(DecompositionFeasibility, TightDeadlinesCanExceedCapacityHonestly) {
   w.deadline_s = 1.02 * w.min_makespan_s(capacity);
 
   core::DecompositionConfig dconfig;
-  dconfig.cluster_capacity = capacity;
+  dconfig.cluster.capacity = capacity;
   const auto decomposition = core::DeadlineDecomposer(dconfig).decompose(w);
-  ASSERT_TRUE(decomposition.has_value());
-  const auto jobs = windows_to_lp_jobs(w, *decomposition, 10.0);
+  ASSERT_TRUE(decomposition.ok());
+  const auto jobs = windows_to_lp_jobs(w, decomposition, 10.0);
   int horizon = 1;
   for (const core::LpJob& j : jobs) {
     horizon = std::max(horizon, j.deadline_slot + 1);
@@ -111,15 +111,15 @@ TEST(DecompositionFeasibility, TightDeadlinesCanExceedCapacityHonestly) {
 
 TEST(ExperimentHarness, DefaultSchedulerSetIsThePaperFigure4Set) {
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{100.0, 220.0};
+  config.sim.cluster.capacity = ResourceVec{100.0, 220.0};
   config.sim.max_horizon_s = 1800.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
 
   workload::Fig4Config fig4;
   fig4.num_workflows = 1;
   fig4.jobs_per_workflow = 5;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.adhoc.rate_per_s = 0.01;
   fig4.adhoc.horizon_s = 200.0;
   const workload::Scenario scenario = workload::make_fig4_scenario(3, fig4);
@@ -134,13 +134,13 @@ TEST(ExperimentHarness, DefaultSchedulerSetIsThePaperFigure4Set) {
 
 TEST(ExperimentHarness, MilestonesAreSlotAligned) {
   sched::ExperimentConfig config;
-  config.sim.slot_seconds = 10.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
+  config.sim.cluster.slot_seconds = 10.0;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
 
   workload::Fig4Config fig4;
   fig4.num_workflows = 2;
   fig4.jobs_per_workflow = 6;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.adhoc.rate_per_s = 0.001;
   fig4.adhoc.horizon_s = 100.0;
   const workload::Scenario scenario = workload::make_fig4_scenario(8, fig4);
@@ -154,16 +154,16 @@ TEST(ExperimentHarness, MilestonesAreSlotAligned) {
 
 TEST(ExperimentHarness, FlowTimeOutcomeCarriesSolverTelemetry) {
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{100.0, 220.0};
+  config.sim.cluster.capacity = ResourceVec{100.0, 220.0};
   config.sim.max_horizon_s = 3600.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.schedulers = {"FlowTime", "Fair"};
 
   workload::Fig4Config fig4;
   fig4.num_workflows = 1;
   fig4.jobs_per_workflow = 6;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.adhoc.rate_per_s = 0.01;
   fig4.adhoc.horizon_s = 300.0;
   const workload::Scenario scenario = workload::make_fig4_scenario(4, fig4);

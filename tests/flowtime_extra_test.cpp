@@ -42,11 +42,11 @@ workload::Scenario chain_scenario(double deadline) {
 
 TEST(PlanCoarsening, CoarsePlansStillMeetDeadlines) {
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{50.0, 100.0};
+  sim_config.cluster.capacity = ResourceVec{50.0, 100.0};
   sim_config.max_horizon_s = 3.0 * 3600.0;
   core::FlowTimeConfig config;
-  config.cluster_capacity = sim_config.capacity;
-  config.slot_seconds = sim_config.slot_seconds;
+  config.cluster.capacity = sim_config.cluster.capacity;
+  config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
   config.max_planning_slots = 16;  // force aggressive bucketing
 
   const workload::Scenario scenario = chain_scenario(4000.0);
@@ -65,14 +65,14 @@ TEST(PlanCoarsening, CoarsePlansStillMeetDeadlines) {
 
 TEST(PlanCoarsening, MatchesFineGrainedOutcomeOnLooseDeadlines) {
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{50.0, 100.0};
+  sim_config.cluster.capacity = ResourceVec{50.0, 100.0};
   sim_config.max_horizon_s = 3.0 * 3600.0;
   const workload::Scenario scenario = chain_scenario(6000.0);
 
   auto run_with = [&](int max_slots) {
     core::FlowTimeConfig config;
-    config.cluster_capacity = sim_config.capacity;
-    config.slot_seconds = sim_config.slot_seconds;
+    config.cluster.capacity = sim_config.cluster.capacity;
+    config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
     config.max_planning_slots = max_slots;
     sim::Simulator sim(sim_config);
     core::FlowTimeScheduler scheduler(config);
@@ -107,7 +107,7 @@ TEST(EdfStrictness, StrictVariantStarvesAdhocLonger) {
   scenario.adhoc_jobs.push_back(adhoc);
 
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{20.0, 40.0};
+  sim_config.cluster.capacity = ResourceVec{20.0, 40.0};
   sim_config.max_horizon_s = 3600.0;
 
   sim::Simulator sim(sim_config);
@@ -150,7 +150,7 @@ TEST(FifoSubmissionOrder, ChildrenQueueBehindBacklogAccumulatedMeanwhile) {
   scenario.adhoc_jobs.push_back(adhoc);
 
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{10.0, 20.0};  // one job at a time
+  sim_config.cluster.capacity = ResourceVec{10.0, 20.0};  // one job at a time
   sim_config.max_horizon_s = 3600.0;
   sim::Simulator sim(sim_config);
   sched::FifoScheduler scheduler;
@@ -182,7 +182,7 @@ TEST(ReadySince, ViewReportsFirstRunnableInstant) {
 
   const workload::Scenario scenario = chain_scenario(5000.0);
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{50.0, 100.0};
+  sim_config.cluster.capacity = ResourceVec{50.0, 100.0};
   sim::Simulator sim(sim_config);
   Probe probe;
   const sim::SimResult result = sim.run(scenario, probe);
@@ -199,11 +199,11 @@ TEST(DeadlineCapFraction, ReservesHeadroomWhenFeasible) {
   // With cap fraction 0.5 the deadline plan must stay below half the
   // cluster whenever that is feasible, leaving guaranteed ad-hoc headroom.
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{50.0, 100.0};
+  sim_config.cluster.capacity = ResourceVec{50.0, 100.0};
   sim_config.max_horizon_s = 2.0 * 3600.0;
   core::FlowTimeConfig config;
-  config.cluster_capacity = sim_config.capacity;
-  config.slot_seconds = sim_config.slot_seconds;
+  config.cluster.capacity = sim_config.cluster.capacity;
+  config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
   config.deadline_cap_fraction = 0.5;
 
   const workload::Scenario scenario = chain_scenario(4000.0);
@@ -227,11 +227,11 @@ TEST(DeadlineCapFraction, FallsBackToFullClusterWhenTight) {
   // A deadline tight enough that half the cluster cannot meet it: the
   // scheduler must abandon the headroom rather than the deadline.
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{50.0, 100.0};
+  sim_config.cluster.capacity = ResourceVec{50.0, 100.0};
   sim_config.max_horizon_s = 2.0 * 3600.0;
   core::FlowTimeConfig config;
-  config.cluster_capacity = sim_config.capacity;
-  config.slot_seconds = sim_config.slot_seconds;
+  config.cluster.capacity = sim_config.cluster.capacity;
+  config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
   config.deadline_cap_fraction = 0.5;
   config.deadline_slack_s = 0.0;
 
@@ -252,11 +252,11 @@ TEST(DeadlineCapFraction, FallsBackToFullClusterWhenTight) {
 
 TEST(CoupledMode, FlowTimeMeetsDeadlinesWithCoupledLp) {
   sim::SimConfig sim_config;
-  sim_config.capacity = ResourceVec{50.0, 100.0};
+  sim_config.cluster.capacity = ResourceVec{50.0, 100.0};
   sim_config.max_horizon_s = 2.0 * 3600.0;
   core::FlowTimeConfig config;
-  config.cluster_capacity = sim_config.capacity;
-  config.slot_seconds = sim_config.slot_seconds;
+  config.cluster.capacity = sim_config.cluster.capacity;
+  config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
   config.lp.coupled_resources = true;
 
   const workload::Scenario scenario = chain_scenario(4000.0);
@@ -284,16 +284,16 @@ class SchedulerContractSweep
 TEST_P(SchedulerContractSweep, RandomScenarioViolatesNothing) {
   const auto& [name, seed] = GetParam();
   sched::ExperimentConfig config;
-  config.sim.capacity = ResourceVec{150.0, 320.0};
+  config.sim.cluster.capacity = ResourceVec{150.0, 320.0};
   config.sim.max_horizon_s = 6.0 * 3600.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.schedulers = {name};
 
   workload::Fig4Config fig4;
   fig4.num_workflows = 2;
   fig4.jobs_per_workflow = 9;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.adhoc.rate_per_s = 0.03;
   fig4.adhoc.horizon_s = 900.0;
   const workload::Scenario scenario = workload::make_fig4_scenario(

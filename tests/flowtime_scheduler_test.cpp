@@ -2,8 +2,13 @@
 // allocation, dynamic re-planning and estimation-error robustness.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <numeric>
+
 #include "core/flowtime_scheduler.h"
 #include "dag/generators.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -29,15 +34,15 @@ workload::JobSpec simple_job(int tasks, double runtime, double cpu,
 // A small cluster so contention is real but tests stay fast.
 sim::SimConfig small_cluster() {
   sim::SimConfig config;
-  config.capacity = ResourceVec{50.0, 100.0};
+  config.cluster.capacity = ResourceVec{50.0, 100.0};
   config.max_horizon_s = 6000.0;
   return config;
 }
 
 FlowTimeConfig flowtime_config(const sim::SimConfig& sim_config) {
   FlowTimeConfig config;
-  config.cluster_capacity = sim_config.capacity;
-  config.slot_seconds = sim_config.slot_seconds;
+  config.cluster.capacity = sim_config.cluster.capacity;
+  config.cluster.slot_seconds = sim_config.cluster.slot_seconds;
   return config;
 }
 
@@ -201,7 +206,7 @@ TEST(FlowTimeScheduler, HandlesMultipleOverlappingWorkflows) {
   util::Rng rng(77);
   workload::WorkflowGenConfig gen;
   gen.num_jobs = 8;
-  gen.cluster_capacity = sim_config.capacity;
+  gen.cluster.capacity = sim_config.cluster.capacity;
   gen.looseness_min = 4.0;
   gen.looseness_max = 6.0;
   for (int i = 0; i < 3; ++i) {
@@ -240,6 +245,97 @@ TEST(FlowTimeScheduler, NoSlackVariantUsesFullWindow) {
   // Last job completes no later under slack (usually strictly earlier).
   EXPECT_LE(slack_result.jobs[2].completion_s.value(),
             no_slack_result.jobs[2].completion_s.value() + 1e-9);
+}
+
+TEST(FlowTimeScheduler, ReplanLogCarriesCauseTags) {
+  const sim::SimConfig sim_config = small_cluster();
+  sim::Simulator sim(sim_config);
+  FlowTimeScheduler scheduler(flowtime_config(sim_config));
+  const workload::Scenario scenario = chain_scenario();
+  sim.run(scenario, scheduler);
+
+  const auto& log = scheduler.replan_log();
+  ASSERT_EQ(static_cast<int>(log.size()), scheduler.replans());
+  ASSERT_FALSE(log.empty());
+  // The first replan is triggered by the workflow's arrival.
+  EXPECT_TRUE(has_cause(log.front().causes, ReplanCause::kWorkflowArrival));
+  EXPECT_NE(to_string(log.front().causes).find("arrival"),
+            std::string::npos);
+  // Every replan was triggered by something; none fires spuriously.
+  for (const ReplanRecord& record : log) {
+    EXPECT_NE(record.causes, ReplanCause::kNone);
+    EXPECT_FALSE(record.lp_failed);
+  }
+}
+
+TEST(FlowTimeScheduler, OverrunsAreTaggedInReplanLog) {
+  const sim::SimConfig sim_config = small_cluster();
+  workload::Scenario scenario = chain_scenario();
+  for (workload::JobSpec& job : scenario.workflows[0].jobs) {
+    job.actual_runtime_factor = 1.3;  // every job runs longer than planned
+  }
+  FlowTimeConfig config = flowtime_config(sim_config);
+  config.deadline_slack_s = 120.0;
+  sim::Simulator sim(sim_config);
+  FlowTimeScheduler scheduler(config);
+  sim.run(scenario, scheduler);
+
+  bool saw_overrun = false;
+  for (const ReplanRecord& record : scheduler.replan_log()) {
+    saw_overrun |= has_cause(record.causes, ReplanCause::kOverrun);
+  }
+  EXPECT_TRUE(saw_overrun);
+}
+
+TEST(FlowTimeScheduler, ReplanLogSolverStatsAreMonotoneAndConsistent) {
+  const sim::SimConfig sim_config = small_cluster();
+  sim::Simulator sim(sim_config);
+  FlowTimeScheduler scheduler(flowtime_config(sim_config));
+  sim.run(chain_scenario(), scheduler);
+
+  const auto& log = scheduler.replan_log();
+  ASSERT_FALSE(log.empty());
+  std::int64_t pivot_sum = 0;
+  int last_slot = -1;
+  for (const ReplanRecord& record : log) {
+    EXPECT_GE(record.pivots, 0);
+    EXPECT_GE(record.planned_jobs, 0);
+    EXPECT_GE(record.slot, last_slot);  // log is in simulation order
+    last_slot = record.slot;
+    pivot_sum += record.pivots;
+  }
+  // Per-replan pivot deltas partition the scheduler-wide total.
+  EXPECT_EQ(pivot_sum, scheduler.total_pivots());
+}
+
+TEST(FlowTimeScheduler, EmitsReplanTraceEventsWithSolverStats) {
+  auto owned = std::make_unique<obs::MemorySink>();
+  obs::MemorySink* sink = owned.get();
+  obs::set_trace_sink(std::move(owned));
+
+  const sim::SimConfig sim_config = small_cluster();
+  sim::Simulator sim(sim_config);
+  FlowTimeScheduler scheduler(flowtime_config(sim_config));
+  sim.run(chain_scenario(), scheduler);
+  const std::vector<std::string> lines = sink->lines();
+  obs::clear_trace_sink();
+
+  int replan_events = 0;
+  bool saw_arrival_cause = false;
+  for (const std::string& line : lines) {
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(obs::parse_flat_json(line, &fields)) << line;
+    if (fields.at("type") != "replan") continue;
+    ++replan_events;
+    ASSERT_TRUE(fields.count("cause"));
+    ASSERT_TRUE(fields.count("pivots"));
+    ASSERT_TRUE(fields.count("wall_s"));
+    EXPECT_GE(std::stod(fields.at("wall_s")), 0.0);
+    saw_arrival_cause |=
+        fields.at("cause").find("arrival") != std::string::npos;
+  }
+  EXPECT_EQ(replan_events, scheduler.replans());
+  EXPECT_TRUE(saw_arrival_cause);
 }
 
 }  // namespace

@@ -20,7 +20,7 @@ workload::Scenario small_fig4(std::uint64_t seed,
   fig4.num_workflows = 3;
   fig4.jobs_per_workflow = 10;
   fig4.workflow_start_spread_s = 300.0;
-  fig4.workflow.cluster_capacity = config.sim.capacity;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
   fig4.workflow.looseness_min = 3.0;
   fig4.workflow.looseness_max = 4.5;
   fig4.adhoc.rate_per_s = 0.02;
@@ -38,10 +38,10 @@ ExperimentConfig small_config() {
   // design, so a cluster saturated by back-to-back workflow arrivals can
   // make decomposed milestones physically unmeetable for a lazy scheduler;
   // that regime is exercised separately in the benches.)
-  config.sim.capacity = ResourceVec{320.0, 680.0};
+  config.sim.cluster.capacity = ResourceVec{320.0, 680.0};
   config.sim.max_horizon_s = 4.0 * 3600.0;
-  config.flowtime.cluster_capacity = config.sim.capacity;
-  config.flowtime.slot_seconds = config.sim.slot_seconds;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.schedulers = {"FlowTime", "CORA", "EDF", "Fair", "FIFO",
                        "Morpheus"};
   return config;
@@ -130,7 +130,7 @@ TEST(Integration, RecurringTraceRunsToCompletion) {
   trace.recurrences = 2;
   trace.period_s = 1200.0;
   trace.workflow.num_jobs = 8;
-  trace.workflow.cluster_capacity = config.sim.capacity;
+  trace.workflow.cluster.capacity = config.sim.cluster.capacity;
   trace.adhoc.rate_per_s = 0.01;
   const workload::Scenario scenario = workload::make_recurring_trace(5, trace);
   const auto outcomes = run_comparison(scenario, config);
@@ -151,7 +151,7 @@ TEST(Integration, MilestoneDeadlinesCoverEveryWorkflowJob) {
       const auto it = deadlines.find(workload::WorkflowJobRef{w.id, v});
       ASSERT_NE(it, deadlines.end());
       // Milestones are quantized up to the end of their slot.
-      EXPECT_LE(it->second, w.deadline_s + config.sim.slot_seconds + 1e-6);
+      EXPECT_LE(it->second, w.deadline_s + config.sim.cluster.slot_seconds + 1e-6);
       EXPECT_GT(it->second, w.start_s);
     }
   }

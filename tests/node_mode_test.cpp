@@ -54,7 +54,7 @@ TEST(NodeMode, MatchesFluidModeWhenContainersPackPerfectly) {
   // 10 tasks of 1 core on 10 nodes of 2 cores: 5 waves? No — width 10 of
   // 20-core cluster, 2 containers per node fit exactly.
   SimConfig fluid;
-  fluid.capacity = ResourceVec{20.0, 40.0};
+  fluid.cluster.capacity = ResourceVec{20.0, 40.0};
   SimConfig nodes = fluid;
   nodes.num_nodes = 10;
 
@@ -75,7 +75,7 @@ TEST(NodeMode, FragmentationSlowsAwkwardContainers) {
   // node wasted. 8 tasks on 4 nodes: fluid width would run 5+ tasks
   // (16 cores / 3), node mode places only 4 at a time.
   SimConfig fluid;
-  fluid.capacity = ResourceVec{16.0, 64.0};
+  fluid.cluster.capacity = ResourceVec{16.0, 64.0};
   SimConfig nodes = fluid;
   nodes.num_nodes = 4;
 
@@ -93,7 +93,7 @@ TEST(NodeMode, PartialContainersAreNeverDelivered) {
   // Grant is always quantized: with 1 node of 1 core and 2-core containers
   // nothing ever runs.
   SimConfig config;
-  config.capacity = ResourceVec{1.0, 64.0};
+  config.cluster.capacity = ResourceVec{1.0, 64.0};
   config.num_nodes = 1;
   config.max_horizon_s = 300.0;
   FullWidthScheduler scheduler;
@@ -107,7 +107,7 @@ TEST(NodeMode, PartialContainersAreNeverDelivered) {
 
 TEST(NodeMode, FlowTimeStillMeetsDeadlinesOnNodeCluster) {
   SimConfig config;
-  config.capacity = ResourceVec{48.0, 96.0};
+  config.cluster.capacity = ResourceVec{48.0, 96.0};
   config.num_nodes = 12;
   config.max_horizon_s = 2.0 * 3600.0;
 
@@ -122,8 +122,8 @@ TEST(NodeMode, FlowTimeStillMeetsDeadlinesOnNodeCluster) {
   scenario.workflows.push_back(std::move(w));
 
   core::FlowTimeConfig flowtime;
-  flowtime.cluster_capacity = config.capacity;
-  flowtime.slot_seconds = config.slot_seconds;
+  flowtime.cluster.capacity = config.cluster.capacity;
+  flowtime.cluster.slot_seconds = config.cluster.slot_seconds;
   core::FlowTimeScheduler scheduler(flowtime);
   const SimResult result = Simulator(config).run(scenario, scheduler);
   ASSERT_TRUE(result.all_completed);
@@ -136,7 +136,7 @@ TEST(NodeMode, FlowTimeStillMeetsDeadlinesOnNodeCluster) {
 
 TEST(NodeMode, BaselinesCompleteOnNodeCluster) {
   SimConfig config;
-  config.capacity = ResourceVec{48.0, 96.0};
+  config.cluster.capacity = ResourceVec{48.0, 96.0};
   config.num_nodes = 12;
   config.max_horizon_s = 2.0 * 3600.0;
   workload::Scenario scenario = one_job(16, 40.0, 1.0, 2.0);

@@ -1,0 +1,159 @@
+// Tests for the observability layer: metrics registry semantics, trace
+// event rendering, sink installation, and the flat-JSON parser the smoke
+// targets rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flowtime::obs {
+namespace {
+
+// Every test leaves the layer the way it found it: disabled, no sink.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    clear_trace_sink();
+    registry().reset();
+  }
+};
+
+TEST_F(ObsTest, DisabledByDefaultAndToggles) {
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  Counter& c = registry().counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableHandles) {
+  Counter& a = registry().counter("test.stable");
+  a.add(7);
+  Counter& b = registry().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7);
+  // Distinct names get distinct metrics.
+  EXPECT_NE(&a, &registry().counter("test.stable2"));
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue) {
+  Gauge& g = registry().gauge("test.gauge");
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsTest, HistogramStatisticsAreExact) {
+  Histogram& h = registry().histogram("test.hist");
+  for (const double v : {4.0, 1.0, 3.0, 2.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST_F(ObsTest, RegistryRenderListsMetrics) {
+  registry().counter("test.render.count").add(3);
+  registry().histogram("test.render.lat").observe(0.5);
+  const std::string text = registry().render_text();
+  EXPECT_NE(text.find("test.render.count"), std::string::npos);
+  EXPECT_NE(text.find("test.render.lat"), std::string::npos);
+}
+
+TEST_F(ObsTest, ScopedTimerWritesElapsedAndHistogram) {
+  Histogram& h = registry().histogram("test.timer");
+  double elapsed = -1.0;
+  {
+    ScopedTimer timer(&elapsed, &h);
+    EXPECT_GE(timer.elapsed_s(), 0.0);
+  }
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST_F(ObsTest, TraceEventRendersFlatJson) {
+  const std::string json = TraceEvent("unit")
+                               .field("i", 7)
+                               .field("d", 1.5)
+                               .field("b", true)
+                               .field("s", "x\"y\n")
+                               .to_json();
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(parse_flat_json(json, &fields));
+  EXPECT_EQ(fields.at("type"), "unit");
+  EXPECT_EQ(fields.at("i"), "7");
+  EXPECT_EQ(fields.at("d"), "1.5");
+  EXPECT_EQ(fields.at("b"), "true");
+  EXPECT_EQ(fields.at("s"), "x\"y\n");  // round-trips through escaping
+}
+
+TEST_F(ObsTest, TraceEventStringifiesNonFiniteNumbers) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string json = TraceEvent("unit")
+                               .field("pos", inf)
+                               .field("neg", -inf)
+                               .field("nan", std::nan(""))
+                               .to_json();
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(parse_flat_json(json, &fields));
+  EXPECT_EQ(fields.at("pos"), "inf");
+  EXPECT_EQ(fields.at("neg"), "-inf");
+  EXPECT_EQ(fields.at("nan"), "nan");
+}
+
+TEST_F(ObsTest, SinkInstallationEnablesLayerAndReceivesEvents) {
+  auto owned = std::make_unique<MemorySink>();
+  MemorySink* sink = owned.get();
+  set_trace_sink(std::move(owned));
+  EXPECT_TRUE(enabled());
+  emit(TraceEvent("first").field("k", 1));
+  emit(TraceEvent("second").field("k", 2));
+  ASSERT_EQ(sink->lines().size(), 2u);
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(parse_flat_json(sink->lines()[1], &fields));
+  EXPECT_EQ(fields.at("type"), "second");
+
+  clear_trace_sink();
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(trace_sink(), nullptr);
+  emit(TraceEvent("dropped"));  // no sink: silently discarded
+}
+
+TEST_F(ObsTest, ParserRejectsMalformedLines) {
+  std::map<std::string, std::string> fields;
+  EXPECT_FALSE(parse_flat_json("", &fields));
+  EXPECT_FALSE(parse_flat_json("{\"a\":1", &fields));           // unterminated
+  EXPECT_FALSE(parse_flat_json("{\"a\":{\"b\":1}}", &fields));  // nested
+  EXPECT_FALSE(parse_flat_json("{\"a\":[1]}", &fields));        // array
+  EXPECT_FALSE(parse_flat_json("{\"a\":1} trailing", &fields));
+  EXPECT_FALSE(parse_flat_json("{\"a\":12x}", &fields));  // bad number
+  EXPECT_TRUE(parse_flat_json("{}", &fields));
+  EXPECT_TRUE(fields.empty());
+  EXPECT_TRUE(parse_flat_json("{\"a\":-1e-3,\"b\":null}", &fields));
+  EXPECT_EQ(fields.at("b"), "null");
+}
+
+}  // namespace
+}  // namespace flowtime::obs

@@ -23,13 +23,13 @@ workload::JobSpec simple_job(int tasks, double runtime, double cpu,
 
 core::DecompositionConfig tiny_decomposition() {
   core::DecompositionConfig config;
-  config.cluster_capacity = ResourceVec{20.0, 40.0};
+  config.cluster.capacity = ResourceVec{20.0, 40.0};
   return config;
 }
 
 sim::SimConfig tiny_cluster() {
   sim::SimConfig config;
-  config.capacity = ResourceVec{20.0, 40.0};
+  config.cluster.capacity = ResourceVec{20.0, 40.0};
   config.max_horizon_s = 4000.0;
   return config;
 }

@@ -55,7 +55,7 @@ class GreedyScheduler : public sim::Scheduler {
 
 sim::SimResult run_tiny() {
   sim::SimConfig config;
-  config.capacity = ResourceVec{20.0, 40.0};
+  config.cluster.capacity = ResourceVec{20.0, 40.0};
   sim::Simulator simulator(config);
   GreedyScheduler scheduler;
   return simulator.run(tiny_scenario(), scheduler);
@@ -86,7 +86,7 @@ TEST(Report, JobsCsvListsEveryJobWithOutcome) {
 
 TEST(Report, UnfinishedJobsHaveEmptyCompletionFields) {
   sim::SimConfig config;
-  config.capacity = ResourceVec{20.0, 40.0};
+  config.cluster.capacity = ResourceVec{20.0, 40.0};
   config.max_horizon_s = 10.0;  // too short to finish anything
   sim::Simulator simulator(config);
   GreedyScheduler scheduler;

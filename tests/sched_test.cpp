@@ -49,7 +49,7 @@ workload::AdhocJob adhoc(int id, double arrival, int tasks, double runtime) {
 
 sim::SimConfig tiny_cluster() {
   sim::SimConfig config;
-  config.capacity = ResourceVec{10.0, 20.0};
+  config.cluster.capacity = ResourceVec{10.0, 20.0};
   config.max_horizon_s = 5000.0;
   return config;
 }
@@ -213,7 +213,7 @@ TEST(Morpheus, InfersDeadlinesFromHistoryShape) {
   sim::Simulator sim(tiny_cluster());
   MorpheusConfig config;
   config.slo_padding = 1.5;
-  config.cluster_capacity = ResourceVec{10.0, 20.0};
+  config.cluster.capacity = ResourceVec{10.0, 20.0};
   MorpheusScheduler scheduler(config);
   const sim::SimResult result = sim.run(scenario, scheduler);
   ASSERT_TRUE(result.all_completed);

@@ -122,7 +122,7 @@ workload::Scenario single_chain_scenario() {
 
 TEST(Simulator, RunsChainToCompletionRespectingPrecedence) {
   SimConfig config;
-  config.capacity = ResourceVec{100.0, 200.0};
+  config.cluster.capacity = ResourceVec{100.0, 200.0};
   Simulator sim(config);
   FullWidthScheduler scheduler;
   const SimResult result = sim.run(single_chain_scenario(), scheduler);
@@ -167,7 +167,7 @@ TEST(Simulator, EventStreamIsCompleteAndOrdered) {
 
 TEST(Simulator, ClampsOverWidthAllocations) {
   SimConfig config;
-  config.capacity = ResourceVec{1000.0, 2000.0};
+  config.cluster.capacity = ResourceVec{1000.0, 2000.0};
   Simulator sim(config);
   MisbehavingScheduler scheduler(MisbehavingScheduler::Mode::kOverWidth);
   const SimResult result = sim.run(single_chain_scenario(), scheduler);
@@ -210,7 +210,7 @@ TEST(Simulator, ScalesDownWhenCapacityExceeded) {
     scenario.workflows.push_back(std::move(w));
   }
   SimConfig config;
-  config.capacity = ResourceVec{100.0, 1000.0};
+  config.cluster.capacity = ResourceVec{100.0, 1000.0};
   Simulator sim(config);
   FullWidthScheduler scheduler;
   const SimResult result = sim.run(scenario, scheduler);
@@ -256,7 +256,7 @@ TEST(Simulator, UnderEstimatedJobRunsLongerAndFlagsOverrun) {
 
 TEST(Simulator, CapacityOverridesApply) {
   SimConfig config;
-  config.capacity = ResourceVec{100.0, 200.0};
+  config.cluster.capacity = ResourceVec{100.0, 200.0};
   config.capacity_overrides = {{0, ResourceVec{0.0, 0.0}}};  // slot 0 dark
   Simulator sim(config);
   FullWidthScheduler scheduler;

@@ -50,7 +50,7 @@ workload::Scenario chain_scenario() {
 
 TEST(TaskSimulator, MatchesFluidTimingWhenTasksFitSlots) {
   TaskSimConfig config;
-  config.capacity = ResourceVec{100.0, 200.0};
+  config.cluster.capacity = ResourceVec{100.0, 200.0};
   TaskLevelSimulator sim(config);
   FullWidthScheduler scheduler;
   const SimResult result = sim.run(chain_scenario(), scheduler);
@@ -74,7 +74,7 @@ TEST(TaskSimulator, TaskWavesWhenClusterIsNarrow) {
   scenario.workflows.push_back(std::move(w));
 
   TaskSimConfig config;
-  config.capacity = ResourceVec{2.0, 4.0};
+  config.cluster.capacity = ResourceVec{2.0, 4.0};
   TaskLevelSimulator sim(config);
   FullWidthScheduler scheduler;
   const SimResult result = sim.run(scenario, scheduler);
@@ -108,7 +108,7 @@ TEST(TaskSimulator, NonPreemption_RunningTasksOutliveShrinkingGrants) {
   scenario.workflows.push_back(std::move(w));
 
   TaskSimConfig config;
-  config.capacity = ResourceVec{10.0, 20.0};
+  config.cluster.capacity = ResourceVec{10.0, 20.0};
   config.max_horizon_s = 600.0;
   TaskLevelSimulator sim(config);
   OneShotScheduler scheduler;
@@ -123,7 +123,7 @@ TEST(TaskSimulator, NonPreemption_RunningTasksOutliveShrinkingGrants) {
 
 TEST(TaskSimulator, RespectsDagPrecedence) {
   TaskSimConfig config;
-  config.capacity = ResourceVec{100.0, 200.0};
+  config.cluster.capacity = ResourceVec{100.0, 200.0};
   TaskLevelSimulator sim(config);
   FullWidthScheduler scheduler;
   const SimResult result = sim.run(chain_scenario(), scheduler);
@@ -137,7 +137,7 @@ TEST(TaskSimulator, UnderEstimatedTasksRunLonger) {
   workload::Scenario scenario = chain_scenario();
   scenario.workflows[0].jobs[0].actual_runtime_factor = 2.0;  // 30 -> 60 s
   TaskSimConfig config;
-  config.capacity = ResourceVec{100.0, 200.0};
+  config.cluster.capacity = ResourceVec{100.0, 200.0};
   TaskLevelSimulator sim(config);
   FullWidthScheduler scheduler;
   const SimResult result = sim.run(scenario, scheduler);
@@ -147,11 +147,11 @@ TEST(TaskSimulator, UnderEstimatedTasksRunLonger) {
 
 TEST(TaskSimulator, FlowTimeMeetsDeadlinesAtTaskGranularity) {
   TaskSimConfig config;
-  config.capacity = ResourceVec{50.0, 100.0};
+  config.cluster.capacity = ResourceVec{50.0, 100.0};
   config.max_horizon_s = 2.0 * 3600.0;
   core::FlowTimeConfig flowtime;
-  flowtime.cluster_capacity = config.capacity;
-  flowtime.slot_seconds = config.slot_seconds;
+  flowtime.cluster.capacity = config.cluster.capacity;
+  flowtime.cluster.slot_seconds = config.cluster.slot_seconds;
   flowtime.round_to_containers = true;  // task grants are container-shaped
 
   workload::Scenario scenario;
@@ -185,7 +185,7 @@ TEST(TaskSimulator, BaselinesCompleteWithAdhocMix) {
   scenario.adhoc_jobs.push_back(adhoc);
 
   TaskSimConfig config;
-  config.capacity = ResourceVec{50.0, 100.0};
+  config.cluster.capacity = ResourceVec{50.0, 100.0};
   TaskLevelSimulator sim(config);
   sched::FairScheduler fair;
   EXPECT_TRUE(sim.run(scenario, fair).all_completed);
@@ -197,7 +197,7 @@ TEST(TaskSimulator, BaselinesCompleteWithAdhocMix) {
 
 TEST(TaskSimulator, HorizonExpiryReported) {
   TaskSimConfig config;
-  config.capacity = ResourceVec{100.0, 200.0};
+  config.cluster.capacity = ResourceVec{100.0, 200.0};
   config.max_horizon_s = 20.0;
   TaskLevelSimulator sim(config);
   FullWidthScheduler scheduler;

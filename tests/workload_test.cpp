@@ -150,7 +150,7 @@ TEST(TraceGen, WorkflowHasRequestedJobCountAndLooseDeadline) {
   EXPECT_EQ(w.id, 7);
   EXPECT_EQ(w.dag.num_nodes(), 18);
   EXPECT_TRUE(w.valid());
-  const double makespan = w.min_makespan_s(config.cluster_capacity);
+  const double makespan = w.min_makespan_s(config.cluster.capacity);
   EXPECT_NEAR(w.deadline_s, 100.0 + 3.0 * makespan, 1e-6);
 }
 
