@@ -14,6 +14,8 @@
 // peak and mean normalized load and solve cost per round budget.
 #include <cstdio>
 
+#include "bench_trace.h"
+
 #include "core/decomposition.h"
 #include "core/lp_formulation.h"
 #include "dag/generators.h"
@@ -224,12 +226,14 @@ void part3_resource_coupling() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
   std::printf("=== Ablation: decomposition mode and lexmin depth ===\n\n");
   part1_decomposition_mode();
   std::printf("\n");
   part2_lexmin_depth();
   std::printf("\n");
   part3_resource_coupling();
+  flowtime::bench::finish_trace_out();
   return 0;
 }

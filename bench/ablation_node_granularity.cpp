@@ -9,12 +9,15 @@
 // fraction of granted work lost to packing.
 #include <cstdio>
 
+#include "bench_trace.h"
+
 #include "sched/experiment.h"
 #include "sim/task_simulator.h"
 #include "util/table.h"
 #include "workload/trace_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
   using namespace flowtime;
   using workload::ResourceVec;
 
@@ -111,5 +114,6 @@ int main() {
       "FlowTime's guarantees survive node granularity and non-preemptive "
       "task execution; fragmentation and starvation only appear when "
       "fractional grants skip container rounding.\n");
+  flowtime::bench::finish_trace_out();
   return 0;
 }

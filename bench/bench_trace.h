@@ -1,0 +1,49 @@
+// Shared --trace-out plumbing for the bench binaries.
+//
+// Every bench accepts `--trace-out PATH` (or `--trace-out=PATH`) and streams
+// its solver/scheduler/simulator events there as JSONL, analyzable with
+// examples/trace_report. The flag is extracted *before* any other argument
+// parsing so it also works for the google-benchmark binaries (fig6, fig7),
+// whose benchmark::Initialize rejects flags it does not know.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace flowtime::bench {
+
+/// Scans argv for --trace-out, removes it from the argument list (updating
+/// *argc in place so downstream parsers never see it), and installs the
+/// JSONL file sink. Returns false — after printing an error — when the file
+/// cannot be opened; true otherwise (including when the flag is absent).
+inline bool init_trace_out(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      path = arg.substr(std::string("--trace-out=").size());
+      continue;
+    }
+    if (arg == "--trace-out" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (path.empty()) return true;
+  if (!obs::open_trace_file(path)) {
+    std::fprintf(stderr, "error: cannot open trace file %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "trace: writing events to %s\n", path.c_str());
+  return true;
+}
+
+/// Flushes and closes the sink; harmless when none was installed.
+inline void finish_trace_out() { obs::clear_trace_sink(); }
+
+}  // namespace flowtime::bench

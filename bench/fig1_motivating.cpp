@@ -7,6 +7,7 @@
 // window, so A1 runs immediately: mean turnaround 100 = (100+100)/2.
 #include <cstdio>
 
+#include "bench_trace.h"
 #include "dag/generators.h"
 #include "sched/experiment.h"
 #include "util/table.h"
@@ -51,7 +52,8 @@ workload::Scenario fig1_scenario() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
   std::printf("=== Fig. 1: motivating example ===\n");
   std::printf(
       "W1: two chained jobs, deadline 200; A1 arrives t=0, A2 t=100; "
@@ -88,5 +90,6 @@ int main() {
   std::printf(
       "Paper: EDF delays A1 behind the whole workflow (mean 150); FlowTime "
       "spreads W1 and serves ad-hoc jobs immediately (mean 100).\n");
+  flowtime::bench::finish_trace_out();
   return 0;
 }

@@ -10,13 +10,16 @@
 // slightly earlier.
 #include <cstdio>
 
+#include "bench_trace.h"
+
 #include "sched/experiment.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workload/estimator.h"
 #include "workload/trace_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
   using namespace flowtime;
   using workload::ResourceVec;
 
@@ -78,5 +81,6 @@ int main() {
       "Expected shape: slack absorbs under-estimation (0 misses); the "
       "no-slack variant misses a handful; ad-hoc turnaround is barely "
       "affected by slack.\n");
+  flowtime::bench::finish_trace_out();
   return 0;
 }

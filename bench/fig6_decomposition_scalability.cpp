@@ -8,6 +8,7 @@
 // comfortable ceiling.
 #include <benchmark/benchmark.h>
 
+#include "bench_trace.h"
 #include "core/decomposition.h"
 #include "dag/generators.h"
 #include "util/rng.h"
@@ -72,4 +73,14 @@ BENCHMARK(BM_DeadlineDecomposition)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() equivalent that also accepts --trace-out: the flag is
+// extracted before benchmark::Initialize, which rejects unknown arguments.
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flowtime::bench::finish_trace_out();
+  return 0;
+}

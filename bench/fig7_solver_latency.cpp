@@ -9,6 +9,7 @@
 // with the job count — fast enough to re-plan on job completion events.
 #include <benchmark/benchmark.h>
 
+#include "bench_trace.h"
 #include "core/flow_placement.h"
 #include "core/lp_formulation.h"
 #include "util/rng.h"
@@ -149,4 +150,14 @@ BENCHMARK(BM_LpSchedulerLatencyBySlots)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() equivalent that also accepts --trace-out: the flag is
+// extracted before benchmark::Initialize, which rejects unknown arguments.
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flowtime::bench::finish_trace_out();
+  return 0;
+}

@@ -10,12 +10,15 @@
 // turnaround with and without slack.
 #include <cstdio>
 
+#include "bench_trace.h"
+
 #include "sched/experiment.h"
 #include "util/table.h"
 #include "workload/estimator.h"
 #include "workload/trace_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
   using namespace flowtime;
   using workload::ResourceVec;
 
@@ -75,5 +78,6 @@ int main() {
       "overruns; without slack, misses appear and grow with severity; "
       "ad-hoc turnaround degrades only mildly (re-solves spread the "
       "extra work).\n");
+  flowtime::bench::finish_trace_out();
   return 0;
 }

@@ -2,16 +2,21 @@
 //
 // Runs a small FlowTime scenario with JSONL tracing enabled, then re-reads
 // the trace and checks the contract the docs promise: every line is flat
-// JSON, at least one LP solve and one replan were recorded, and the
-// simulator emitted a per-slot load record for every slot it ran. Wired
-// into ctest so a broken event schema fails the build's test stage, not a
+// JSON, at least one LP solve and one replan were recorded, the simulator
+// emitted a per-slot load record for every slot it ran, and the lifecycle
+// spans are well-formed — every span_end matches an earlier span_begin of
+// the same kind, nothing is left open, timestamps are monotone within each
+// span, and the workflow/job/placement hierarchy is present. Wired into
+// ctest so a broken event schema fails the build's test stage, not a
 // downstream consumer.
 //
 // Flags: --trace-out PATH (default trace_smoke.jsonl in the CWD).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "core/flowtime_scheduler.h"
 #include "dag/generators.h"
@@ -77,6 +82,9 @@ int main(int argc, char** argv) {
   std::ifstream in(path);
   if (!in) return fail("trace file unreadable after run");
   int lines = 0, solves = 0, replans = 0, slots = 0;
+  // Open spans by id -> (kind, begin sim_s); kinds seen over the whole run.
+  std::map<std::string, std::pair<std::string, double>> open_spans;
+  std::map<std::string, int> span_kinds;
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
@@ -84,6 +92,29 @@ int main(int argc, char** argv) {
     if (!obs::parse_flat_json(line, &fields)) return fail("invalid JSONL line");
     if (!fields.count("type")) return fail("event without type field");
     const std::string& type = fields["type"];
+    if (type == "span_begin") {
+      if (!fields.count("span") || !fields.count("kind") ||
+          !fields.count("sim_s") || !fields.count("wall_s")) {
+        return fail("span_begin missing span/kind/sim_s/wall_s");
+      }
+      if (open_spans.count(fields["span"])) return fail("span id reused");
+      open_spans[fields["span"]] = {fields["kind"],
+                                    std::strtod(fields["sim_s"].c_str(),
+                                                nullptr)};
+      ++span_kinds[fields["kind"]];
+    }
+    if (type == "span_end") {
+      const auto it = open_spans.find(fields["span"]);
+      if (it == open_spans.end()) return fail("span_end without span_begin");
+      if (it->second.first != fields["kind"]) {
+        return fail("span_end kind mismatch");
+      }
+      const double end_s = std::strtod(fields["sim_s"].c_str(), nullptr);
+      if (end_s + 1e-9 < it->second.second) {
+        return fail("span timestamps not monotone");
+      }
+      open_spans.erase(it);
+    }
     if (type == "simplex_solve" || type == "lexmin_solve") ++solves;
     if (type == "replan") {
       ++replans;
@@ -104,10 +135,20 @@ int main(int argc, char** argv) {
   if (slots < result.slots_simulated) {
     return fail("missing per-slot load records");
   }
+  if (!open_spans.empty()) return fail("spans left open at end of run");
+  if (span_kinds["workflow"] < 1) return fail("no workflow spans");
+  if (span_kinds["job"] < 3) return fail("expected a span per chain job");
+  if (span_kinds["placement"] < 1) return fail("no placement spans");
+  if (span_kinds["plan"] < 1) return fail("no plan spans");
+  int total_spans = 0;
+  for (const auto& [kind, count] : span_kinds) {
+    (void)kind;
+    total_spans += count;
+  }
 
   std::printf(
-      "trace_smoke: OK (%d lines: %d solves, %d replans, %d slot records "
-      "in %s)\n",
-      lines, solves, replans, slots, path.c_str());
+      "trace_smoke: OK (%d lines: %d solves, %d replans, %d slot records, "
+      "%d paired spans in %s)\n",
+      lines, solves, replans, slots, total_spans, path.c_str());
   return 0;
 }

@@ -13,9 +13,12 @@
 //                        <PREFIX><scheduler>_jobs.csv per scheduler
 //   --trace-out PATH     stream solver/scheduler/simulator events to PATH
 //                        as JSONL (see DESIGN.md "Observability")
+//   --prom-out PATH      write the final metric registry to PATH in the
+//                        Prometheus text exposition format
 //   --dump-example       print a commented example scenario and exit
 #include <cstdio>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/experiment.h"
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
   const double slack = flags.get_double("slack", 60.0);
   const std::string csv_prefix = flags.get_string("csv-prefix", "");
   const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string prom_out = flags.get_string("prom-out", "");
   for (const std::string& typo : flags.unqueried()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
   }
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
                  trace_out.c_str());
     return 1;
   }
+  if (!prom_out.empty()) obs::set_enabled(true);  // metrics without a sink
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: flowtime_sim --file scenario.scn "
@@ -123,11 +128,18 @@ int main(int argc, char** argv) {
         .add(std::string(outcome.result.all_completed ? "all" : "PARTIAL"));
   }
   std::printf("%s", table.to_string().c_str());
+  if (!prom_out.empty()) {
+    sim::write_file(prom_out,
+                    obs::render_prometheus(obs::registry().snapshot()));
+    std::printf("\nPrometheus metrics written to %s\n", prom_out.c_str());
+  }
   if (!trace_out.empty()) {
     obs::clear_trace_sink();  // flush + close before reporting the path
     std::printf("\nObservability: events written to %s; solver/replan "
-                "counters:\n%s",
-                trace_out.c_str(), obs::registry().render_text().c_str());
+                "counters:\n%s\nAnalyze the trace with: "
+                "./build/examples/trace_report %s\n",
+                trace_out.c_str(), obs::registry().render_text().c_str(),
+                trace_out.c_str());
   }
   return 0;
 }

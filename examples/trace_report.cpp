@@ -1,0 +1,251 @@
+// Offline trace analyzer for --trace-out JSONL files.
+//
+//   ./build/examples/trace_report trace.jsonl [--chrome-out trace.chrome.json]
+//
+// Reads the flat JSONL event stream any instrumented binary writes
+// (flowtime_sim, the fig* benches) and prints:
+//   * per-workflow timelines rebuilt from the workflow/job lifecycle spans,
+//   * the re-plan cause breakdown and solver-latency percentiles,
+//   * a deadline-risk summary (warn/breach transitions per workflow).
+// With --chrome-out it additionally converts the span stream to the Chrome
+// trace-event JSON that chrome://tracing and https://ui.perfetto.dev load.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/flags.h"
+
+using namespace flowtime;
+using obs::TraceRecord;
+
+namespace {
+
+double as_double(const TraceRecord& record, const char* key,
+                 double fallback = 0.0) {
+  const auto it = record.find(key);
+  if (it == record.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string as_string(const TraceRecord& record, const char* key,
+                      const std::string& fallback = "") {
+  const auto it = record.find(key);
+  return it == record.end() ? fallback : it->second;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(q * static_cast<double>(values.size()));
+  const std::size_t index =
+      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return values[std::min(index, values.size() - 1)];
+}
+
+struct SpanRow {
+  std::string kind;
+  std::string name;
+  std::int64_t parent = 0;  // 0: root
+  int workflow = -1;
+  int node = -1;
+  double begin_s = 0.0;
+  double end_s = -1.0;  // <0: never closed
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // First positional argument is the trace path; everything after it is
+  // ordinary --flag parsing.
+  std::string input;
+  int flag_start = 1;
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    input = argv[1];
+    flag_start = 2;
+  }
+  util::Flags flags(argc - flag_start + 1, argv + flag_start - 1);
+  const std::string chrome_out = flags.get_string("chrome-out", "");
+  for (const std::string& typo : flags.unqueried()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
+  }
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_report TRACE.jsonl [--chrome-out OUT.json]\n");
+    return 2;
+  }
+
+  std::ifstream file(input);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::vector<TraceRecord> events;
+  int malformed = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    TraceRecord record;
+    if (obs::parse_flat_json(line, &record)) {
+      events.push_back(std::move(record));
+    } else {
+      ++malformed;
+    }
+  }
+  std::printf("%s: %zu events", input.c_str(), events.size());
+  if (malformed > 0) std::printf(" (%d malformed lines skipped)", malformed);
+  std::printf("\n");
+
+  // --- event inventory -------------------------------------------------
+  std::map<std::string, int> by_type;
+  for (const TraceRecord& record : events) ++by_type[as_string(record, "type")];
+  std::printf("\nEvent counts:\n");
+  for (const auto& [type, count] : by_type) {
+    std::printf("  %-18s %d\n", type.c_str(), count);
+  }
+
+  // --- span reconstruction ---------------------------------------------
+  std::map<std::int64_t, SpanRow> spans;
+  int unmatched_ends = 0;
+  for (const TraceRecord& record : events) {
+    const std::string type = as_string(record, "type");
+    if (type == "span_begin") {
+      SpanRow row;
+      row.kind = as_string(record, "kind");
+      row.name = as_string(record, "name");
+      row.parent = static_cast<std::int64_t>(as_double(record, "parent"));
+      row.workflow = static_cast<int>(as_double(record, "workflow", -1.0));
+      row.node = static_cast<int>(as_double(record, "node", -1.0));
+      row.begin_s = as_double(record, "sim_s");
+      spans[static_cast<std::int64_t>(as_double(record, "span"))] = row;
+    } else if (type == "span_end") {
+      const auto it =
+          spans.find(static_cast<std::int64_t>(as_double(record, "span")));
+      if (it == spans.end()) {
+        ++unmatched_ends;
+      } else {
+        it->second.end_s = as_double(record, "sim_s");
+      }
+    }
+  }
+  if (unmatched_ends > 0) {
+    std::printf("\nwarning: %d span_end events without a matching begin\n",
+                unmatched_ends);
+  }
+
+  // Per-workflow timelines: each workflow span plus the job spans whose
+  // parent ref points at it. Workflow ids may repeat (one span per
+  // scheduler in a comparison run); parent refs keep the runs separate.
+  bool printed_header = false;
+  for (const auto& [id, span] : spans) {
+    if (span.kind != "workflow") continue;
+    if (!printed_header) {
+      std::printf("\nWorkflow timelines (sim seconds):\n");
+      printed_header = true;
+    }
+    std::printf("  workflow %d %s: [%.0f, %s]\n", span.workflow,
+                span.name.c_str(), span.begin_s,
+                span.end_s < 0 ? "unfinished"
+                               : std::to_string(span.end_s).c_str());
+    std::vector<const SpanRow*> job_rows;
+    for (const auto& [jid, job] : spans) {
+      (void)jid;
+      if (job.kind == "job" && job.parent == id) job_rows.push_back(&job);
+    }
+    std::sort(job_rows.begin(), job_rows.end(),
+              [](const SpanRow* a, const SpanRow* b) {
+                return a->node != b->node ? a->node < b->node
+                                          : a->begin_s < b->begin_s;
+              });
+    for (const SpanRow* job : job_rows) {
+      if (job->end_s < 0) {
+        std::printf("    job %-28s node %-3d %8.0f ->      (unfinished)\n",
+                    job->name.c_str(), job->node, job->begin_s);
+      } else {
+        std::printf("    job %-28s node %-3d %8.0f -> %8.0f (%.0fs)\n",
+                    job->name.c_str(), job->node, job->begin_s, job->end_s,
+                    job->end_s - job->begin_s);
+      }
+    }
+  }
+
+  // --- re-plan causes and solver latency -------------------------------
+  std::map<std::string, int> causes;
+  std::vector<double> replan_wall_s;
+  std::int64_t total_pivots = 0;
+  for (const TraceRecord& record : events) {
+    if (as_string(record, "type") != "replan") continue;
+    ++causes[as_string(record, "cause", "none")];
+    replan_wall_s.push_back(as_double(record, "wall_s"));
+    total_pivots += static_cast<std::int64_t>(as_double(record, "pivots"));
+  }
+  if (!replan_wall_s.empty()) {
+    std::printf("\nRe-plans: %zu (%lld simplex pivots total)\n",
+                replan_wall_s.size(),
+                static_cast<long long>(total_pivots));
+    for (const auto& [cause, count] : causes) {
+      std::printf("  cause %-28s %d\n", cause.c_str(), count);
+    }
+    std::printf(
+        "  solver latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, "
+        "max %.3f ms\n",
+        percentile(replan_wall_s, 0.5) * 1e3,
+        percentile(replan_wall_s, 0.9) * 1e3,
+        percentile(replan_wall_s, 0.99) * 1e3,
+        percentile(replan_wall_s, 1.0) * 1e3);
+  }
+
+  // --- deadline risk -----------------------------------------------------
+  std::map<std::string, int> risk_counts;  // "entity/level" -> transitions
+  // workflow id -> worst level seen (0 ok, 1 warn, 2 breach)
+  std::map<int, int> workflow_worst;
+  auto level_rank = [](const std::string& level) {
+    return level == "breach" ? 2 : level == "warn" ? 1 : 0;
+  };
+  const char* kLevelNames[] = {"ok", "warn", "breach"};
+  for (const TraceRecord& record : events) {
+    if (as_string(record, "type") != "deadline_risk") continue;
+    const std::string entity = as_string(record, "entity");
+    const std::string level = as_string(record, "level");
+    ++risk_counts[entity + "/" + level];
+    const int workflow = static_cast<int>(as_double(record, "workflow", -1.0));
+    int& worst = workflow_worst[workflow];
+    worst = std::max(worst, level_rank(level));
+  }
+  std::printf("\nDeadline risk:\n");
+  if (risk_counts.empty()) {
+    std::printf("  no deadline_risk events (every projection stayed ok)\n");
+  } else {
+    for (const auto& [key, count] : risk_counts) {
+      std::printf("  %-18s %d transition(s)\n", key.c_str(), count);
+    }
+    for (const auto& [workflow, worst] : workflow_worst) {
+      std::printf("  workflow %-3d worst level: %s\n", workflow,
+                  kLevelNames[worst]);
+    }
+  }
+
+  // --- Chrome trace conversion ------------------------------------------
+  if (!chrome_out.empty()) {
+    const std::string json = obs::render_chrome_trace(events);
+    std::ofstream out(chrome_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", chrome_out.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf(
+        "\nChrome trace written to %s (load in chrome://tracing or "
+        "https://ui.perfetto.dev)\n",
+        chrome_out.c_str());
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -144,14 +145,30 @@ AdmissionDecision AdmissionController::admit(
   if (!decision.admitted) return decision;
   auto jobs = decompose_to_jobs(candidate, nullptr);
   for (AdmittedJob& job : *jobs) admitted_.push_back(std::move(job));
+  if (obs::enabled()) {
+    obs::SpanMeta meta;
+    meta.workflow_id = candidate.id;
+    meta.deadline_s = candidate.deadline_s;
+    admitted_spans_[candidate.id] =
+        obs::begin_span("admitted", candidate.name, obs::kNoSpan, now_s, meta);
+  }
   trace_decision("admit", candidate, now_s, decision);
   return decision;
 }
 
-void AdmissionController::complete_job(int workflow_id, dag::NodeId node) {
+void AdmissionController::complete_job(int workflow_id, dag::NodeId node,
+                                       double now_s) {
+  bool any_pending = false;
   for (AdmittedJob& job : admitted_) {
-    if (job.ref.workflow_id == workflow_id && job.ref.node == node) {
-      job.complete = true;
+    if (job.ref.workflow_id != workflow_id) continue;
+    if (job.ref.node == node) job.complete = true;
+    if (!job.complete) any_pending = true;
+  }
+  if (!any_pending) {
+    const auto it = admitted_spans_.find(workflow_id);
+    if (it != admitted_spans_.end()) {
+      obs::end_span(it->second, now_s);
+      admitted_spans_.erase(it);
     }
   }
 }
@@ -170,10 +187,15 @@ int AdmissionController::pending_jobs() const {
   return count;
 }
 
-void AdmissionController::forget_workflow(int workflow_id) {
+void AdmissionController::forget_workflow(int workflow_id, double now_s) {
   std::erase_if(admitted_, [workflow_id](const AdmittedJob& job) {
     return job.ref.workflow_id == workflow_id;
   });
+  const auto it = admitted_spans_.find(workflow_id);
+  if (it != admitted_spans_.end()) {
+    obs::end_span(it->second, now_s);
+    admitted_spans_.erase(it);
+  }
 }
 
 bool AdmissionController::verify_cluster(

@@ -10,12 +10,14 @@
 // here the answer is exact for the first level.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/decomposition.h"
 #include "core/flow_placement.h"
+#include "obs/span.h"
 #include "workload/workflow.h"
 
 namespace flowtime::core {
@@ -61,11 +63,13 @@ class AdmissionController {
   /// evaluate() + commit on success.
   AdmissionDecision admit(const workload::Workflow& candidate, double now_s);
 
-  /// Marks one admitted workflow's job complete (frees its demand).
-  void complete_job(int workflow_id, dag::NodeId node);
+  /// Marks one admitted workflow's job complete (frees its demand). The
+  /// optional timestamp closes the workflow's `admitted` span when its last
+  /// job completes.
+  void complete_job(int workflow_id, dag::NodeId node, double now_s = 0.0);
 
   /// Drops a whole workflow (finished or cancelled).
-  void forget_workflow(int workflow_id);
+  void forget_workflow(int workflow_id, double now_s = 0.0);
 
   /// Number of distinct workflows currently tracked.
   int admitted_workflows() const;
@@ -93,6 +97,9 @@ class AdmissionController {
 
   AdmissionConfig config_;
   std::vector<AdmittedJob> admitted_;
+  /// `admitted` lifecycle span per tracked workflow (admit → last
+  /// completion / forget).
+  std::map<int, obs::SpanId> admitted_spans_;
 };
 
 }  // namespace flowtime::core

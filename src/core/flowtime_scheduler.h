@@ -27,6 +27,7 @@
 
 #include "core/decomposition.h"
 #include "core/lp_formulation.h"
+#include "obs/span.h"
 #include "sim/scheduler.h"
 
 namespace flowtime::core {
@@ -194,6 +195,7 @@ class FlowTimeScheduler : public sim::Scheduler {
   std::int64_t total_pivots_ = 0;
   int decomposition_fallbacks_ = 0;
   std::vector<ReplanRecord> replan_log_;
+  obs::SpanId plan_span_ = obs::kNoSpan;  // current re-plan epoch
 
   std::map<sim::JobUid, DeadlineJobState> deadline_jobs_;
   std::vector<sim::JobUid> adhoc_fifo_;  // arrival order

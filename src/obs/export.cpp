@@ -1,0 +1,264 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flowtime::obs {
+
+namespace {
+
+// Minimal JSON string escaping (mirrors TraceEvent's rules).
+std::string escaped(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+double field_double(const TraceRecord& record, const char* key,
+                    double fallback = 0.0) {
+  const auto it = record.find(key);
+  if (it == record.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() ? value : fallback;
+}
+
+std::string field_string(const TraceRecord& record, const char* key,
+                         const std::string& fallback = "") {
+  const auto it = record.find(key);
+  return it == record.end() ? fallback : it->second;
+}
+
+// Remaining record fields rendered as an "args" object (values kept as
+// strings: lossless, and Perfetto displays them fine).
+std::string args_object(const TraceRecord& record) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : record) {
+    if (key == "type") continue;
+    if (!first) out += ",";
+    first = false;
+    out += escaped(key) + ":" + escaped(value);
+  }
+  out += "}";
+  return out;
+}
+
+struct Span {
+  std::int64_t id = 0;
+  std::int64_t parent = 0;
+  std::string kind;
+  std::string name;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  bool ended = false;
+  TraceRecord begin_record;
+  int pid = 0;
+  int tid = 0;
+};
+
+bool is_instant_type(const std::string& type) {
+  return type == "replan" || type == "deadline_risk" ||
+         type == "workflow_arrival" || type == "admission" ||
+         type == "config_skew";
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
+  std::map<std::int64_t, Span> spans;   // by span id, insertion = id order
+  std::vector<const TraceRecord*> instants;
+  double latest_s = 0.0;
+
+  for (const TraceRecord& record : events) {
+    const std::string type = field_string(record, "type");
+    const double sim_s = field_double(record, "sim_s",
+                                      field_double(record, "now_s"));
+    latest_s = std::max(latest_s, sim_s);
+    if (type == "span_begin") {
+      Span span;
+      span.id = static_cast<std::int64_t>(field_double(record, "span"));
+      span.parent = static_cast<std::int64_t>(field_double(record, "parent"));
+      span.kind = field_string(record, "kind");
+      span.name = field_string(record, "name");
+      span.begin_s = sim_s;
+      span.begin_record = record;
+      spans[span.id] = std::move(span);
+    } else if (type == "span_end") {
+      const auto it = spans.find(
+          static_cast<std::int64_t>(field_double(record, "span")));
+      if (it != spans.end()) {
+        it->second.end_s = sim_s;
+        it->second.ended = true;
+      }
+    } else if (is_instant_type(type)) {
+      instants.push_back(&record);
+    }
+  }
+
+  // Project the span tree onto Chrome's pid/tid axes: one pid per workflow
+  // span (slice on tid 0), one tid per job under it, nested spans inherit
+  // their parent's tid; everything outside a workflow shares pid 0.
+  int next_pid = 1;
+  std::map<int, int> next_tid;  // per pid; 0 is the workflow slice itself
+  next_tid[0] = 1;
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> thread_names;
+  process_names[0] = "cluster";
+  for (auto& [id, span] : spans) {
+    (void)id;
+    if (span.kind == "workflow") {
+      span.pid = next_pid++;
+      span.tid = 0;
+      next_tid[span.pid] = 1;
+      process_names[span.pid] = span.name;
+      thread_names[{span.pid, 0}] = "workflow";
+      continue;
+    }
+    const auto parent_it = spans.find(span.parent);
+    if (parent_it == spans.end()) {  // root span outside any workflow
+      span.pid = 0;
+      span.tid = next_tid[0]++;
+      thread_names[{0, span.tid}] = span.kind + " " + span.name;
+    } else if (parent_it->second.kind == "workflow") {
+      span.pid = parent_it->second.pid;
+      span.tid = next_tid[span.pid]++;
+      thread_names[{span.pid, span.tid}] = span.name;
+    } else {  // nested (placement under job): share the parent's track
+      span.pid = parent_it->second.pid;
+      span.tid = parent_it->second.tid;
+    }
+  }
+  // Instant events get one per-type track under pid 0.
+  std::map<std::string, int> instant_tids;
+  for (const TraceRecord* record : instants) {
+    const std::string type = field_string(*record, "type");
+    if (!instant_tids.count(type)) {
+      const int tid = next_tid[0]++;
+      instant_tids[type] = tid;
+      thread_names[{0, tid}] = type;
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const std::string& event_json) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + event_json;
+  };
+  for (const auto& [pid, name] : process_names) {
+    append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":" +
+           escaped(name) + "}}");
+  }
+  for (const auto& [key, name] : thread_names) {
+    append("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(key.first) + ",\"tid\":" +
+           std::to_string(key.second) + ",\"args\":{\"name\":" +
+           escaped(name) + "}}");
+  }
+  for (const auto& [id, span] : spans) {
+    (void)id;
+    const double end_s = span.ended ? span.end_s : latest_s;
+    append("{\"ph\":\"X\",\"name\":" + escaped(span.name) +
+           ",\"cat\":" + escaped(span.kind) +
+           ",\"ts\":" + number(span.begin_s * 1e6) +
+           ",\"dur\":" + number(std::max(end_s - span.begin_s, 0.0) * 1e6) +
+           ",\"pid\":" + std::to_string(span.pid) +
+           ",\"tid\":" + std::to_string(span.tid) +
+           ",\"args\":" + args_object(span.begin_record) + "}");
+  }
+  for (const TraceRecord* record : instants) {
+    const std::string type = field_string(*record, "type");
+    std::string name = type;
+    if (type == "replan") {
+      name += "(" + field_string(*record, "cause") + ")";
+    } else if (type == "deadline_risk") {
+      name += ":" + field_string(*record, "level");
+    }
+    append("{\"ph\":\"i\",\"s\":\"g\",\"name\":" + escaped(name) +
+           ",\"cat\":" + escaped(type) +
+           ",\"ts\":" + number(field_double(*record, "now_s") * 1e6) +
+           ",\"pid\":0,\"tid\":" + std::to_string(instant_tids[type]) +
+           ",\"args\":" + args_object(*record) + "}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string render_prometheus(const MetricSnapshot& snapshot,
+                              const std::string& prefix) {
+  auto sanitize = [&](const std::string& name) {
+    std::string out = prefix.empty() ? "" : prefix + "_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = sanitize(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + number(value) + "\n";
+  }
+  for (const MetricSnapshot::HistogramStats& stats : snapshot.histograms) {
+    const std::string metric = sanitize(stats.name);
+    out += "# TYPE " + metric + " summary\n";
+    out += metric + "{quantile=\"0.5\"} " + number(stats.p50) + "\n";
+    out += metric + "{quantile=\"0.9\"} " + number(stats.p90) + "\n";
+    out += metric + "{quantile=\"0.99\"} " + number(stats.p99) + "\n";
+    out += metric + "_sum " + number(stats.sum) + "\n";
+    out += metric + "_count " + std::to_string(stats.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace flowtime::obs

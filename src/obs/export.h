@@ -1,0 +1,51 @@
+// Trace and metric exporters: Chrome trace-event JSON and Prometheus text.
+//
+// Both converters are pure functions over already-collected data, so they
+// can run inside the producing process (flowtime_sim --prom-out) or in an
+// offline tool re-reading a JSONL file (examples/trace_report --chrome-out)
+// without touching the live obs state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace flowtime::obs {
+
+/// One parsed JSONL trace line, as produced by parse_flat_json: key → raw
+/// value text (numbers/bools literal, strings unescaped).
+using TraceRecord = std::map<std::string, std::string>;
+
+/// Converts a trace-event stream into the Chrome trace-event "JSON object
+/// format" ({"traceEvents": [...]}) that chrome://tracing and Perfetto
+/// load. Timestamps are simulation time in microseconds.
+///
+/// Mapping:
+///   * span_begin/span_end pairs become complete ("ph":"X") slices. The
+///     span hierarchy is projected onto Chrome's process/thread axes:
+///     every `workflow` span gets its own pid (track group) with the
+///     workflow slice on tid 0, each `job` span under it gets its own tid,
+///     and nested spans (`placement`) inherit their parent job's tid —
+///     Perfetto then shows workflow → job → placement as nested tracks.
+///     Spans outside any workflow (ad-hoc jobs, `plan`, `admitted`) share
+///     pid 0, one tid per root span.
+///   * replan, deadline_risk, workflow_arrival, admission and config_skew
+///     events become instant events ("ph":"i") on the matching track.
+///   * process_name/thread_name metadata events label every track.
+///
+/// Unpaired span_begins are closed at the latest timestamp seen (the
+/// simulator's end_open_spans makes this a no-op for well-formed traces).
+std::string render_chrome_trace(const std::vector<TraceRecord>& events);
+
+/// Renders a metric snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Dots in metric names become underscores and everything
+/// is prefixed (`core.replans` → `flowtime_core_replans_total`); counters
+/// get the `_total` suffix and `# TYPE counter`, gauges `# TYPE gauge`, and
+/// histograms are exported as summaries with exact p50/p90/p99 quantiles
+/// plus `_sum`/`_count`.
+std::string render_prometheus(const MetricSnapshot& snapshot,
+                              const std::string& prefix = "flowtime");
+
+}  // namespace flowtime::obs

@@ -115,6 +115,33 @@ std::string Registry::render_text() const {
   return out.str();
 }
 
+MetricSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot::HistogramStats stats;
+    stats.name = name;
+    stats.count = histogram->count();
+    stats.sum = histogram->sum();
+    stats.min = histogram->min();
+    stats.max = histogram->max();
+    stats.p50 = histogram->percentile(0.5);
+    stats.p90 = histogram->percentile(0.9);
+    stats.p99 = histogram->percentile(0.99);
+    snap.histograms.push_back(std::move(stats));
+  }
+  return snap;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/histogram.h"
@@ -88,6 +89,25 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// Point-in-time copy of every metric in a registry, for exporters that
+/// need to iterate (obs/export.h renders it as Prometheus text) without
+/// holding registry locks while formatting.
+struct MetricSnapshot {
+  struct HistogramStats {
+    std::string name;
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, std::int64_t>> counters;  // sorted
+  std::vector<std::pair<std::string, double>> gauges;          // sorted
+  std::vector<HistogramStats> histograms;                      // sorted
+};
+
 /// Named metric store. Lookup creates on first use; returned references are
 /// valid for the registry's lifetime.
 class Registry {
@@ -99,6 +119,10 @@ class Registry {
   /// All metrics as sorted "name value" / "name count mean p50 p99 max"
   /// lines, for dumping at the end of a bench run.
   std::string render_text() const;
+
+  /// Copies every metric's current value (histograms reduced to count/sum/
+  /// min/max and exact p50/p90/p99).
+  MetricSnapshot snapshot() const;
 
   /// Zeroes every existing metric (handles stay valid). Tests use this
   /// between cases.

@@ -1,0 +1,114 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace flowtime::obs {
+
+namespace {
+
+struct OpenSpan {
+  std::string kind;
+  std::string name;
+  int workflow_id = -1;
+};
+
+// Open-span table. Span traffic is low-frequency (per workflow, job or
+// placement transition, never per LP pivot), so one mutex is plenty.
+std::mutex g_mutex;
+std::map<SpanId, OpenSpan>& open_spans() {
+  static auto* spans = new std::map<SpanId, OpenSpan>();
+  return *spans;
+}
+std::atomic<std::int64_t> g_next_id{1};
+
+// Wall clock relative to the first span of the process: keeps the numbers
+// small and readable, and steady_clock makes them monotonic.
+double wall_now_s() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void emit_end(SpanId span, const OpenSpan& info, double sim_s) {
+  TraceEvent event("span_end");
+  event.field("span", span)
+      .field("kind", info.kind)
+      .field("name", info.name)
+      .field("sim_s", sim_s)
+      .field("wall_s", wall_now_s());
+  if (info.workflow_id >= 0) event.field("workflow", info.workflow_id);
+  emit(event);
+}
+
+}  // namespace
+
+SpanId begin_span(std::string_view kind, std::string_view name,
+                  SpanId parent, double sim_s, const SpanMeta& meta) {
+  if (trace_sink() == nullptr) return kNoSpan;
+  const SpanId id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    open_spans()[id] =
+        OpenSpan{std::string(kind), std::string(name), meta.workflow_id};
+  }
+  TraceEvent event("span_begin");
+  event.field("span", id)
+      .field("parent", parent)
+      .field("kind", kind)
+      .field("name", name)
+      .field("sim_s", sim_s)
+      .field("wall_s", wall_now_s());
+  if (meta.workflow_id >= 0) event.field("workflow", meta.workflow_id);
+  if (meta.node >= 0) event.field("node", meta.node);
+  if (meta.uid >= 0) event.field("uid", meta.uid);
+  if (meta.deadline_s >= 0.0) event.field("deadline_s", meta.deadline_s);
+  emit(event);
+  return id;
+}
+
+void end_span(SpanId span, double sim_s) {
+  if (span == kNoSpan) return;
+  OpenSpan info;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto& spans = open_spans();
+    const auto it = spans.find(span);
+    if (it == spans.end()) return;  // unknown or already closed
+    info = std::move(it->second);
+    spans.erase(it);
+  }
+  emit_end(span, info, sim_s);
+}
+
+int open_span_count() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return static_cast<int>(open_spans().size());
+}
+
+void end_open_spans(double sim_s) {
+  std::map<SpanId, OpenSpan> leftover;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    leftover.swap(open_spans());
+  }
+  // Children were opened after their parents, so descending id closes
+  // placement before job before workflow.
+  for (auto it = leftover.rbegin(); it != leftover.rend(); ++it) {
+    emit_end(it->first, it->second, sim_s);
+  }
+}
+
+void reset_spans_for_testing() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  open_spans().clear();
+  g_next_id.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace flowtime::obs

@@ -1,0 +1,68 @@
+// Hierarchical lifecycle spans on top of the flat trace-event stream.
+//
+// A span is a named interval with a stable process-wide id, an optional
+// parent span, and both simulation-time and wall-time begin/end stamps. The
+// layer emits each span as a pair of ordinary flat trace events —
+// `span_begin` / `span_end` — through the existing TraceEvent/TraceSink
+// path, so JSONL consumers that do not care about hierarchy keep working
+// and the ones that do (examples/trace_report, the Chrome-trace exporter in
+// obs/export.h) can rebuild the tree from `span` / `parent` ids.
+//
+// The instrumented hierarchy is workflow → job → placement:
+//   * a `workflow` span covers release → completion of the whole DAG,
+//   * a `job` span covers one node's release → completion,
+//   * a `placement` span covers one contiguous run of slots in which the
+//     job actually received allocation (a job may have several),
+// plus flat `plan` spans from the FlowTime scheduler (one per re-plan
+// epoch) and `admitted` spans from the admission controller.
+//
+// Like every obs feature the layer is inert until a trace sink is
+// installed; instrumentation sites guard on `obs::enabled()` before
+// calling in. Spans left open at the end of a simulation are closed by
+// `end_open_spans`, so a well-formed trace always pairs every begin with
+// exactly one end.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace flowtime::obs {
+
+/// Process-wide stable span identifier; 0 means "no span".
+using SpanId = std::int64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// Optional structured identity attached to span_begin events. Fields left
+/// at their defaults are omitted from the emitted JSON.
+struct SpanMeta {
+  int workflow_id = -1;   ///< owning workflow, when any
+  int node = -1;          ///< DAG node within the workflow
+  std::int64_t uid = -1;  ///< simulator JobUid, when any
+  double deadline_s = -1.0;  ///< absolute deadline of the spanned entity
+};
+
+/// Opens a span and emits its `span_begin` event. `sim_s` is simulation
+/// time; wall time is stamped automatically (seconds since the first obs
+/// call in the process). Returns the new span's id. No-op returning kNoSpan
+/// when no trace sink is installed.
+SpanId begin_span(std::string_view kind, std::string_view name,
+                  SpanId parent, double sim_s, const SpanMeta& meta = {});
+
+/// Closes a span and emits its `span_end` event (carrying the same kind and
+/// name as the begin, for greppability). Unknown or already-closed ids are
+/// ignored, so callers may end unconditionally on teardown paths.
+void end_span(SpanId span, double sim_s);
+
+/// Number of spans currently open — begin without a matching end yet.
+int open_span_count();
+
+/// Closes every open span at `sim_s`, children before parents (descending
+/// id). The simulator calls this at the end of a run so horizon-expired
+/// jobs and the scheduler's final plan epoch still pair up in the trace.
+void end_open_spans(double sim_s);
+
+/// Drops all open-span bookkeeping and restarts ids from 1. Test isolation
+/// only (obs::testing::ScopedRegistryReset); never call mid-run.
+void reset_spans_for_testing();
+
+}  // namespace flowtime::obs

@@ -1,0 +1,37 @@
+// Test-only RAII isolation for the process-wide observability state.
+//
+// The obs layer is deliberately global (one registry, one trace sink, one
+// span table, one deadline monitor per process), which makes tests order-
+// dependent unless each one starts from a clean slate. Declaring a
+// ScopedRegistryReset at the top of a test or fixture resets everything on
+// entry AND on exit, so state can neither leak in nor leak out.
+#pragma once
+
+#include "obs/deadline_monitor.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace flowtime::obs::testing {
+
+class ScopedRegistryReset {
+ public:
+  ScopedRegistryReset() { reset(); }
+  ~ScopedRegistryReset() { reset(); }
+
+  ScopedRegistryReset(const ScopedRegistryReset&) = delete;
+  ScopedRegistryReset& operator=(const ScopedRegistryReset&) = delete;
+
+  /// The actual cleanup, usable standalone: removes the trace sink (which
+  /// also disables the layer), zeroes every metric, drops open spans
+  /// (restarting span ids from 1) and forgets all tracked deadlines.
+  static void reset() {
+    clear_trace_sink();
+    set_enabled(false);
+    registry().reset();
+    reset_spans_for_testing();
+    deadline_monitor().reset();
+  }
+};
+
+}  // namespace flowtime::obs::testing

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -25,6 +28,8 @@ struct LiveJob {
   bool arrived = false;
   bool complete = false;
   double ready_since_s = -1.0;  // first instant the job was runnable
+  obs::SpanId job_span = obs::kNoSpan;        // release → completion
+  obs::SpanId placement_span = obs::kNoSpan;  // current allocated run
 
   bool ready(const std::vector<LiveJob>& all) const {
     for (JobUid p : parent_uids) {
@@ -136,6 +141,10 @@ SimResult Simulator::run(const workload::Scenario& scenario,
            jobs[static_cast<std::size_t>(b)].record.arrival_s;
   });
 
+  // Lifecycle spans: workflow span + remaining-job count, closed when the
+  // last job of the workflow completes.
+  std::map<int, std::pair<obs::SpanId, int>> workflow_spans;
+
   std::size_t next_workflow = 0;
   std::size_t next_adhoc = 0;
   std::size_t incomplete = jobs.size();
@@ -153,6 +162,25 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       for (JobUid uid : pending.node_uids) {
         jobs[static_cast<std::size_t>(uid)].arrived = true;
       }
+      if (obs::enabled()) {
+        const workload::Workflow& w = *pending.workflow;
+        obs::SpanMeta wf_meta;
+        wf_meta.workflow_id = w.id;
+        wf_meta.deadline_s = w.deadline_s;
+        const obs::SpanId wf_span =
+            obs::begin_span("workflow", w.name, obs::kNoSpan, now, wf_meta);
+        workflow_spans[w.id] = {wf_span,
+                                static_cast<int>(pending.node_uids.size())};
+        for (JobUid uid : pending.node_uids) {
+          LiveJob& job = jobs[static_cast<std::size_t>(uid)];
+          obs::SpanMeta meta;
+          meta.workflow_id = w.id;
+          meta.node = job.record.node;
+          meta.uid = uid;
+          job.job_span =
+              obs::begin_span("job", job.record.name, wf_span, now, meta);
+        }
+      }
       scheduler.on_workflow_arrival(*pending.workflow, pending.node_uids,
                                     now);
       ++next_workflow;
@@ -163,6 +191,12 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       LiveJob& job =
           jobs[static_cast<std::size_t>(adhoc_queue[next_adhoc])];
       job.arrived = true;
+      if (obs::enabled()) {
+        obs::SpanMeta meta;
+        meta.uid = job.record.uid;
+        job.job_span = obs::begin_span("job", job.record.name, obs::kNoSpan,
+                                       now, meta);
+      }
       scheduler.on_adhoc_arrival(job.record.uid, now, job.width);
       ++next_adhoc;
     }
@@ -252,6 +286,8 @@ SimResult Simulator::run(const workload::Scenario& scenario,
     // Deliver and collect completions.
     ResourceVec used{};
     std::vector<JobUid> completed_now;
+    const bool spans_on = obs::enabled();
+    std::vector<char> granted_this_slot(spans_on ? jobs.size() : 0, 0);
     for (auto& [uid, amount] : grants) {
       LiveJob& job = jobs[static_cast<std::size_t>(uid)];
       ResourceVec granted = workload::scale(amount, scale_factor);
@@ -286,6 +322,17 @@ SimResult Simulator::run(const workload::Scenario& scenario,
             workload::clamp_nonnegative(workload::sub(granted, realized)));
         granted = realized;
       }
+      if (spans_on && !workload::is_zero(granted, kTol)) {
+        granted_this_slot[static_cast<std::size_t>(uid)] = 1;
+        if (job.placement_span == obs::kNoSpan) {
+          obs::SpanMeta meta;
+          meta.workflow_id = job.record.workflow_id;
+          meta.node = job.record.node;
+          meta.uid = uid;
+          job.placement_span = obs::begin_span(
+              "placement", job.record.name, job.job_span, now, meta);
+        }
+      }
       const ResourceVec delivered =
           workload::elementwise_min(granted, job.remaining_actual);
       job.remaining_actual = workload::clamp_nonnegative(
@@ -299,6 +346,17 @@ SimResult Simulator::run(const workload::Scenario& scenario,
         completed_now.push_back(uid);
       }
     }
+    if (spans_on) {
+      // A slot without allocation ends the job's current placement run.
+      for (LiveJob& job : jobs) {
+        if (job.placement_span != obs::kNoSpan && !job.complete &&
+            !granted_this_slot[static_cast<std::size_t>(job.record.uid)]) {
+          obs::end_span(job.placement_span, now);
+          job.placement_span = obs::kNoSpan;
+        }
+      }
+    }
+
     result.used_per_slot.push_back(used);
     result.allocated_per_slot.push_back(
         workload::scale(granted_total, scale_factor));
@@ -331,9 +389,26 @@ SimResult Simulator::run(const workload::Scenario& scenario,
 
     for (JobUid uid : completed_now) {
       --incomplete;
+      if (spans_on) {
+        LiveJob& job = jobs[static_cast<std::size_t>(uid)];
+        const double end_s = now + config_.cluster.slot_seconds;
+        obs::end_span(job.placement_span, end_s);
+        job.placement_span = obs::kNoSpan;
+        obs::end_span(job.job_span, end_s);
+        job.job_span = obs::kNoSpan;
+        const auto wf_it = workflow_spans.find(job.record.workflow_id);
+        if (wf_it != workflow_spans.end() && --wf_it->second.second == 0) {
+          obs::end_span(wf_it->second.first, end_s);
+          workflow_spans.erase(wf_it);
+        }
+      }
       scheduler.on_job_complete(uid, now + config_.cluster.slot_seconds);
     }
   }
+
+  // Horizon expiry can leave spans open (unfinished jobs, the scheduler's
+  // final plan epoch); close them so every begin pairs with exactly one end.
+  obs::end_open_spans(result.slots_simulated * config_.cluster.slot_seconds);
 
   result.all_completed = incomplete == 0;
   if (!result.all_completed) {

@@ -8,6 +8,7 @@
 
 #include "core/flowtime_scheduler.h"
 #include "dag/generators.h"
+#include "obs/testing.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
@@ -309,6 +310,7 @@ TEST(FlowTimeScheduler, ReplanLogSolverStatsAreMonotoneAndConsistent) {
 }
 
 TEST(FlowTimeScheduler, EmitsReplanTraceEventsWithSolverStats) {
+  obs::testing::ScopedRegistryReset reset;
   auto owned = std::make_unique<obs::MemorySink>();
   obs::MemorySink* sink = owned.get();
   obs::set_trace_sink(std::move(owned));

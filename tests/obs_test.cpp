@@ -1,6 +1,6 @@
 // Tests for the observability layer: metrics registry semantics, trace
-// event rendering, sink installation, and the flat-JSON parser the smoke
-// targets rely on.
+// event rendering, sink installation, the flat-JSON parser the smoke
+// targets rely on, lifecycle spans, and the Chrome/Prometheus exporters.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -8,20 +8,22 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/testing.h"
 #include "obs/trace.h"
 
 namespace flowtime::obs {
 namespace {
 
-// Every test leaves the layer the way it found it: disabled, no sink.
+// Every test starts from and leaves behind a pristine obs layer: disabled,
+// no sink, empty registry, no open spans, no tracked deadlines.
 class ObsTest : public ::testing::Test {
  protected:
-  void TearDown() override {
-    clear_trace_sink();
-    registry().reset();
-  }
+  testing::ScopedRegistryReset reset_;
 };
 
 TEST_F(ObsTest, DisabledByDefaultAndToggles) {
@@ -153,6 +155,117 @@ TEST_F(ObsTest, ParserRejectsMalformedLines) {
   EXPECT_TRUE(fields.empty());
   EXPECT_TRUE(parse_flat_json("{\"a\":-1e-3,\"b\":null}", &fields));
   EXPECT_EQ(fields.at("b"), "null");
+}
+
+TEST_F(ObsTest, SpansRequireSinkAndPairBeginEnd) {
+  // Without a sink the layer is inert: no ids, no open spans.
+  EXPECT_EQ(begin_span("workflow", "w", kNoSpan, 0.0), kNoSpan);
+  EXPECT_EQ(open_span_count(), 0);
+
+  auto owned = std::make_unique<MemorySink>();
+  MemorySink* sink = owned.get();
+  set_trace_sink(std::move(owned));
+  SpanMeta meta;
+  meta.workflow_id = 7;
+  meta.deadline_s = 100.0;
+  const SpanId wf = begin_span("workflow", "w", kNoSpan, 0.0, meta);
+  const SpanId job = begin_span("job", "w/j", wf, 10.0);
+  EXPECT_NE(wf, kNoSpan);
+  EXPECT_NE(job, kNoSpan);
+  EXPECT_EQ(open_span_count(), 2);
+  end_span(job, 20.0);
+  end_span(job, 25.0);  // double-end: ignored
+  end_span(wf, 30.0);
+  EXPECT_EQ(open_span_count(), 0);
+
+  ASSERT_EQ(sink->lines().size(), 4u);  // 2 begins + 2 ends
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(parse_flat_json(sink->lines()[0], &fields));
+  EXPECT_EQ(fields.at("type"), "span_begin");
+  EXPECT_EQ(fields.at("kind"), "workflow");
+  EXPECT_EQ(fields.at("workflow"), "7");
+  ASSERT_TRUE(parse_flat_json(sink->lines()[1], &fields));
+  EXPECT_EQ(fields.at("parent"), std::to_string(wf));
+  ASSERT_TRUE(parse_flat_json(sink->lines()[2], &fields));
+  EXPECT_EQ(fields.at("type"), "span_end");
+  EXPECT_EQ(fields.at("span"), std::to_string(job));
+}
+
+TEST_F(ObsTest, EndOpenSpansClosesChildrenBeforeParents) {
+  auto owned = std::make_unique<MemorySink>();
+  MemorySink* sink = owned.get();
+  set_trace_sink(std::move(owned));
+  const SpanId wf = begin_span("workflow", "w", kNoSpan, 0.0);
+  const SpanId job = begin_span("job", "w/j", wf, 0.0);
+  end_open_spans(50.0);
+  EXPECT_EQ(open_span_count(), 0);
+  ASSERT_EQ(sink->lines().size(), 4u);
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(parse_flat_json(sink->lines()[2], &fields));
+  EXPECT_EQ(fields.at("span"), std::to_string(job));  // child first
+  ASSERT_TRUE(parse_flat_json(sink->lines()[3], &fields));
+  EXPECT_EQ(fields.at("span"), std::to_string(wf));
+  EXPECT_EQ(fields.at("sim_s"), "50");
+}
+
+TEST_F(ObsTest, ChromeTraceProjectsSpanHierarchy) {
+  auto owned = std::make_unique<MemorySink>();
+  MemorySink* sink = owned.get();
+  set_trace_sink(std::move(owned));
+  SpanMeta meta;
+  meta.workflow_id = 3;
+  const SpanId wf = begin_span("workflow", "etl", kNoSpan, 0.0, meta);
+  const SpanId job = begin_span("job", "etl/extract", wf, 0.0, meta);
+  const SpanId run = begin_span("placement", "etl/extract", job, 10.0, meta);
+  begin_span("plan", "plan#1", kNoSpan, 0.0);
+  end_span(run, 40.0);
+  end_span(job, 40.0);
+  end_span(wf, 60.0);
+  end_open_spans(60.0);
+  emit(TraceEvent("replan").field("cause", "arrival").field("now_s", 0.0));
+
+  std::vector<std::map<std::string, std::string>> events;
+  for (const std::string& line : sink->lines()) {
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(parse_flat_json(line, &fields));
+    events.push_back(std::move(fields));
+  }
+  const std::string json = render_chrome_trace(events);
+  // Workflow gets its own pid with the slice on tid 0; the job gets its
+  // own tid and the placement inherits it; the plan span lands on pid 0.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"etl\",\"cat\":\"workflow\",\"ts\":0,"
+                      "\"dur\":60000000,\"pid\":1,\"tid\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"job\",\"ts\":0,\"dur\":40000000,"
+                      "\"pid\":1,\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"placement\",\"ts\":10000000,"
+                      "\"dur\":30000000,\"pid\":1,\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"replan(arrival)\""), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusRendersAllMetricKinds) {
+  registry().counter("core.replans").add(3);
+  registry().gauge("obs.deadline.min_laxity_s").set(-2.5);
+  Histogram& h = registry().histogram("lp.simplex.solve_seconds");
+  h.observe(0.1);
+  h.observe(0.3);
+  const std::string text = render_prometheus(registry().snapshot());
+  EXPECT_NE(text.find("# TYPE flowtime_core_replans_total counter\n"
+                      "flowtime_core_replans_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE flowtime_obs_deadline_min_laxity_s gauge\n"
+                      "flowtime_obs_deadline_min_laxity_s -2.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE flowtime_lp_simplex_solve_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("flowtime_lp_simplex_solve_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("flowtime_lp_simplex_solve_seconds_count 2"),
+            std::string::npos);
 }
 
 }  // namespace
