@@ -69,6 +69,67 @@ BENCHMARK(BM_LpSchedulerLatency)
     ->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+// Warm-vs-cold re-plan sequence: the scheduler's steady state is a run of
+// re-plans over the same job set whose remaining demands shrink as work
+// completes — identical LP shape, different data. The warm series threads
+// the previous solve's basis through a PlacementWarmCache (and bases
+// round-to-round inside each lexmin); the cold series disables warm
+// starting entirely, paying a full two-phase solve per round. Each
+// iteration runs the whole kReplanSteps-step sequence; the pivot counters
+// expose the warm/cold ratio directly.
+constexpr int kReplanSteps = 6;
+
+std::vector<core::LpJob> jobs_at_step(const std::vector<core::LpJob>& jobs,
+                                      int step) {
+  std::vector<core::LpJob> out = jobs;
+  const double scale = 1.0 - 0.07 * step;
+  for (core::LpJob& job : out) job.demand = workload::scale(job.demand, scale);
+  return out;
+}
+
+void run_replan_sequence(benchmark::State& state, bool warm) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<core::LpJob> jobs = make_jobs(n);
+  const std::vector<ResourceVec> caps(kSlots, ResourceVec{kCpuCap, kMemCap});
+  core::LpScheduleOptions options;
+  options.lexmin.max_rounds = 6;
+  options.lexmin.warm_start = warm;
+  std::int64_t pivots = 0;
+  for (auto _ : state) {
+    core::PlacementWarmCache cache;
+    options.warm_cache = warm ? &cache : nullptr;
+    pivots = 0;
+    for (int step = 0; step < kReplanSteps; ++step) {
+      const core::LpSchedule schedule =
+          core::solve_placement(jobs_at_step(jobs, step), caps, 0, options);
+      benchmark::DoNotOptimize(schedule);
+      pivots += schedule.pivots;
+    }
+  }
+  state.counters["jobs"] = n;
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+
+void BM_LpReplanSequenceWarm(benchmark::State& state) {
+  run_replan_sequence(state, /*warm=*/true);
+}
+
+void BM_LpReplanSequenceCold(benchmark::State& state) {
+  run_replan_sequence(state, /*warm=*/false);
+}
+
+BENCHMARK(BM_LpReplanSequenceWarm)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_LpReplanSequenceCold)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
 // Companion series: full lexicographic refinement (every level fixed), the
 // quality-over-speed configuration used by the ablation bench.
 void BM_LpSchedulerLatencyFullLex(benchmark::State& state) {

@@ -199,6 +199,9 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
     if (record.lp_failed) {
       obs::registry().counter("core.replan_lp_failures").add();
     }
+    if (record.lexmin_truncated) {
+      obs::registry().counter("core.replan_lexmin_truncated").add();
+    }
     obs::emit(obs::TraceEvent("replan")
                   .field("slot", record.slot)
                   .field("cause", to_string(record.causes))
@@ -208,6 +211,7 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
                   .field("late_extensions", record.late_extensions)
                   .field("capacity_exceeded", record.capacity_exceeded)
                   .field("lp_failed", record.lp_failed)
+                  .field("lexmin_truncated", record.lexmin_truncated)
                   .field("max_normalized_load",
                          record.max_normalized_load));
   }
@@ -316,19 +320,29 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
   std::vector<workload::ResourceVec> caps(
       static_cast<std::size_t>(coarse_horizon),
       workload::scale(full_cap, cap_fraction));
+  LpScheduleOptions lp_options = config_.lp;
+  if (lp_options.warm_cache == nullptr) {
+    lp_options.warm_cache = &warm_cache_;
+  }
   LpSchedule schedule = solve_placement(
-      lp_jobs, caps, bucket > 1 ? 0 : state.slot, config_.lp);
+      lp_jobs, caps, bucket > 1 ? 0 : state.slot, lp_options);
   if (cap_fraction < 1.0 &&
       (!schedule.ok() || schedule.capacity_exceeded)) {
     // The reserved headroom is a preference, not a mandate: retry at the
     // full cluster before conceding any deadline.
     caps.assign(static_cast<std::size_t>(coarse_horizon), full_cap);
     schedule = solve_placement(lp_jobs, caps,
-                               bucket > 1 ? 0 : state.slot, config_.lp);
+                               bucket > 1 ? 0 : state.slot, lp_options);
   }
   total_pivots_ += schedule.pivots;
   record.capacity_exceeded = schedule.capacity_exceeded;
+  record.lexmin_truncated = schedule.lexmin_truncated;
   record.max_normalized_load = schedule.max_normalized_load;
+  if (schedule.lexmin_truncated) {
+    ++truncated_replans_;
+    FT_LOG(kWarn) << "FlowTime replan: lexmin round budget exhausted; the "
+                     "plan's load profile tail is unrefined";
+  }
   if (!schedule.ok()) {
     record.lp_failed = true;
     // Should not happen (windows were made feasible above); degrade to an

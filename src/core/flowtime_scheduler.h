@@ -116,6 +116,10 @@ struct ReplanRecord {
   int late_extensions = 0;    // jobs whose window had to be extended
   bool capacity_exceeded = false;
   bool lp_failed = false;     // width-greedy emergency fallback used
+  /// The lexmin round budget ran out before the load profile was fully
+  /// refined: the plan is feasible and its peak exact, but its tail is not
+  /// the lexicographic optimum (plan-quality warning, not a failure).
+  bool lexmin_truncated = false;
   double max_normalized_load = 0.0;
 };
 
@@ -160,6 +164,10 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// (negative slack) since construction.
   int decomposition_fallbacks() const { return decomposition_fallbacks_; }
 
+  /// Re-plans whose lexmin solve was truncated by the round budget (see
+  /// ReplanRecord::lexmin_truncated) since construction.
+  int truncated_replans() const { return truncated_replans_; }
+
  private:
   struct DeadlineJobState {
     sim::JobUid uid = -1;
@@ -188,12 +196,19 @@ class FlowTimeScheduler : public sim::Scheduler {
   int min_slots_needed(const DeadlineJobState& job) const;
 
   FlowTimeConfig config_;
+  /// Warm-start cache threaded through every solve_placement call: the
+  /// final basis of one re-plan seeds the next when the LP shape (same
+  /// jobs, same windows, same horizon) repeats, which is the common case
+  /// for deviation/overrun re-plans. Keyed by a shape fingerprint inside
+  /// solve_placement; a mismatch falls back to a cold solve.
+  PlacementWarmCache warm_cache_;
   bool dirty_ = false;
   ReplanCause pending_causes_ = ReplanCause::kNone;
   bool skew_checked_ = false;
   int replans_ = 0;
   std::int64_t total_pivots_ = 0;
   int decomposition_fallbacks_ = 0;
+  int truncated_replans_ = 0;
   std::vector<ReplanRecord> replan_log_;
   obs::SpanId plan_span_ = obs::kNoSpan;  // current re-plan epoch
 

@@ -12,6 +12,64 @@ namespace {
 
 constexpr double kTinyCapacity = 1e-9;
 
+// FNV-1a over the model *shape*: column/row counts and per-row sparsity of
+// the base problem plus the per-load entry layout. Two problems with the
+// same fingerprint produce lexmin working problems of identical shape, so
+// a basis from one is a valid warm-start hint for the other (data may
+// differ; the solver repairs that). Collisions are harmless — the simplex
+// engine re-validates dimensions and falls back to a cold solve.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL;
+  return h * 0x100000001b3ULL;
+}
+
+std::uint64_t shape_fingerprint(const lp::LpProblem& base,
+                                const std::vector<lp::LoadRow>& loads) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, static_cast<std::uint64_t>(base.num_columns()));
+  h = mix(h, static_cast<std::uint64_t>(base.num_rows()));
+  h = mix(h, loads.size());
+  for (int i = 0; i < base.num_rows(); ++i) {
+    const auto& entries = base.row_entries(i);
+    h = mix(h, entries.size());
+    if (!entries.empty()) {
+      h = mix(h, static_cast<std::uint64_t>(entries.front().column));
+      h = mix(h, static_cast<std::uint64_t>(entries.back().column));
+    }
+  }
+  for (const lp::LoadRow& load : loads) {
+    h = mix(h, load.entries.size());
+    if (!load.entries.empty()) {
+      h = mix(h, static_cast<std::uint64_t>(load.entries.front().column));
+      h = mix(h, static_cast<std::uint64_t>(load.entries.back().column));
+    }
+  }
+  return h;
+}
+
+// Runs one lexmin solve through the warm cache: passes the cached basis
+// when the shape fingerprint matches, and stores the final basis back for
+// the next same-shaped solve.
+lp::LexMinMaxResult solve_lexmin_cached(const lp::LexMinMaxSolver& lexmin,
+                                        const lp::LpProblem& base,
+                                        const std::vector<lp::LoadRow>& loads,
+                                        PlacementWarmCache::Entry* cache) {
+  const lp::Basis* warm = nullptr;
+  std::uint64_t fingerprint = 0;
+  if (cache != nullptr) {
+    fingerprint = shape_fingerprint(base, loads);
+    if (cache->fingerprint == fingerprint && !cache->basis.empty()) {
+      warm = &cache->basis;
+    }
+  }
+  lp::LexMinMaxResult lex = lexmin.solve(base, loads, warm);
+  if (cache != nullptr) {
+    cache->fingerprint = fingerprint;
+    cache->basis = lex.final_basis;
+  }
+  return lex;
+}
+
 // Column bookkeeping for one resource's LP.
 struct ColumnMap {
   // per job: first column index and [begin, end] slot range (relative),
@@ -98,9 +156,14 @@ LpSchedule solve_placement(
     }
 
     lp::LexMinMaxSolver lexmin(options.lexmin);
-    lp::LexMinMaxResult lex = lexmin.solve(base, loads);
+    lp::LexMinMaxResult lex = solve_lexmin_cached(
+        lexmin, base, loads,
+        options.warm_cache != nullptr
+            ? &options.warm_cache->per_resource[static_cast<std::size_t>(r)]
+            : nullptr);
     schedule.pivots += lex.pivots;
     schedule.lexmin_rounds = std::max(schedule.lexmin_rounds, lex.rounds);
+    schedule.lexmin_truncated = schedule.lexmin_truncated || lex.truncated;
     if (!lex.optimal()) {
       schedule.status = lex.status;
       return schedule;
@@ -257,9 +320,12 @@ LpSchedule solve_placement_coupled(
                      "formulation (the matrix is not TU); skipping";
   }
   lp::LexMinMaxSolver lexmin(options.lexmin);
-  const lp::LexMinMaxResult lex = lexmin.solve(base, loads);
+  const lp::LexMinMaxResult lex = solve_lexmin_cached(
+      lexmin, base, loads,
+      options.warm_cache != nullptr ? &options.warm_cache->coupled : nullptr);
   schedule.pivots = lex.pivots;
   schedule.lexmin_rounds = lex.rounds;
+  schedule.lexmin_truncated = lex.truncated;
   if (!lex.optimal()) {
     schedule.status = lex.status;
     return schedule;

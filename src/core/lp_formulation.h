@@ -24,6 +24,8 @@
 //    caller can relax windows instead of getting a hard infeasible.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -42,8 +44,34 @@ struct LpJob {
   workload::ResourceVec width{};   // W_i^r, resource-seconds per slot
 };
 
+/// Cross-replan warm-start cache, owned by the caller (one per scheduler).
+/// Each slot pairs the final lexmin basis of the previous solve with a
+/// fingerprint of the model shape it belongs to; solve_placement reuses
+/// the basis only when the next solve builds the same shape, and falls
+/// back to a cold solve on any mismatch. The fingerprint covers structure
+/// (columns, rows, per-row sparsity), not data — changed demands/levels
+/// under the same shape are exactly what warm starts absorb.
+struct PlacementWarmCache {
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    lp::Basis basis;
+  };
+  /// Per-resource entries for the separable formulation.
+  std::array<Entry, workload::kNumResources> per_resource;
+  /// Single entry for the coupled formulation.
+  Entry coupled;
+
+  void clear() {
+    for (Entry& e : per_resource) e = Entry{};
+    coupled = Entry{};
+  }
+};
+
 struct LpScheduleOptions {
   lp::LexMinMaxOptions lexmin;
+  /// Optional warm-start cache shared across solve_placement calls.
+  /// Null disables warm starting. Not owned.
+  PlacementWarmCache* warm_cache = nullptr;
   /// Resource-coupled variables: instead of independent x_it^r per
   /// resource (the paper's formulation), use one task-time variable f_it
   /// per (job, slot) with the job's per-task bundle d_i^r tying every
@@ -77,6 +105,11 @@ struct LpSchedule {
   double max_normalized_load = 0.0;
   std::int64_t pivots = 0;
   int lexmin_rounds = 0;
+  /// True when any lexmin solve exhausted its round budget with load rows
+  /// unfixed: the plan is feasible and its peak level exact, but the load
+  /// profile tail is not the lexicographic optimum (a plan-quality
+  /// warning, not a failure).
+  bool lexmin_truncated = false;
 
   bool ok() const { return status == lp::SolveStatus::kOptimal; }
 };

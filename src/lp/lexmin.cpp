@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -10,56 +11,27 @@
 
 namespace flowtime::lp {
 
-namespace {
-
-// Builds the round problem: base columns/rows with zeroed objective, plus the
-// scalar u (minimized), plus one row per load:
-//   free k:   load_k - n_k * u <= 0
-//   fixed k:  load_k           <= level_k * n_k
-// Returns the u column index via out parameter; load-row index i maps to
-// problem row (base rows + i).
-LpProblem build_round(const LpProblem& base, const std::vector<LoadRow>& loads,
-                      const std::vector<double>& fixed_level,
-                      const std::vector<bool>& fixed, int* u_column) {
-  LpProblem p = base;
-  for (int j = 0; j < p.num_columns(); ++j) p.set_objective_coeff(j, 0.0);
-  *u_column = p.add_column(1.0, 0.0, kInfinity, "u");
-  for (std::size_t k = 0; k < loads.size(); ++k) {
-    std::vector<RowEntry> entries = loads[k].entries;
-    if (fixed[k]) {
-      p.add_row(RowSense::kLessEqual,
-                fixed_level[k] * loads[k].normalizer, std::move(entries),
-                loads[k].name);
-    } else {
-      entries.push_back(RowEntry{*u_column, -loads[k].normalizer});
-      p.add_row(RowSense::kLessEqual, 0.0, std::move(entries),
-                loads[k].name);
-    }
-  }
-  return p;
-}
-
-}  // namespace
-
 LexMinMaxSolver::LexMinMaxSolver(LexMinMaxOptions options)
     : options_(options) {}
 
 LexMinMaxResult LexMinMaxSolver::solve(
-    const LpProblem& base, const std::vector<LoadRow>& loads) const {
-  if (!obs::enabled()) return solve_impl(base, loads);
+    const LpProblem& base, const std::vector<LoadRow>& loads,
+    const Basis* warm) const {
+  if (!obs::enabled()) return solve_impl(base, loads, warm);
 
   double wall_s = 0.0;
   LexMinMaxResult result;
   {
     obs::ScopedTimer timer(
         &wall_s, &obs::registry().histogram("lp.lexmin.solve_seconds"));
-    result = solve_impl(base, loads);
+    result = solve_impl(base, loads, warm);
   }
   obs::Registry& reg = obs::registry();
   reg.counter("lp.lexmin.solves").add();
   reg.counter("lp.lexmin.rounds").add(result.rounds);
   reg.counter("lp.lexmin.pivots").add(result.pivots);
   if (!result.optimal()) reg.counter("lp.lexmin.failures").add();
+  if (result.truncated) reg.counter("lp.lexmin.truncations").add();
   obs::emit(obs::TraceEvent("lexmin_solve")
                 .field("rows", base.num_rows())
                 .field("cols", base.num_columns())
@@ -69,41 +41,64 @@ LexMinMaxResult LexMinMaxSolver::solve(
                 .field("pivots", result.pivots)
                 .field("levels", result.levels.size())
                 .field("max_level", result.max_level())
+                .field("truncated", result.truncated)
+                .field("probe_failures", result.probe_failures)
                 .field("wall_s", wall_s));
   return result;
 }
 
 LexMinMaxResult LexMinMaxSolver::solve_impl(
-    const LpProblem& base, const std::vector<LoadRow>& loads) const {
+    const LpProblem& base, const std::vector<LoadRow>& loads,
+    const Basis* warm) const {
   LexMinMaxResult result;
   const std::size_t k_total = loads.size();
   std::vector<bool> fixed(k_total, false);
-  std::vector<double> fixed_level(k_total, 0.0);
   SimplexSolver solver(options_.lp_options);
+
+  if (!options_.warm_start) warm = nullptr;
 
   if (k_total == 0) {
     // Nothing to balance: any feasible point of the base problem will do.
     LpProblem p = base;
     for (int j = 0; j < p.num_columns(); ++j) p.set_objective_coeff(j, 0.0);
-    Solution s = solver.solve(p);
+    Solution s = solver.solve(p, warm);
     result.status = s.status;
     result.x = std::move(s.x);
     result.pivots = s.iterations;
+    result.final_basis = std::move(s.basis);
     return result;
   }
+
+  // One working problem for every round and probe: base columns/rows with a
+  // zeroed objective, the scalar u (minimized), and one row per load:
+  //   free k:   load_k - n_k * u <= 0
+  //   fixed k:  load_k           <= level_k * n_k   (u coefficient removed)
+  // Rounds and probes mutate coefficients/bounds/rhs in place — the shape
+  // never changes, so every solve can warm-start from the previous basis.
+  LpProblem p = base;
+  for (int j = 0; j < p.num_columns(); ++j) p.set_objective_coeff(j, 0.0);
+  const int u_column = p.add_column(1.0, 0.0, kInfinity, "u");
+  const int first_load_row = p.num_rows();
+  for (std::size_t k = 0; k < k_total; ++k) {
+    std::vector<RowEntry> entries = loads[k].entries;
+    entries.push_back(RowEntry{u_column, -loads[k].normalizer});
+    p.add_row(RowSense::kLessEqual, 0.0, std::move(entries), loads[k].name);
+  }
+
+  Basis basis;  // rolling warm-start hint, threaded round to round
+  if (warm != nullptr && !warm->empty()) basis = *warm;
 
   std::size_t num_fixed = 0;
   while (num_fixed < k_total && result.rounds < options_.max_rounds) {
     ++result.rounds;
-    int u_column = -1;
-    LpProblem p =
-        build_round(base, loads, fixed_level, fixed, &u_column);
-    const Solution s = solver.solve(p);
+    const Solution s = solver.solve(
+        p, options_.warm_start && !basis.empty() ? &basis : nullptr);
     result.pivots += s.iterations;
     if (!s.optimal()) {
       result.status = s.status;
       return result;
     }
+    if (options_.warm_start) basis = s.basis;
     const double level = s.x[static_cast<std::size_t>(u_column)];
     result.x.assign(s.x.begin(), s.x.begin() + base.num_columns());
 
@@ -123,7 +118,6 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
       for (std::size_t k = 0; k < k_total; ++k) {
         if (!fixed[k]) {
           fixed[k] = true;
-          fixed_level[k] = std::max(level, 0.0);
           ++num_fixed;
         }
       }
@@ -135,30 +129,47 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
     if (options_.exact_fixing) {
       // Probe: can candidate k drop strictly below `level` while all free
       // rows stay <= level? If not, it is genuinely stuck at this level.
+      // Each probe reuses the working problem (u capped at the level, the
+      // candidate's load as the objective) and warm-starts from the
+      // round's basis; the mutations are undone before the next probe.
       for (std::size_t k : candidates) {
-        int probe_u = -1;
-        LpProblem probe =
-            build_round(base, loads, fixed_level, fixed, &probe_u);
-        probe.set_bounds(probe_u, 0.0, level + options_.level_tol);
-        probe.set_objective_coeff(probe_u, 0.0);
-        // Objective: minimize load_k.
+        p.set_bounds(u_column, 0.0, level + options_.level_tol);
+        p.set_objective_coeff(u_column, 0.0);
         for (const RowEntry& e : loads[k].entries) {
-          probe.set_objective_coeff(
-              e.column, probe.objective_coeff(e.column) + e.coeff);
+          p.set_objective_coeff(e.column,
+                                p.objective_coeff(e.column) + e.coeff);
         }
-        const Solution ps = solver.solve(probe);
+        const Solution ps = solver.solve(
+            p, options_.warm_start && !basis.empty() ? &basis : nullptr);
         result.pivots += ps.iterations;
-        if (!ps.optimal() ||
-            ps.objective / loads[k].normalizer >=
-                level - options_.level_tol) {
-          to_fix.push_back(k);
+        // Undo: every structural objective coefficient is zero outside a
+        // probe, so resetting (not subtracting) is exact even when a load
+        // touches the same column twice.
+        for (const RowEntry& e : loads[k].entries) {
+          p.set_objective_coeff(e.column, 0.0);
+        }
+        p.set_objective_coeff(u_column, 1.0);
+        p.set_bounds(u_column, 0.0, kInfinity);
+        if (ps.optimal()) {
+          // A proved bound: the candidate cannot leave this level.
+          if (ps.objective / loads[k].normalizer >=
+              level - options_.level_tol) {
+            to_fix.push_back(k);
+          }
+        } else {
+          // Solver failure (iteration limit, numerics) proves nothing
+          // about the bound; fall back to the round's dual test for this
+          // candidate instead of freezing it on a failed solve.
+          ++result.probe_failures;
+          const double dual = s.duals[static_cast<std::size_t>(
+              first_load_row + static_cast<int>(k))];
+          if (std::abs(dual) > options_.dual_tol) to_fix.push_back(k);
         }
       }
     } else {
-      const int base_rows = base.num_rows();
       for (std::size_t k : candidates) {
-        const double dual =
-            s.duals[static_cast<std::size_t>(base_rows) + k];
+        const double dual = s.duals[static_cast<std::size_t>(
+            first_load_row + static_cast<int>(k))];
         if (std::abs(dual) > options_.dual_tol) to_fix.push_back(k);
       }
     }
@@ -167,20 +178,26 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
 
     for (std::size_t k : to_fix) {
       fixed[k] = true;
-      fixed_level[k] = level;
       ++num_fixed;
+      // Freeze the row in place: detach it from u and cap it at the level.
+      const int row = first_load_row + static_cast<int>(k);
+      p.set_row_coeff(row, u_column, 0.0);
+      p.set_row(row, RowSense::kLessEqual, level * loads[k].normalizer);
     }
     result.levels.push_back(level);
   }
 
   if (num_fixed < k_total) {
-    // Round budget exhausted: freeze the remainder at the last level so the
-    // reported solution is still feasible for every recorded level.
+    // Round budget exhausted: the remainder keeps its <= u constraint from
+    // the last solve, so the reported solution is feasible for every
+    // recorded level, but the profile tail is unrefined.
+    result.truncated = true;
     FT_LOG(kInfo) << "lexmin: round budget exhausted with "
                   << (k_total - num_fixed) << " rows unfixed";
   }
 
   result.status = SolveStatus::kOptimal;
+  result.final_basis = std::move(basis);
   result.load.resize(k_total);
   for (std::size_t k = 0; k < k_total; ++k) {
     double load = 0.0;

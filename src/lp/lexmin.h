@@ -52,6 +52,11 @@ struct LexMinMaxOptions {
   double level_tol = 1e-6;    // load within this of u* counts as binding
   double dual_tol = 1e-7;     // dual magnitude that forces fixing
   bool exact_fixing = false;  // probe each candidate with its own LP
+  /// Thread each round's (and probe's) final basis into the next solve and
+  /// accept a caller-provided basis for round 1. On by default — warm
+  /// starting never changes the result, only the pivot count; the switch
+  /// exists for cold-baseline benchmarking and bisection.
+  bool warm_start = true;
   SimplexOptions lp_options;
 };
 
@@ -62,6 +67,19 @@ struct LexMinMaxResult {
   std::vector<double> levels;  // distinct levels fixed, in decreasing order
   int rounds = 0;
   std::int64_t pivots = 0;  // total simplex pivots across all rounds
+  /// True when `max_rounds` ran out with rows still unfixed: the first
+  /// `levels.size()` lexicographic coordinates are exact (subject to the
+  /// header caveat) but the tail of the profile was never refined. The
+  /// solution is still feasible for every recorded level; callers that
+  /// care about plan quality should treat a truncated result as a
+  /// warning, not as the lexicographic optimum.
+  bool truncated = false;
+  /// Exact-fixing probes that did not solve to optimality and fell back to
+  /// the dual test for that candidate (solver failure, not a bound proof).
+  int probe_failures = 0;
+  /// Final simplex basis of the last round, for warm-starting the next
+  /// lexmin solve of a same-shaped instance (see LexMinMaxSolver::solve).
+  Basis final_basis;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
   /// The overall min-max value (first lexicographic coordinate).
@@ -70,16 +88,26 @@ struct LexMinMaxResult {
 
 /// Solves lexmin-max over `loads` subject to `base`'s rows and bounds.
 /// The base problem's own objective coefficients are ignored.
+///
+/// Incremental hot path: one working problem (base + u column + one row per
+/// load) is built once and mutated in place across rounds and exact-fixing
+/// probes; each solve warm-starts from the previous basis, so successive
+/// rounds cost a handful of repair pivots instead of a full two-phase
+/// solve. `warm` optionally seeds round 1 from a previous lexmin solve of a
+/// same-shaped instance (e.g. the last re-plan); a stale or mismatched hint
+/// falls back to a cold first round.
 class LexMinMaxSolver {
  public:
   explicit LexMinMaxSolver(LexMinMaxOptions options = {});
 
   LexMinMaxResult solve(const LpProblem& base,
-                        const std::vector<LoadRow>& loads) const;
+                        const std::vector<LoadRow>& loads,
+                        const Basis* warm = nullptr) const;
 
  private:
   LexMinMaxResult solve_impl(const LpProblem& base,
-                             const std::vector<LoadRow>& loads) const;
+                             const std::vector<LoadRow>& loads,
+                             const Basis* warm) const;
 
   LexMinMaxOptions options_;
 };

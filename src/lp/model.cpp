@@ -64,6 +64,21 @@ void LpProblem::set_objective_coeff(int column, double coeff) {
   columns_[static_cast<std::size_t>(column)].objective = coeff;
 }
 
+void LpProblem::set_row_coeff(int row, int column, double coeff) {
+  assert(column >= 0 && column < num_columns());
+  auto& entries = rows_[static_cast<std::size_t>(row)].entries;
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->column != column) continue;
+    if (coeff == 0.0) {
+      entries.erase(it);
+    } else {
+      it->coeff = coeff;
+    }
+    return;
+  }
+  if (coeff != 0.0) entries.push_back(RowEntry{column, coeff});
+}
+
 double LpProblem::row_value(int row, const std::vector<double>& x) const {
   const auto& r = rows_[static_cast<std::size_t>(row)];
   double value = 0.0;

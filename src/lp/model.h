@@ -41,6 +41,29 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus status);
 
+/// Snapshot of a simplex basis, for warm-starting a later solve.
+///
+/// Column indices use the solver's internal layout: [0, num_structural)
+/// are the problem's columns, [num_structural, num_structural + num_rows)
+/// the row slacks, and [num_structural + num_rows, num_structural +
+/// 2*num_rows) the phase-1 artificials (basic artificials survive only in
+/// degenerate optima, pinned at zero). `nonbasic_state` records the rest
+/// position of every column (0 = at lower bound, 1 = at upper bound,
+/// 2 = free); entries for basic columns are present but meaningless.
+///
+/// A basis is only a *hint*: SimplexSolver validates dimensions, repairs
+/// primal feasibility after data changes, and falls back to a cold solve
+/// when the hint is unusable, so callers may pass stale bases freely as
+/// long as the problem shape (rows/columns) still matches.
+struct Basis {
+  int num_rows = 0;
+  int num_structural = 0;
+  std::vector<int> basic;  // column basic in row i, one per row
+  std::vector<std::uint8_t> nonbasic_state;  // one per internal column
+
+  bool empty() const { return basic.empty(); }
+};
+
 /// Result of an LP (or MILP) solve.
 struct Solution {
   SolveStatus status = SolveStatus::kNumericalFailure;
@@ -52,6 +75,14 @@ struct Solution {
   std::int64_t phase1_iterations = 0;  // pivots spent reaching feasibility
   /// Wall time of the solve; populated only while obs is enabled.
   double solve_seconds = 0.0;
+  /// Final basis, for warm-starting the next solve of a same-shaped
+  /// problem. Empty when the solve failed before reaching a basis.
+  Basis basis;
+  /// True when a caller-provided warm basis was actually used.
+  bool warm_start_used = false;
+  /// True when a caller-provided warm basis had to be abandoned (shape
+  /// mismatch, singular, or unrepairable) and the solve restarted cold.
+  bool warm_start_fallback = false;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };
@@ -110,6 +141,11 @@ class LpProblem {
   void set_row(int row, RowSense sense, double rhs);
   void set_bounds(int column, double lower, double upper);
   void set_objective_coeff(int column, double coeff);
+  /// Sets one coefficient of an existing row: updates the entry in place,
+  /// inserts it when absent, erases it when `coeff` is zero (rows never
+  /// carry explicit zeros). Lets the lexmin driver retarget its per-load
+  /// rows in place instead of rebuilding the whole problem.
+  void set_row_coeff(int row, int column, double coeff);
 
   /// Evaluates one row's left-hand side at a point.
   double row_value(int row, const std::vector<double>& x) const;

@@ -41,38 +41,53 @@ class Engine {
     build(problem);
   }
 
-  Solution run(const LpProblem& problem) {
+  Solution run(const LpProblem& problem, const Basis* warm) {
     Solution result;
-    init_basis();
-
     const std::int64_t limit =
         options_.max_iterations > 0
             ? options_.max_iterations
             : 200LL * (w_.m + w_.n_total) + 2000;
 
-    // Phase 1: minimize the sum of artificials.
-    std::vector<double> phase1_cost(static_cast<std::size_t>(w_.n_total), 0.0);
-    for (int j = artificial_begin(); j < w_.n_total; ++j) {
-      phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+    bool warmed = false;
+    if (warm != nullptr && !warm->empty()) {
+      warmed = warm_start(*warm, limit, &result);
+      result.warm_start_used = warmed;
+      result.warm_start_fallback = !warmed;
     }
-    const SolveStatus phase1 = optimize(phase1_cost, limit, &result.iterations);
-    result.phase1_iterations = result.iterations;
-    if (phase1 != SolveStatus::kOptimal) {
-      result.status = phase1 == SolveStatus::kUnbounded
-                          ? SolveStatus::kNumericalFailure  // phase 1 bounded
-                          : phase1;
-      return result;
-    }
-    if (objective(phase1_cost) > 1e-6) {
-      result.status = SolveStatus::kInfeasible;
-      return result;
-    }
-    // Pin artificials at zero for phase 2.
-    for (int j = artificial_begin(); j < w_.n_total; ++j) {
-      w_.lb[static_cast<std::size_t>(j)] = 0.0;
-      w_.ub[static_cast<std::size_t>(j)] = 0.0;
-      if (!in_basis_[static_cast<std::size_t>(j)]) {
-        state_[static_cast<std::size_t>(j)] = NonbasicState::kAtLower;
+
+    if (!warmed) {
+      init_basis();
+
+      // Phase 1: minimize the sum of artificials.
+      std::vector<double> phase1_cost(static_cast<std::size_t>(w_.n_total),
+                                      0.0);
+      for (int j = artificial_begin(); j < w_.n_total; ++j) {
+        phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+      }
+      const SolveStatus phase1 =
+          optimize(phase1_cost, limit, &result.iterations);
+      result.phase1_iterations = result.iterations;
+      if (phase1 != SolveStatus::kOptimal) {
+        result.status = phase1 == SolveStatus::kUnbounded
+                            ? SolveStatus::kNumericalFailure  // phase 1 bounded
+                            : phase1;
+        return result;
+      }
+      // The phase-1 optimum is a residual: it only proves infeasibility
+      // when it is nonzero *relative to the problem's scale*. A hard-coded
+      // absolute cutoff misclassifies large-RHS formulations (residual
+      // roundoff grows with ‖b‖) as infeasible.
+      if (objective(phase1_cost) > infeasibility_threshold()) {
+        result.status = SolveStatus::kInfeasible;
+        return result;
+      }
+      // Pin artificials at zero for phase 2.
+      for (int j = artificial_begin(); j < w_.n_total; ++j) {
+        w_.lb[static_cast<std::size_t>(j)] = 0.0;
+        w_.ub[static_cast<std::size_t>(j)] = 0.0;
+        if (!in_basis_[static_cast<std::size_t>(j)]) {
+          state_[static_cast<std::size_t>(j)] = NonbasicState::kAtLower;
+        }
       }
     }
 
@@ -83,6 +98,7 @@ class Engine {
         phase2 != SolveStatus::kIterationLimit) {
       return result;
     }
+    result.basis = capture_basis();
 
     // Extract primal values for structural columns.
     std::vector<double> full = current_point();
@@ -199,6 +215,10 @@ class Engine {
       const double r = residual[static_cast<std::size_t>(i)];
       const double sign = r < 0.0 ? -1.0 : 1.0;
       const int art = artificial_begin() + i;
+      // A failed warm-start attempt leaves artificials pinned at zero;
+      // phase 1 needs their full range back.
+      w_.lb[static_cast<std::size_t>(art)] = 0.0;
+      w_.ub[static_cast<std::size_t>(art)] = kInfinity;
       w_.cols[static_cast<std::size_t>(art)].clear();
       w_.cols[static_cast<std::size_t>(art)].push_back(ColEntry{i, sign});
       basis_[static_cast<std::size_t>(i)] = art;
@@ -206,6 +226,247 @@ class Engine {
       binv_at(i, i) = sign;  // B = diag(sign) => B^{-1} = diag(sign)
       xb_[static_cast<std::size_t>(i)] = std::abs(r);
     }
+  }
+
+  // Phase-1 residual above which the problem is declared infeasible,
+  // scaled by the RHS magnitude so the test is invariant under row scaling.
+  // The 10x headroom keeps the default (1e-6 for ‖b‖∞ <= 1) identical to
+  // the solver's historical absolute cutoff.
+  double infeasibility_threshold() const {
+    double b_norm = 0.0;
+    for (int i = 0; i < w_.m; ++i) {
+      b_norm = std::max(b_norm, std::abs(w_.b[static_cast<std::size_t>(i)]));
+    }
+    return 10.0 * options_.feasibility_tol * std::max(1.0, b_norm);
+  }
+
+  Basis capture_basis() const {
+    Basis basis;
+    basis.num_rows = w_.m;
+    basis.num_structural = w_.n_struct;
+    basis.basic.assign(basis_.begin(), basis_.end());
+    basis.nonbasic_state.resize(static_cast<std::size_t>(w_.n_total));
+    for (int j = 0; j < w_.n_total; ++j) {
+      basis.nonbasic_state[static_cast<std::size_t>(j)] =
+          static_cast<std::uint8_t>(state_[static_cast<std::size_t>(j)]);
+    }
+    return basis;
+  }
+
+  // Installs a hinted basis: validates dimensions, refactorizes, and
+  // repairs primal feasibility if the data changed under the basis.
+  // Returns false (leaving the engine ready for init_basis) when the hint
+  // is unusable; `result` accumulates the repair pivots either way.
+  bool warm_start(const Basis& hint, std::int64_t limit, Solution* result) {
+    if (hint.num_rows != w_.m || hint.num_structural != w_.n_struct ||
+        static_cast<int>(hint.basic.size()) != w_.m ||
+        static_cast<int>(hint.nonbasic_state.size()) != w_.n_total) {
+      return false;
+    }
+    const auto n = static_cast<std::size_t>(w_.n_total);
+    in_basis_.assign(n, false);
+    basis_.assign(static_cast<std::size_t>(w_.m), -1);
+    state_.assign(n, NonbasicState::kAtLower);
+    // Artificials exist only to carry a cold phase 1; under a warm start
+    // they are pinned at zero from the outset (a hinted basic artificial
+    // keeps its fixed [0,0] range and the repair pass handles the rest).
+    for (int i = 0; i < w_.m; ++i) {
+      const int art = artificial_begin() + i;
+      w_.cols[static_cast<std::size_t>(art)].clear();
+      w_.cols[static_cast<std::size_t>(art)].push_back(ColEntry{i, 1.0});
+      w_.lb[static_cast<std::size_t>(art)] = 0.0;
+      w_.ub[static_cast<std::size_t>(art)] = 0.0;
+    }
+    for (int i = 0; i < w_.m; ++i) {
+      const int j = hint.basic[static_cast<std::size_t>(i)];
+      if (j < 0 || j >= w_.n_total || in_basis_[static_cast<std::size_t>(j)]) {
+        return false;
+      }
+      basis_[static_cast<std::size_t>(i)] = j;
+      in_basis_[static_cast<std::size_t>(j)] = true;
+    }
+    for (int j = 0; j < w_.n_total; ++j) {
+      if (in_basis_[static_cast<std::size_t>(j)]) continue;
+      const auto raw = hint.nonbasic_state[static_cast<std::size_t>(j)];
+      NonbasicState s = raw <= 2 ? static_cast<NonbasicState>(raw)
+                                 : NonbasicState::kAtLower;
+      // Bounds may have changed since the snapshot; an infinite rest
+      // position is meaningless, so re-derive it from the current bounds.
+      if ((s == NonbasicState::kAtLower &&
+           !std::isfinite(w_.lb[static_cast<std::size_t>(j)])) ||
+          (s == NonbasicState::kAtUpper &&
+           !std::isfinite(w_.ub[static_cast<std::size_t>(j)]))) {
+        rest_nonbasic(j);
+      } else {
+        state_[static_cast<std::size_t>(j)] = s;
+      }
+    }
+    binv_.assign(static_cast<std::size_t>(w_.m) * w_.m, 0.0);
+    xb_.resize(static_cast<std::size_t>(w_.m));
+    if (!refactorize()) {
+      // A stale hint can be singular against the current matrix (e.g. a
+      // coefficient edit emptied a basic column). Swap the dependent
+      // columns for row artificials and retry — the repair pass below then
+      // acts as a phase 1 restricted to the patched rows.
+      patch_singular_basis();
+      if (!refactorize()) return false;
+    }
+    return repair_primal_feasibility(limit, result);
+  }
+
+  // Finds the linearly dependent columns of the current basis and replaces
+  // each with the artificial of a row no independent column pivots on, so
+  // the basis becomes nonsingular by construction. Displaced columns rest
+  // at a bound. Called only on the warm-start path, where the artificials
+  // are pinned at [0, 0]: any value the patched artificial has to carry
+  // shows up as a bound violation for repair_primal_feasibility to clear.
+  void patch_singular_basis() {
+    const int m = w_.m;
+    std::vector<std::vector<double>> reduced;  // accepted columns, reduced
+    std::vector<int> pivot_rows;
+    std::vector<char> row_used(static_cast<std::size_t>(m), 0);
+    std::vector<int> dependent;
+    for (int p = 0; p < m; ++p) {
+      std::vector<double> v(static_cast<std::size_t>(m), 0.0);
+      const int j = basis_[static_cast<std::size_t>(p)];
+      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+        v[static_cast<std::size_t>(e.row)] = e.coeff;
+      }
+      for (std::size_t k = 0; k < reduced.size(); ++k) {
+        const int r = pivot_rows[k];
+        const double f = v[static_cast<std::size_t>(r)] /
+                         reduced[k][static_cast<std::size_t>(r)];
+        if (f == 0.0) continue;
+        for (int i = 0; i < m; ++i) {
+          v[static_cast<std::size_t>(i)] -=
+              f * reduced[k][static_cast<std::size_t>(i)];
+        }
+      }
+      int pivot = -1;
+      double best = options_.pivot_tol;
+      for (int i = 0; i < m; ++i) {
+        if (row_used[static_cast<std::size_t>(i)]) continue;
+        if (std::abs(v[static_cast<std::size_t>(i)]) > best) {
+          best = std::abs(v[static_cast<std::size_t>(i)]);
+          pivot = i;
+        }
+      }
+      if (pivot < 0) {
+        dependent.push_back(p);
+        continue;
+      }
+      row_used[static_cast<std::size_t>(pivot)] = 1;
+      reduced.push_back(std::move(v));
+      pivot_rows.push_back(pivot);
+    }
+    int next_free_row = 0;
+    for (const int p : dependent) {
+      while (row_used[static_cast<std::size_t>(next_free_row)]) {
+        ++next_free_row;
+      }
+      const int old = basis_[static_cast<std::size_t>(p)];
+      in_basis_[static_cast<std::size_t>(old)] = false;
+      rest_nonbasic(old);
+      // The uncovered row's artificial cannot already be basic: it would
+      // have pivoted on that row.
+      const int art = artificial_begin() + next_free_row;
+      row_used[static_cast<std::size_t>(next_free_row)] = 1;
+      basis_[static_cast<std::size_t>(p)] = art;
+      in_basis_[static_cast<std::size_t>(art)] = true;
+    }
+  }
+
+  // The hinted basis solves B x_B = b - N x_N exactly, but data changes
+  // (rhs, bounds, coefficients) may have pushed basic values outside their
+  // bounds. Relax only the violated variables' offending bound and minimize
+  // a cost that pushes each one back toward its range — phase 1 restricted
+  // to the actual violations. Returns false when the violation cannot be
+  // driven out (caller falls back to a cold solve, which settles
+  // feasibility authoritatively).
+  bool repair_primal_feasibility(std::int64_t limit, Solution* result) {
+    const double tol = options_.feasibility_tol;
+    struct Relaxed {
+      int column;
+      double lb, ub;    // true bounds, restored after the pass
+      double direction; // +1: came down toward ub, -1: came up toward lb
+    };
+    // The linear repair objective can trade one variable's violation
+    // against another's depth inside its range, so a single pass is not
+    // always enough; refreshed violation sets settle the common cases and
+    // anything deeper falls back to a cold solve.
+    for (int pass = 0; pass < 3; ++pass) {
+      std::vector<Relaxed> relaxed;
+      std::vector<double> repair_cost;
+      for (int i = 0; i < w_.m; ++i) {
+        const int j = basis_[static_cast<std::size_t>(i)];
+        const double v = xb_[static_cast<std::size_t>(i)];
+        const double lo = w_.lb[static_cast<std::size_t>(j)];
+        const double hi = w_.ub[static_cast<std::size_t>(j)];
+        const double scale = 1.0 + std::abs(v);
+        double direction = 0.0;
+        if (v > hi + tol * scale) {
+          direction = +1.0;  // too high: minimize it back down
+        } else if (v < lo - tol * scale) {
+          direction = -1.0;  // too low: maximize it back up
+        } else {
+          continue;
+        }
+        if (repair_cost.empty()) {
+          repair_cost.assign(static_cast<std::size_t>(w_.n_total), 0.0);
+        }
+        relaxed.push_back(Relaxed{j, lo, hi, direction});
+        repair_cost[static_cast<std::size_t>(j)] = direction;
+        // Swap in a temporary box whose finite end is the violated bound:
+        // the cost drives the variable exactly back to it and no further,
+        // which also keeps the repair objective bounded (relaxing to an
+        // open ray can make the repair LP unbounded through compensating
+        // variables).
+        if (direction > 0.0) {
+          w_.lb[static_cast<std::size_t>(j)] = hi;  // box [ub, inf)
+          w_.ub[static_cast<std::size_t>(j)] = kInfinity;
+        } else {
+          w_.lb[static_cast<std::size_t>(j)] = -kInfinity;  // box (-inf, lb]
+          w_.ub[static_cast<std::size_t>(j)] = lo;
+        }
+      }
+      if (relaxed.empty()) return true;  // primal feasible
+
+      std::int64_t repair_iterations = 0;
+      const SolveStatus status =
+          optimize(repair_cost, limit, &repair_iterations);
+      result->iterations += repair_iterations;
+      result->phase1_iterations += repair_iterations;
+      for (const Relaxed& r : relaxed) {
+        const auto j = static_cast<std::size_t>(r.column);
+        if (!in_basis_[j]) {
+          // Parked on the finite end of the temporary box — numerically the
+          // *opposite* true bound. Rename the rest state so restoring the
+          // box keeps the variable's value unchanged.
+          if (r.direction > 0.0 && state_[j] == NonbasicState::kAtLower) {
+            state_[j] = NonbasicState::kAtUpper;  // value ub, was temp lb
+          } else if (r.direction < 0.0 &&
+                     state_[j] == NonbasicState::kAtUpper) {
+            state_[j] = NonbasicState::kAtLower;  // value lb, was temp ub
+          }
+        }
+        w_.lb[j] = r.lb;
+        w_.ub[j] = r.ub;
+      }
+      if (status != SolveStatus::kOptimal) return false;
+      // Nonbasic variables are back on true bounds after the renaming
+      // above; only basic values can still violate, which the next pass
+      // re-collects.
+    }
+    for (int i = 0; i < w_.m; ++i) {
+      const int j = basis_[static_cast<std::size_t>(i)];
+      const double v = xb_[static_cast<std::size_t>(i)];
+      const double scale = 1.0 + std::abs(v);
+      if (v > w_.ub[static_cast<std::size_t>(j)] + tol * scale ||
+          v < w_.lb[static_cast<std::size_t>(j)] - tol * scale) {
+        return false;
+      }
+    }
+    return true;
   }
 
   double& binv_at(int i, int k) {
@@ -353,19 +614,39 @@ class Engine {
       const std::vector<double> y = compute_duals(cost);
       const bool bland = degenerate_run > options_.degenerate_before_bland;
 
-      // Pricing.
+      // Pricing. Reduced costs are evaluated lazily: columns are scanned in
+      // rotating sections of `section` and the best violated candidate of
+      // the first section containing one enters. Optimality is declared
+      // only after a whole wrap finds no candidate, so partial pricing
+      // changes the pivot sequence, never the answer. Bland's rule needs
+      // the lowest eligible index for its termination guarantee and scans
+      // from zero.
+      const int section =
+          options_.pricing_section > 0
+              ? options_.pricing_section
+              : std::max(64, w_.n_total / 8);
       int entering = -1;
       double best_violation = options_.optimality_tol;
       int direction = +1;
-      for (int j = 0; j < w_.n_total; ++j) {
-        if (in_basis_[static_cast<std::size_t>(j)]) continue;
-        const double lo = w_.lb[static_cast<std::size_t>(j)];
-        const double hi = w_.ub[static_cast<std::size_t>(j)];
+      int scanned = 0;
+      int j = bland ? 0 : pricing_cursor_;
+      if (j >= w_.n_total) j = 0;
+      for (; scanned < w_.n_total; ++scanned) {
+        const int col = j;
+        ++j;
+        if (j == w_.n_total) j = 0;
+        if (!bland && entering >= 0 && scanned % section == 0 &&
+            scanned > 0) {
+          break;  // section boundary with a candidate in hand
+        }
+        if (in_basis_[static_cast<std::size_t>(col)]) continue;
+        const double lo = w_.lb[static_cast<std::size_t>(col)];
+        const double hi = w_.ub[static_cast<std::size_t>(col)];
         if (lo == hi) continue;  // fixed variable never enters
-        const double d = reduced_cost(j, cost, y);
+        const double d = reduced_cost(col, cost, y);
         int dir = 0;
         double violation = 0.0;
-        switch (state_[static_cast<std::size_t>(j)]) {
+        switch (state_[static_cast<std::size_t>(col)]) {
           case NonbasicState::kAtLower:
             if (d < -options_.optimality_tol) {
               dir = +1;
@@ -387,16 +668,17 @@ class Engine {
         }
         if (dir == 0) continue;
         if (bland) {  // first eligible index
-          entering = j;
+          entering = col;
           direction = dir;
           break;
         }
         if (violation > best_violation) {
           best_violation = violation;
-          entering = j;
+          entering = col;
           direction = dir;
         }
       }
+      if (!bland) pricing_cursor_ = j;
       if (entering < 0) return SolveStatus::kOptimal;
 
       ftran(entering, w);
@@ -409,6 +691,7 @@ class Engine {
       double t_best = std::isfinite(own_gap) ? own_gap : kInfinity;
       int leaving_row = -1;       // -1 => bound flip
       bool leaving_at_upper = false;
+      double best_pivot_mag = 0.0;  // |w_i| of the current leaving row
       for (int i = 0; i < w_.m; ++i) {
         const double rate = -direction * w[static_cast<std::size_t>(i)];
         if (std::abs(rate) <= options_.pivot_tol) continue;
@@ -431,12 +714,23 @@ class Engine {
         }
         if (t_i < -options_.feasibility_tol) t_i = 0.0;  // clamp tiny drift
         t_i = std::max(t_i, 0.0);
-        if (t_i < t_best - 1e-12 ||
-            (bland && leaving_row >= 0 && t_i <= t_best + 1e-12 &&
-             bj < basis_[static_cast<std::size_t>(leaving_row)])) {
-          t_best = t_i;
+        if (!std::isfinite(t_i)) continue;
+        // Among (near-)equal ratios — the norm in degenerate scheduling
+        // LPs — prefer the largest |pivot|: near-singular pivots poison
+        // the updated inverse and force refactorize churn. Under Bland's
+        // rule the lowest basic index wins instead (termination proof).
+        bool take = false;
+        if (t_i < t_best - 1e-12) {
+          take = true;
+        } else if (t_i <= t_best + 1e-12 && leaving_row >= 0) {
+          take = bland ? bj < basis_[static_cast<std::size_t>(leaving_row)]
+                       : std::abs(rate) > best_pivot_mag;
+        }
+        if (take) {
+          t_best = std::min(t_best, t_i);
           leaving_row = i;
           leaving_at_upper = hits_upper;
+          best_pivot_mag = std::abs(rate);
         }
       }
 
@@ -502,6 +796,7 @@ class Engine {
 
   SimplexOptions options_;
   Working w_;
+  int pricing_cursor_ = 0;             // partial-pricing scan position
   std::vector<int> basis_;             // column basic in each row
   std::vector<bool> in_basis_;         // per column
   std::vector<NonbasicState> state_;   // per column, meaningful if nonbasic
@@ -513,8 +808,9 @@ class Engine {
 
 SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
-Solution SimplexSolver::solve(const LpProblem& problem) const {
-  if (!obs::enabled()) return solve_impl(problem);
+Solution SimplexSolver::solve(const LpProblem& problem,
+                              const Basis* warm) const {
+  if (!obs::enabled()) return solve_impl(problem, warm);
 
   Solution result;
   {
@@ -523,13 +819,17 @@ Solution SimplexSolver::solve(const LpProblem& problem) const {
     obs::ScopedTimer timer(
         &result.solve_seconds,
         &obs::registry().histogram("lp.simplex.solve_seconds"));
-    result = solve_impl(problem);
+    result = solve_impl(problem, warm);
   }
   obs::Registry& reg = obs::registry();
   reg.counter("lp.simplex.solves").add();
   reg.counter("lp.simplex.pivots").add(result.iterations);
   if (result.status == SolveStatus::kInfeasible) {
     reg.counter("lp.simplex.infeasible").add();
+  }
+  if (result.warm_start_used) reg.counter("lp.simplex.warm_starts").add();
+  if (result.warm_start_fallback) {
+    reg.counter("lp.simplex.warm_start_fallbacks").add();
   }
   obs::emit(obs::TraceEvent("simplex_solve")
                 .field("rows", problem.num_rows())
@@ -540,11 +840,14 @@ Solution SimplexSolver::solve(const LpProblem& problem) const {
                 .field("phase2_iters",
                        result.iterations - result.phase1_iterations)
                 .field("objective", result.objective)
+                .field("warm_start", result.warm_start_used)
+                .field("warm_start_fallback", result.warm_start_fallback)
                 .field("wall_s", result.solve_seconds));
   return result;
 }
 
-Solution SimplexSolver::solve_impl(const LpProblem& problem) const {
+Solution SimplexSolver::solve_impl(const LpProblem& problem,
+                                   const Basis* warm) const {
   if (problem.num_rows() == 0) {
     // Pure bound problem: each variable rests at whichever bound minimizes.
     Solution result;
@@ -572,7 +875,7 @@ Solution SimplexSolver::solve_impl(const LpProblem& problem) const {
     return result;
   }
   Engine engine(problem, options_);
-  return engine.run(problem);
+  return engine.run(problem, warm);
 }
 
 }  // namespace flowtime::lp

@@ -18,8 +18,17 @@
 //   * Phase 1 uses artificial variables and minimizes their sum; phase 2
 //     fixes artificials at zero and optimizes the true objective from the
 //     phase-1 basis.
-//   * Dantzig pricing with automatic fallback to Bland's rule after a run of
-//     degenerate pivots, which guarantees termination.
+//   * Dantzig pricing over a rotating candidate section (partial pricing)
+//     with automatic fallback to Bland's rule after a run of degenerate
+//     pivots, which guarantees termination.
+//   * Warm starts: a Solution carries the final Basis; a later solve of a
+//     same-shaped problem may pass it back. The engine refactorizes the
+//     hinted basis and, when data changes left it primal infeasible, runs a
+//     repair phase that relaxes only the violated variables' bounds and
+//     drives the violation out — far cheaper than the all-artificial
+//     phase 1. Unusable hints (shape mismatch, singular basis, repair
+//     failure) fall back to a cold solve, so warm starting never changes
+//     the result, only the pivot count.
 #pragma once
 
 #include <cstdint>
@@ -36,19 +45,33 @@ struct SimplexOptions {
   std::int64_t max_iterations = 0; // 0 = auto: 200 * (rows + cols) + 2000
   int refactor_interval = 128;     // rebuild basis inverse every N pivots
   int degenerate_before_bland = 32;
+  /// Partial pricing: per pivot, columns are scanned in sections of this
+  /// size (rotating through the column space) and the best violated
+  /// candidate of the first non-empty section enters. Optimality is only
+  /// declared after a full empty wrap. 0 = auto: max(64, columns / 8);
+  /// small problems therefore still see full Dantzig pricing.
+  int pricing_section = 0;
 };
 
 /// Solves `problem` (minimization). The returned Solution carries primal
-/// values, row activities, duals (phase-2 y vector, one per row) and the
-/// pivot count. Thread-compatible: one solver instance per thread.
+/// values, row activities, duals (phase-2 y vector, one per row), the
+/// pivot count and the final basis. Thread-compatible: one solver instance
+/// per thread.
 class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {});
 
-  Solution solve(const LpProblem& problem) const;
+  /// Cold solve.
+  Solution solve(const LpProblem& problem) const {
+    return solve(problem, nullptr);
+  }
+
+  /// Solve with an optional warm-start basis (may be null or stale; see the
+  /// header comment — a bad hint costs one fallback, never correctness).
+  Solution solve(const LpProblem& problem, const Basis* warm) const;
 
  private:
-  Solution solve_impl(const LpProblem& problem) const;
+  Solution solve_impl(const LpProblem& problem, const Basis* warm) const;
 
   SimplexOptions options_;
 };
