@@ -1,0 +1,94 @@
+// Fig. 10 (extension) — deadline misses under injected faults.
+//
+// The paper evaluates FlowTime on a healthy cluster; this bench extends the
+// robustness story (§III-A names estimation error and load churn as design
+// requirements) to machine churn and task failures. Every run injects the
+// same deterministic fault plan — a mid-run machine outage plus a Bernoulli
+// per-slot task-failure hazard of the given intensity — and compares
+// FlowTime's recovery (capacity-change + task-failure re-plans, deadline
+// renegotiation) against the Morpheus and Rayon baselines under identical
+// faults and milestones. Feeds the EXPERIMENTS.md fault-recovery table.
+#include <cstdio>
+#include <string>
+
+#include "bench_trace.h"
+
+#include "sched/experiment.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int main(int argc, char** argv) {
+  if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
+  using namespace flowtime;
+  using workload::ResourceVec;
+
+  sched::ExperimentConfig config;
+  config.sim.cluster.capacity = ResourceVec{500.0, 1024.0};
+  config.sim.max_horizon_s = 8.0 * 3600.0;
+  config.flowtime.cluster.capacity = config.sim.cluster.capacity;
+  config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
+  config.schedulers = {"FlowTime", "Morpheus", "Rayon"};
+
+  workload::Fig4Config fig4;
+  fig4.num_workflows = 3;
+  fig4.jobs_per_workflow = 12;
+  fig4.workflow_start_spread_s = 400.0;
+  fig4.workflow.cluster.capacity = config.sim.cluster.capacity;
+  fig4.workflow.looseness_min = 4.0;
+  fig4.workflow.looseness_max = 6.0;
+  fig4.adhoc.rate_per_s = 0.10;
+  fig4.adhoc.horizon_s = 1200.0;
+  fig4.adhoc.min_tasks = 10;
+  fig4.adhoc.max_tasks = 40;
+  const workload::Scenario scenario = workload::make_fig4_scenario(31, fig4);
+
+  std::printf("=== Fig. 10 (extension): recovery under injected faults ===\n");
+  std::printf(
+      "Hazard h: per-slot task-failure probability (half the work lost, "
+      "3-slot backoff, <=3 retries). Every run also loses a 100-core "
+      "machine for 50 slots. 36 deadline jobs, shared milestones.\n\n");
+
+  util::Table table({"hazard", "sched", "wf_missed", "job_missed", "fails",
+                     "retries", "adhoc_s", "replans"});
+  for (const double hazard : {0.0, 0.001, 0.002, 0.005, 0.01, 0.02}) {
+    fault::FaultPlan plan;
+    plan.seed = 1234;
+    fault::MachineFault outage;
+    outage.down_slot = 60;
+    outage.up_slot = 110;
+    outage.capacity = ResourceVec{100.0, 205.0};
+    plan.machines.push_back(outage);
+    plan.hazard.prob_per_slot = hazard;
+    plan.hazard.lost_fraction = 0.5;
+    plan.hazard.backoff_slots = 3;
+    plan.hazard.max_retries = 3;
+    config.sim.fault_plan = plan;
+
+    const auto outcomes = sched::run_comparison(scenario, config);
+    for (const auto& outcome : outcomes) {
+      table.begin_row()
+          .add(hazard, 3)
+          .add(outcome.name)
+          .add(static_cast<std::int64_t>(outcome.deadlines.workflows_missed))
+          .add(static_cast<std::int64_t>(outcome.deadlines.jobs_missed))
+          .add(static_cast<std::int64_t>(outcome.result.faults.task_failures))
+          .add(static_cast<std::int64_t>(outcome.result.faults.task_retries))
+          .add(outcome.adhoc.mean_turnaround_s, 1)
+          .add(static_cast<std::int64_t>(outcome.replans));
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: the h=0 outage alone is absorbed by everyone "
+      "(FlowTime via a capacity_change re-plan, the baselines by running "
+      "degraded). As h grows, no scheduler misses a WORKFLOW deadline — "
+      "FlowTime renegotiates windows after each failure — but per-JOB "
+      "milestone slips appear for FlowTime first: it runs work "
+      "just-in-time against the milestones, so a fault near a window's "
+      "end has no slack left, while ASAP baselines sit far ahead of the "
+      "same milestones. Ad-hoc turnaround stays essentially flat for "
+      "every scheduler: retries are absorbed by re-plans (FlowTime) or "
+      "spare capacity (baselines), not taken out of ad-hoc jobs.\n");
+  flowtime::bench::finish_trace_out();
+  return 0;
+}

@@ -15,6 +15,8 @@
 //                        as JSONL (see DESIGN.md "Observability")
 //   --prom-out PATH      write the final metric registry to PATH in the
 //                        Prometheus text exposition format
+//   --fault-seed N       override the fault plan's RNG seed (scenario files
+//                        declare faults with the fault* directives)
 //   --dump-example       print a commented example scenario and exit
 #include <cstdio>
 
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
   const std::string csv_prefix = flags.get_string("csv-prefix", "");
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string prom_out = flags.get_string("prom-out", "");
+  const double fault_seed = flags.get_double("fault-seed", -1.0);
   for (const std::string& typo : flags.unqueried()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
   }
@@ -91,6 +94,10 @@ int main(int argc, char** argv) {
   if (parsed->cluster) {
     config.sim.cluster.capacity = parsed->cluster->capacity;
     config.sim.cluster.slot_seconds = parsed->cluster->slot_seconds;
+  }
+  config.sim.fault_plan = parsed->fault_plan;
+  if (fault_seed >= 0.0) {
+    config.sim.fault_plan.seed = static_cast<std::uint64_t>(fault_seed);
   }
   config.flowtime.cluster.capacity = config.sim.cluster.capacity;
   config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
@@ -128,6 +135,19 @@ int main(int argc, char** argv) {
         .add(std::string(outcome.result.all_completed ? "all" : "PARTIAL"));
   }
   std::printf("%s", table.to_string().c_str());
+  if (!config.sim.fault_plan.empty()) {
+    std::printf("\nFault injection (seed %llu):\n",
+                static_cast<unsigned long long>(config.sim.fault_plan.seed));
+    for (const auto& outcome : outcomes) {
+      const fault::FaultLog& log = outcome.result.faults;
+      std::printf(
+          "  %-12s machine down/up %d/%d, capacity changes %d, task "
+          "failures %d (retried %d), stragglers %d, noised jobs %d\n",
+          outcome.name.c_str(), log.machine_downs, log.machine_ups,
+          log.capacity_changes, log.task_failures, log.task_retries,
+          log.stragglers, log.noised_jobs);
+    }
+  }
   if (!prom_out.empty()) {
     sim::write_file(prom_out,
                     obs::render_prometheus(obs::registry().snapshot()));

@@ -203,6 +203,44 @@ int main(int argc, char** argv) {
         percentile(replan_wall_s, 1.0) * 1e3);
   }
 
+  // --- fault injection ---------------------------------------------------
+  std::map<std::string, int> fault_kinds;     // fault_injected by kind
+  std::map<int, int> faults_per_workflow;     // task failures + stragglers
+  std::map<int, int> retries_per_workflow;
+  int task_retries = 0;
+  int capacity_changes = 0;
+  for (const TraceRecord& record : events) {
+    const std::string type = as_string(record, "type");
+    if (type == "fault_injected") {
+      const std::string kind = as_string(record, "kind", "?");
+      ++fault_kinds[kind];
+      if (kind == "task_failure" || kind == "straggler") {
+        ++faults_per_workflow[static_cast<int>(
+            as_double(record, "workflow", -1.0))];
+      }
+    } else if (type == "task_retry") {
+      ++task_retries;
+      ++retries_per_workflow[static_cast<int>(
+          as_double(record, "workflow", -1.0))];
+    } else if (type == "capacity_change") {
+      ++capacity_changes;
+    }
+  }
+  if (!fault_kinds.empty() || task_retries > 0 || capacity_changes > 0) {
+    std::printf("\nFault injection:\n");
+    for (const auto& [kind, count] : fault_kinds) {
+      std::printf("  injected %-18s %d\n", kind.c_str(), count);
+    }
+    std::printf("  capacity changes      %d\n", capacity_changes);
+    std::printf("  task retries          %d\n", task_retries);
+    for (const auto& [workflow, count] : faults_per_workflow) {
+      std::printf("  workflow %-3d faults %d, retries %d\n", workflow, count,
+                  retries_per_workflow.count(workflow)
+                      ? retries_per_workflow[workflow]
+                      : 0);
+    }
+  }
+
   // --- deadline risk -----------------------------------------------------
   std::map<std::string, int> risk_counts;  // "entity/level" -> transitions
   // workflow id -> worst level seen (0 ok, 1 warn, 2 breach)

@@ -198,6 +198,25 @@ void AdmissionController::forget_workflow(int workflow_id, double now_s) {
   }
 }
 
+void AdmissionController::on_capacity_change(
+    const workload::ResourceVec& new_capacity, double now_s) {
+  if (workload::fits_within(new_capacity, config_.cluster.capacity, 1e-9) &&
+      workload::fits_within(config_.cluster.capacity, new_capacity, 1e-9)) {
+    return;  // no change
+  }
+  config_.cluster.capacity = new_capacity;
+  if (obs::enabled()) {
+    obs::registry().counter("core.admission.capacity_changes").add();
+    obs::TraceEvent event("capacity_change");
+    event.field("component", "admission").field("now_s", now_s);
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      event.field(std::string("capacity_") + workload::resource_name(r),
+                  new_capacity[r]);
+    }
+    obs::emit(event);
+  }
+}
+
 bool AdmissionController::verify_cluster(
     const workload::ClusterSpec& authoritative) const {
   if (workload::approx_equal(config_.cluster, authoritative)) return true;

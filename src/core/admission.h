@@ -28,16 +28,6 @@ struct AdmissionConfig {
   /// a candidate is admitted only if the deadline plan fits the rest.
   double deadline_cap_fraction = 1.0;
   DecompositionMode decomposition_mode = DecompositionMode::kResourceDemand;
-
-  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
-  /// `cluster.slot_seconds`.
-  [[deprecated("use cluster.capacity")]] workload::ResourceVec&
-  cluster_capacity() {
-    return cluster.capacity;
-  }
-  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
-    return cluster.slot_seconds;
-  }
 };
 
 struct AdmissionDecision {
@@ -70,6 +60,13 @@ class AdmissionController {
 
   /// Drops a whole workflow (finished or cancelled).
   void forget_workflow(int workflow_id, double now_s = 0.0);
+
+  /// The cluster's effective capacity changed (machine failure/recovery).
+  /// Future admission checks run against the new capacity — a shrunken
+  /// cluster admits less; a recovered one admits more. `new_capacity` is
+  /// in resource units (cores, GB), like ClusterSpec::capacity.
+  void on_capacity_change(const workload::ResourceVec& new_capacity,
+                          double now_s = 0.0);
 
   /// Number of distinct workflows currently tracked.
   int admitted_workflows() const;

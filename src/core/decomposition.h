@@ -41,12 +41,6 @@ enum class DecompositionMode {
 struct DecompositionConfig {
   workload::ClusterSpec cluster;
   DecompositionMode mode = DecompositionMode::kResourceDemand;
-
-  /// Deprecated pre-ClusterSpec spelling; use `cluster.capacity`.
-  [[deprecated("use cluster.capacity")]] workload::ResourceVec&
-  cluster_capacity() {
-    return cluster.capacity;
-  }
 };
 
 /// Absolute execution window of one job: the job may run in

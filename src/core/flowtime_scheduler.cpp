@@ -27,6 +27,8 @@ std::string to_string(ReplanCause causes) {
   append(ReplanCause::kOverrun, "overrun");
   append(ReplanCause::kPlanExhausted, "plan_exhausted");
   append(ReplanCause::kStalePlan, "stale_plan");
+  append(ReplanCause::kCapacityChange, "capacity_change");
+  append(ReplanCause::kTaskFailure, "task_failure");
   if (out.empty()) out = "none";
   return out;
 }
@@ -130,6 +132,7 @@ void FlowTimeScheduler::on_workflow_arrival(
     job_deadlines_[job.ref] = window.deadline_s;
   }
   decompositions_[workflow.id] = std::move(decomposition);
+  workflows_[workflow.id] = workflow;  // kept for fault re-decomposition
   mark_dirty(ReplanCause::kWorkflowArrival);
 }
 
@@ -163,6 +166,94 @@ void FlowTimeScheduler::on_job_complete(sim::JobUid uid, double now_s) {
     mark_dirty(ReplanCause::kDeviation);
   }
   plan_.erase(uid);
+}
+
+void FlowTimeScheduler::on_capacity_change(double now_s,
+                                           const sim::ResourceVec& capacity) {
+  // The next allocate() snapshot carries the new capacity, so the re-plan
+  // automatically flattens the remaining deadline work under it (SV: C_t^r
+  // may vary). A failure shrinks the budget — the LP may now need late
+  // extensions; a recovery widens it — the plan can relax again.
+  (void)now_s;
+  (void)capacity;
+  mark_dirty(ReplanCause::kCapacityChange);
+}
+
+void FlowTimeScheduler::on_task_failure(sim::JobUid uid, double now_s,
+                                        const sim::ResourceVec& lost_estimate,
+                                        int retry, double retry_at_s) {
+  (void)retry;
+  const auto it = deadline_jobs_.find(uid);
+  if (it == deadline_jobs_.end()) {
+    // Ad-hoc: no plan to repair; the simulator re-runs the lost work and
+    // the max-min fair sweep keeps feeding the job.
+    return;
+  }
+  DeadlineJobState& job = it->second;
+  // Re-credit the lost work and clear the overrun latch: the estimate grew
+  // back, so "estimate exhausted" no longer describes the job, and a later
+  // genuine overrun must be able to re-trigger its own re-plan.
+  job.remaining = workload::add(job.remaining, lost_estimate);
+  job.overrun = false;
+  mark_dirty(ReplanCause::kTaskFailure);
+
+  // Negative slack check: can this job still make its decomposed window,
+  // given it cannot run again before retry_at_s? If not, the per-level
+  // split this workflow arrived with is dead — fall back to critical-path
+  // decomposition (paper footnote 1) and relax every incomplete sibling's
+  // LP deadline to the fallback windows. If even those are infeasible the
+  // re-plan extends windows minimally and the deadline monitor reports the
+  // breach — renegotiation, not silent failure.
+  const double slot_s = config_.cluster.slot_seconds;
+  const double earliest_end =
+      std::max(now_s, retry_at_s) + min_slots_needed(job) * slot_s;
+  if (earliest_end <= (job.lp_deadline_slot + 1) * slot_s + kTol) return;
+  const auto wf_it = workflows_.find(job.ref.workflow_id);
+  if (wf_it == workflows_.end()) return;
+  if (decompositions_[job.ref.workflow_id].used_fallback) {
+    return;  // this workflow already runs on the fallback windows
+  }
+  DecompositionConfig decomposition_config;
+  decomposition_config.cluster = config_.cluster;
+  decomposition_config.mode = DecompositionMode::kCriticalPath;
+  const DeadlineDecomposer decomposer(decomposition_config);
+  DecompositionResult fallback = decomposer.decompose(wf_it->second);
+  if (!fallback.ok()) return;
+  fallback.used_fallback = true;
+  const int slack_slots =
+      static_cast<int>(std::round(config_.deadline_slack_s / slot_s));
+  int relaxed = 0;
+  for (auto& [other_uid, other] : deadline_jobs_) {
+    (void)other_uid;
+    if (other.complete || other.ref.workflow_id != job.ref.workflow_id) {
+      continue;
+    }
+    const JobWindow& window =
+        fallback.windows[static_cast<std::size_t>(other.ref.node)];
+    const int deadline_slot = seconds_to_deadline_slot(window.deadline_s);
+    const int lp_slot =
+        std::max(other.release_slot, deadline_slot - slack_slots);
+    if (lp_slot > other.lp_deadline_slot) {
+      other.lp_deadline_slot = lp_slot;
+      ++relaxed;
+    }
+  }
+  ++fault_redecompositions_;
+  decompositions_[job.ref.workflow_id] = std::move(fallback);
+  FT_LOG(kWarn) << "FlowTime: fault on workflow " << job.ref.workflow_id
+                << " job " << job.ref.node
+                << " left its window infeasible; re-decomposed on the "
+                   "critical path ("
+                << relaxed << " windows relaxed)";
+  if (obs::enabled()) {
+    obs::registry().counter("core.fault_redecompositions").add();
+    obs::emit(obs::TraceEvent("fault_redecompose")
+                  .field("workflow", job.ref.workflow_id)
+                  .field("node", job.ref.node)
+                  .field("now_s", now_s)
+                  .field("retry_at_s", retry_at_s)
+                  .field("relaxed_windows", relaxed));
+  }
 }
 
 const DecompositionResult* FlowTimeScheduler::decomposition(

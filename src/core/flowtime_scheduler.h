@@ -68,16 +68,6 @@ struct FlowTimeConfig {
     // levels; full lexicographic refinement is reserved for benches.
     lp.lexmin.max_rounds = 6;
   }
-
-  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
-  /// `cluster.slot_seconds`.
-  [[deprecated("use cluster.capacity")]] workload::ResourceVec&
-  cluster_capacity() {
-    return cluster.capacity;
-  }
-  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
-    return cluster.slot_seconds;
-  }
 };
 
 /// Why a re-plan was triggered. A single re-plan may coalesce several
@@ -89,6 +79,8 @@ enum class ReplanCause : unsigned {
   kOverrun = 1u << 2,          // estimate exhausted, job still running
   kPlanExhausted = 1u << 3,    // current slot past the planned horizon
   kStalePlan = 1u << 4,        // plan allocates to a not-yet-ready job
+  kCapacityChange = 1u << 5,   // machine failed or recovered mid-run
+  kTaskFailure = 1u << 6,      // a job lost work to a fault and will retry
 };
 
 inline ReplanCause operator|(ReplanCause a, ReplanCause b) {
@@ -140,6 +132,11 @@ class FlowTimeScheduler : public sim::Scheduler {
   void on_adhoc_arrival(sim::JobUid uid, double now_s,
                         const sim::ResourceVec& width) override;
   void on_job_complete(sim::JobUid uid, double now_s) override;
+  void on_capacity_change(double now_s,
+                          const sim::ResourceVec& capacity) override;
+  void on_task_failure(sim::JobUid uid, double now_s,
+                       const sim::ResourceVec& lost_estimate, int retry,
+                       double retry_at_s) override;
   std::vector<sim::Allocation> allocate(
       const sim::ClusterState& state) override;
 
@@ -167,6 +164,11 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// Re-plans whose lexmin solve was truncated by the round budget (see
   /// ReplanRecord::lexmin_truncated) since construction.
   int truncated_replans() const { return truncated_replans_; }
+
+  /// Workflows re-decomposed in critical-path mode after a fault left a
+  /// job's decomposed window infeasible (negative slack) since
+  /// construction. See on_task_failure.
+  int fault_redecompositions() const { return fault_redecompositions_; }
 
  private:
   struct DeadlineJobState {
@@ -209,6 +211,7 @@ class FlowTimeScheduler : public sim::Scheduler {
   std::int64_t total_pivots_ = 0;
   int decomposition_fallbacks_ = 0;
   int truncated_replans_ = 0;
+  int fault_redecompositions_ = 0;
   std::vector<ReplanRecord> replan_log_;
   obs::SpanId plan_span_ = obs::kNoSpan;  // current re-plan epoch
 
@@ -216,6 +219,9 @@ class FlowTimeScheduler : public sim::Scheduler {
   std::vector<sim::JobUid> adhoc_fifo_;  // arrival order
   std::map<workload::WorkflowJobRef, double> job_deadlines_;
   std::map<int, DecompositionResult> decompositions_;  // by workflow id
+  /// Arrived workflows, kept so a fault can re-decompose them (the arrival
+  /// callback only borrows its Workflow reference).
+  std::map<int, workload::Workflow> workflows_;
 
   // Current plan: allocation per uid from plan_first_slot_ onwards.
   std::map<sim::JobUid, std::vector<workload::ResourceVec>> plan_;

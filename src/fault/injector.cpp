@@ -1,0 +1,190 @@
+#include "fault/injector.h"
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flowtime::fault {
+
+namespace {
+
+void emit_capacity_change(int slot, double now_s, const char* direction,
+                          const workload::ResourceVec& effective,
+                          const workload::ResourceVec& delta) {
+  obs::registry().counter("fault.capacity_changes").add();
+  obs::TraceEvent event("capacity_change");
+  event.field("slot", slot)
+      .field("now_s", now_s)
+      .field("direction", direction);
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    event.field(std::string("capacity_") + workload::resource_name(r),
+                effective[r]);
+    event.field(std::string("delta_") + workload::resource_name(r),
+                delta[r]);
+  }
+  obs::emit(event);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             const workload::ClusterSpec& cluster)
+    : plan_(plan),
+      cluster_(cluster),
+      // Independent streams per fault family: adding machines to a plan
+      // must not shift the hazard draws of an otherwise identical run.
+      noise_rng_(plan.seed ^ 0x9e3779b97f4a7c15ull),
+      hazard_rng_(plan.seed ^ 0xc2b2ae3d27d4eb4full) {
+  machines_.reserve(plan_.machines.size());
+  for (const MachineFault& fault : plan_.machines) {
+    machines_.push_back(MachineState{fault, false, obs::kNoSpan});
+  }
+  for (const TaskFault& fault : plan_.task_faults) {
+    task_faults_by_slot_.emplace(fault.slot, fault);
+  }
+  for (const StragglerFault& fault : plan_.stragglers) {
+    stragglers_by_slot_.emplace(fault.slot, fault);
+  }
+}
+
+workload::ResourceVec FaultInjector::capacity_for_slot(
+    int slot, double now_s, const workload::ResourceVec& base,
+    bool* changed) {
+  if (changed != nullptr) *changed = false;
+  if (machines_.empty()) return base;
+
+  workload::ResourceVec down_delta{};
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    MachineState& machine = machines_[i];
+    const bool should_be_down =
+        slot >= machine.fault.down_slot &&
+        (machine.fault.up_slot < 0 || slot < machine.fault.up_slot);
+    if (should_be_down && !machine.down) {
+      machine.down = true;
+      ++log_.machine_downs;
+      if (obs::enabled()) {
+        obs::registry().counter("fault.machine_down").add();
+        obs::TraceEvent event("fault_injected");
+        event.field("kind", "machine_down")
+            .field("slot", slot)
+            .field("now_s", now_s)
+            .field("machine", i);
+        for (int r = 0; r < workload::kNumResources; ++r) {
+          event.field(std::string("capacity_") + workload::resource_name(r),
+                      machine.fault.capacity[r]);
+        }
+        obs::emit(event);
+        machine.span = obs::begin_span(
+            "fault", "machine_down#" + std::to_string(i), obs::kNoSpan,
+            now_s);
+      }
+    } else if (!should_be_down && machine.down) {
+      machine.down = false;
+      ++log_.machine_ups;
+      if (obs::enabled()) {
+        obs::registry().counter("fault.machine_up").add();
+        obs::end_span(machine.span, now_s);
+        machine.span = obs::kNoSpan;
+      }
+    }
+    if (machine.down) {
+      down_delta = workload::add(down_delta, machine.fault.capacity);
+    }
+  }
+
+  const workload::ResourceVec effective =
+      workload::clamp_nonnegative(workload::sub(base, down_delta));
+  const bool transition =
+      !capacity_applied_once_
+          ? !workload::is_zero(down_delta)
+          : !workload::is_zero(workload::sub(down_delta, last_down_delta_),
+                               1e-9);
+  if (transition) {
+    ++log_.capacity_changes;
+    if (changed != nullptr) *changed = true;
+    if (obs::enabled()) {
+      const bool shrinking =
+          !workload::fits_within(down_delta, last_down_delta_, 1e-9);
+      emit_capacity_change(slot, now_s, shrinking ? "down" : "up", effective,
+                           down_delta);
+    }
+  }
+  last_down_delta_ = down_delta;
+  capacity_applied_once_ = true;
+  return effective;
+}
+
+std::optional<TaskFaultAction> FaultInjector::task_fault(int slot,
+                                                         int workflow_id,
+                                                         int node,
+                                                         int retries_so_far) {
+  // Declared faults fire exactly once, regardless of retry count, at the
+  // first slot >= the declared one at which the job is actually runnable
+  // (the simulator only consults us for runnable jobs) — a scheduler that
+  // defers the job past the declared slot still suffers the fault.
+  const auto past = task_faults_by_slot_.upper_bound(slot);
+  for (auto it = task_faults_by_slot_.begin(); it != past; ++it) {
+    if (it->second.workflow_id == workflow_id && it->second.node == node) {
+      TaskFaultAction action;
+      action.lost_fraction = it->second.lost_fraction;
+      action.backoff_slots = std::max(it->second.backoff_slots, 1);
+      task_faults_by_slot_.erase(it);
+      return action;
+    }
+  }
+  if (plan_.hazard.active() && retries_so_far < plan_.hazard.max_retries &&
+      hazard_rng_.bernoulli(plan_.hazard.prob_per_slot)) {
+    TaskFaultAction action;
+    action.lost_fraction = plan_.hazard.lost_fraction;
+    action.backoff_slots = std::max(plan_.hazard.backoff_slots, 1);
+    action.from_hazard = true;
+    return action;
+  }
+  return std::nullopt;
+}
+
+double FaultInjector::straggler_factor(int slot, int workflow_id, int node) {
+  // Like declared task faults: fires at the first slot >= the declared one
+  // the job is seen alive, so deferred jobs still straggle.
+  const auto past = stragglers_by_slot_.upper_bound(slot);
+  for (auto it = stragglers_by_slot_.begin(); it != past; ++it) {
+    if (it->second.workflow_id == workflow_id && it->second.node == node) {
+      const double factor = it->second.factor;
+      stragglers_by_slot_.erase(it);
+      return factor > 0.0 ? factor : 1.0;
+    }
+  }
+  return 1.0;
+}
+
+double FaultInjector::noise_factor(int workflow_id, int node) {
+  if (!plan_.noise.active()) return 1.0;
+  double factor = 1.0;
+  switch (plan_.noise.model) {
+    case NoiseModel::kNone:
+      return 1.0;
+    case NoiseModel::kLognormal:
+      factor = plan_.noise.bias *
+               noise_rng_.lognormal(0.0, std::max(plan_.noise.sigma, 0.0));
+      break;
+    case NoiseModel::kAdversarial:
+      factor = plan_.noise.bias;
+      break;
+  }
+  if (factor <= 0.0) factor = 1.0;
+  ++log_.noised_jobs;
+  if (obs::enabled()) {
+    obs::registry().counter("fault.noised_jobs").add();
+    obs::emit(obs::TraceEvent("fault_injected")
+                  .field("kind", "estimate_noise")
+                  .field("workflow", workflow_id)
+                  .field("node", node)
+                  .field("model", to_string(plan_.noise.model))
+                  .field("factor", factor));
+  }
+  return factor;
+}
+
+}  // namespace flowtime::fault

@@ -1,0 +1,121 @@
+// Fault-injection engine: turns a declarative FaultPlan into per-slot
+// perturbations the simulator applies to ground truth.
+//
+// One injector drives one run. The simulator consults it in slot order:
+//
+//   * capacity_for_slot() folds the machine-churn schedule into the slot's
+//     base capacity, emitting paired fault/recovery events — a
+//     `fault_injected` (kind=machine_down) plus a `capacity_change` event
+//     and a `fault` span at the down transition, the span end plus another
+//     `capacity_change` at recovery;
+//   * task_fault() answers "does this job fail this slot?" from the
+//     declared per-job faults and the seeded hazard draw;
+//   * straggler_factor() returns the declared slowdown multiplier firing
+//     for a job at a slot (1.0 otherwise);
+//   * noise_factor() perturbs one job's hidden actual/estimate ratio at
+//     layout time (lognormal or adversarial models).
+//
+// Determinism: all randomness flows from plan.seed through forked
+// util::Rng streams (one for noise, one for the hazard), and the draw
+// order is fixed by the simulator's deterministic job layout and slot
+// loop, so identical (plan, scenario) pairs replay bit-identically.
+// Observability follows the repo contract: every emission site guards on
+// obs::enabled(), so an empty plan — or a disabled obs layer — leaves the
+// run untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.h"
+#include "obs/span.h"
+#include "util/rng.h"
+#include "workload/resources.h"
+
+namespace flowtime::fault {
+
+/// What the simulator must do to a job the injector just failed.
+struct TaskFaultAction {
+  double lost_fraction = 1.0;
+  int backoff_slots = 1;
+  bool from_hazard = false;
+};
+
+/// Counters mirrored in-process so tests and reports can assert on fault
+/// activity without parsing the trace. The obs `fault.*` counters carry the
+/// same numbers.
+struct FaultLog {
+  int machine_downs = 0;
+  int machine_ups = 0;
+  int capacity_changes = 0;
+  int task_failures = 0;
+  int task_retries = 0;
+  int stragglers = 0;
+  int noised_jobs = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, const workload::ClusterSpec& cluster);
+
+  /// False for empty plans: every hook below becomes a cheap no-op and the
+  /// simulator skips the fault path entirely.
+  bool active() const { return !plan_.empty(); }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultLog& log() const { return log_; }
+
+  /// Effective capacity (resource units, not resource-seconds) at `slot`
+  /// after machine churn. Must be called once per slot in increasing slot
+  /// order; transitions emit their events/spans on the call that crosses
+  /// them. Sets `*changed` when the churn delta differs from the previous
+  /// slot's (the signal to notify schedulers).
+  workload::ResourceVec capacity_for_slot(int slot, double now_s,
+                                          const workload::ResourceVec& base,
+                                          bool* changed);
+
+  /// Declared + hazard-driven failure decision for one arrived, runnable,
+  /// incomplete job. `retries_so_far` caps hazard faults at
+  /// plan.hazard.max_retries; declared faults always fire. At most one
+  /// fault per job per slot (declared wins over hazard).
+  std::optional<TaskFaultAction> task_fault(int slot, int workflow_id,
+                                            int node, int retries_so_far);
+
+  /// Declared straggler multiplier firing for this job at this slot, or
+  /// 1.0. Each declared straggler fires at most once.
+  double straggler_factor(int slot, int workflow_id, int node);
+
+  /// Ground-truth noise factor for one workflow job, drawn at layout time
+  /// (call in layout order for determinism). 1.0 when noise is off.
+  double noise_factor(int workflow_id, int node);
+
+  /// In-process mirrors for tests/reports (the obs counters match).
+  void count_task_failure() { ++log_.task_failures; }
+  void count_task_retry() { ++log_.task_retries; }
+  void count_straggler() { ++log_.stragglers; }
+
+ private:
+  struct MachineState {
+    MachineFault fault;
+    bool down = false;
+    obs::SpanId span = obs::kNoSpan;
+  };
+
+  FaultPlan plan_;
+  workload::ClusterSpec cluster_;
+  util::Rng noise_rng_;
+  util::Rng hazard_rng_;
+  std::vector<MachineState> machines_;
+  workload::ResourceVec last_down_delta_{};
+  bool capacity_applied_once_ = false;
+  /// Declared task faults / stragglers indexed by slot; entries are
+  /// consumed (fire once).
+  std::multimap<int, TaskFault> task_faults_by_slot_;
+  std::multimap<int, StragglerFault> stragglers_by_slot_;
+  FaultLog log_;
+};
+
+}  // namespace flowtime::fault

@@ -108,6 +108,30 @@ class Scheduler {
     (void)now_s;
   }
 
+  /// The cluster's effective capacity changed mid-run (machine failure or
+  /// recovery injected by a FaultPlan). `capacity` is the new per-slot
+  /// budget in resource-seconds — the same units ClusterState::capacity
+  /// uses. Self-healing schedulers re-plan; the default ignores it and the
+  /// simulator's capacity clamp keeps the policy honest either way.
+  virtual void on_capacity_change(double now_s, const ResourceVec& capacity) {
+    (void)now_s;
+    (void)capacity;
+  }
+
+  /// A job lost in-flight work to an injected fault and will retry.
+  /// `lost_estimate` is the estimated demand added back to the job's
+  /// remaining work (resource-seconds); the job is barred from running
+  /// until `retry_at_s`. `retry` counts this job's failures so far.
+  virtual void on_task_failure(JobUid uid, double now_s,
+                               const ResourceVec& lost_estimate, int retry,
+                               double retry_at_s) {
+    (void)uid;
+    (void)now_s;
+    (void)lost_estimate;
+    (void)retry;
+    (void)retry_at_s;
+  }
+
   virtual std::vector<Allocation> allocate(const ClusterState& state) = 0;
 };
 

@@ -22,20 +22,33 @@ struct LiveJob {
   JobRecord record;
   ResourceVec remaining_actual{};
   ResourceVec remaining_estimate{};
+  ResourceVec estimate_total{};  // for computing fault progress loss
   ResourceVec width{};
   ResourceVec container{};  // one task's per-slot footprint (node mode)
   std::vector<JobUid> parent_uids;  // empty for ad-hoc jobs
+  int adhoc_id = -1;        // scenario AdhocJob::id (fault-plan selector)
   bool arrived = false;
   bool complete = false;
   double ready_since_s = -1.0;  // first instant the job was runnable
+  // Fault state: a failed job sits out until backoff_until_slot, then its
+  // retry is released (pending_retry drives the task_retry event).
+  int retries = 0;
+  int backoff_until_slot = -1;
+  bool pending_retry = false;
   obs::SpanId job_span = obs::kNoSpan;        // release → completion
   obs::SpanId placement_span = obs::kNoSpan;  // current allocated run
+  obs::SpanId fault_span = obs::kNoSpan;      // failure → retry release
 
   bool ready(const std::vector<LiveJob>& all) const {
     for (JobUid p : parent_uids) {
       if (!all[static_cast<std::size_t>(p)].complete) return false;
     }
     return true;
+  }
+
+  /// Runnable = DAG-ready and not sitting out a fault backoff.
+  bool runnable(const std::vector<LiveJob>& all, int slot) const {
+    return slot >= backoff_until_slot && ready(all);
   }
 };
 
@@ -52,6 +65,7 @@ SimResult Simulator::run(const workload::Scenario& scenario,
                          Scheduler& scheduler) {
   SimResult result;
   result.slot_seconds = config_.cluster.slot_seconds;
+  fault::FaultInjector injector(config_.fault_plan, config_.cluster);
 
   // Config-skew check: a scheduler that plans against a different cluster
   // than the one executing produces plans that silently never fit (or
@@ -92,8 +106,15 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       job.record.node = v;
       job.record.arrival_s = w.start_s;
       job.record.actual_demand = spec.actual_total_demand();
+      if (injector.active()) {
+        // Estimate noise perturbs only the hidden ground truth; the
+        // estimates handed to schedulers stay what prior runs "measured".
+        job.record.actual_demand = workload::scale(
+            job.record.actual_demand, injector.noise_factor(w.id, v));
+      }
       job.remaining_actual = job.record.actual_demand;
       job.remaining_estimate = spec.total_demand();
+      job.estimate_total = job.remaining_estimate;
       job.width = workload::scale(spec.max_parallel_demand(),
                                   config_.cluster.slot_seconds);
       job.container = workload::scale(spec.task.demand, config_.cluster.slot_seconds);
@@ -120,6 +141,8 @@ SimResult Simulator::run(const workload::Scenario& scenario,
     job.record.actual_demand = a.spec.actual_total_demand();
     job.remaining_actual = job.record.actual_demand;
     job.remaining_estimate = a.spec.total_demand();
+    job.estimate_total = job.remaining_estimate;
+    job.adhoc_id = a.id;
     job.width =
         workload::scale(a.spec.max_parallel_demand(), config_.cluster.slot_seconds);
     job.container =
@@ -201,17 +224,134 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       ++next_adhoc;
     }
 
+    // Effective capacity this slot: base, then per-slot overrides, then
+    // injected machine churn on top.
+    ResourceVec capacity_units = config_.cluster.capacity;
+    for (const auto& [override_slot, cap] : config_.capacity_overrides) {
+      if (override_slot == slot) capacity_units = cap;
+    }
+    if (injector.active()) {
+      bool capacity_changed = false;
+      capacity_units = injector.capacity_for_slot(slot, now, capacity_units,
+                                                  &capacity_changed);
+      if (capacity_changed) {
+        scheduler.on_capacity_change(
+            now,
+            workload::scale(capacity_units, config_.cluster.slot_seconds));
+      }
+
+      // Release retries whose backoff expired, then inject this slot's
+      // task faults and stragglers. Order matters for determinism: jobs
+      // are visited in uid order and retries precede new failures.
+      for (LiveJob& job : jobs) {
+        if (!job.pending_retry || job.complete || slot < job.backoff_until_slot) {
+          continue;
+        }
+        job.pending_retry = false;
+        injector.count_task_retry();
+        if (obs::enabled()) {
+          obs::registry().counter("fault.task_retries").add();
+          obs::emit(obs::TraceEvent("task_retry")
+                        .field("slot", slot)
+                        .field("now_s", now)
+                        .field("uid", job.record.uid)
+                        .field("workflow", job.record.workflow_id)
+                        .field("node", job.record.node)
+                        .field("name", job.record.name)
+                        .field("retry", job.retries));
+          obs::end_span(job.fault_span, now);
+          job.fault_span = obs::kNoSpan;
+        }
+      }
+      for (LiveJob& job : jobs) {
+        if (!job.arrived || job.complete) continue;
+        const bool is_adhoc = job.record.kind == JobKind::kAdhoc;
+        const int selector_node = is_adhoc ? job.adhoc_id : job.record.node;
+        const double straggle = injector.straggler_factor(
+            slot, job.record.workflow_id, selector_node);
+        if (straggle != 1.0) {
+          job.remaining_actual =
+              workload::scale(job.remaining_actual, straggle);
+          injector.count_straggler();
+          if (obs::enabled()) {
+            obs::registry().counter("fault.stragglers").add();
+            obs::emit(obs::TraceEvent("fault_injected")
+                          .field("kind", "straggler")
+                          .field("slot", slot)
+                          .field("now_s", now)
+                          .field("uid", job.record.uid)
+                          .field("workflow", job.record.workflow_id)
+                          .field("node", job.record.node)
+                          .field("factor", straggle));
+          }
+        }
+        if (!job.runnable(jobs, slot)) continue;  // backoff / parents
+        const auto fault = injector.task_fault(
+            slot, job.record.workflow_id, selector_node, job.retries);
+        if (!fault) continue;
+        // Fail-and-retry: the job loses `lost_fraction` of the progress it
+        // made, in both the ground-truth and the estimate domains, and is
+        // barred from running until the backoff expires.
+        const ResourceVec lost_actual = workload::scale(
+            workload::clamp_nonnegative(workload::sub(
+                job.record.actual_demand, job.remaining_actual)),
+            fault->lost_fraction);
+        const ResourceVec lost_estimate = workload::scale(
+            workload::clamp_nonnegative(
+                workload::sub(job.estimate_total, job.remaining_estimate)),
+            fault->lost_fraction);
+        job.remaining_actual =
+            workload::add(job.remaining_actual, lost_actual);
+        job.remaining_estimate =
+            workload::add(job.remaining_estimate, lost_estimate);
+        ++job.retries;
+        job.backoff_until_slot = slot + fault->backoff_slots;
+        job.pending_retry = true;
+        job.ready_since_s = -1.0;  // re-latches when the retry runs
+        injector.count_task_failure();
+        if (obs::enabled()) {
+          obs::registry().counter("fault.task_failures").add();
+          obs::TraceEvent event("fault_injected");
+          event.field("kind", "task_failure")
+              .field("slot", slot)
+              .field("now_s", now)
+              .field("uid", job.record.uid)
+              .field("workflow", job.record.workflow_id)
+              .field("node", job.record.node)
+              .field("name", job.record.name)
+              .field("retry", job.retries)
+              .field("backoff_slots", fault->backoff_slots)
+              .field("from_hazard", fault->from_hazard);
+          for (int r = 0; r < workload::kNumResources; ++r) {
+            event.field(std::string("lost_") + workload::resource_name(r),
+                        lost_actual[r]);
+          }
+          obs::emit(event);
+          // The failed run's placement ends here; the fault span covers
+          // failure → retry release, pairing injection with recovery.
+          obs::end_span(job.placement_span, now);
+          job.placement_span = obs::kNoSpan;
+          obs::SpanMeta meta;
+          meta.workflow_id = job.record.workflow_id;
+          meta.node = job.record.node;
+          meta.uid = job.record.uid;
+          job.fault_span =
+              obs::begin_span("fault", "task_retry:" + job.record.name,
+                              job.job_span, now, meta);
+        }
+        scheduler.on_task_failure(
+            job.record.uid, now, lost_estimate, job.retries,
+            job.backoff_until_slot * config_.cluster.slot_seconds);
+      }
+    }
+
     // Snapshot for the scheduler.
     ClusterState state;
     state.slot = slot;
     state.now_s = now;
     state.slot_seconds = config_.cluster.slot_seconds;
-    state.capacity = workload::scale(config_.cluster.capacity, config_.cluster.slot_seconds);
-    for (const auto& [override_slot, cap] : config_.capacity_overrides) {
-      if (override_slot == slot) {
-        state.capacity = workload::scale(cap, config_.cluster.slot_seconds);
-      }
-    }
+    state.capacity =
+        workload::scale(capacity_units, config_.cluster.slot_seconds);
     for (LiveJob& job : jobs) {
       if (!job.arrived || job.complete) continue;
       JobView view;
@@ -222,7 +362,7 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       view.arrival_s = job.record.arrival_s;
       view.width = job.width;
       view.container = job.container;
-      view.ready = job.ready(jobs);
+      view.ready = job.runnable(jobs, slot);
       if (view.ready) {
         if (job.ready_since_s < 0.0) job.ready_since_s = now;
         view.ready_since_s = job.ready_since_s;
@@ -253,8 +393,9 @@ SimResult Simulator::run(const workload::Scenario& scenario,
         ++result.width_violations;
         amount = workload::elementwise_min(amount, job.width);
       }
-      if (!job.ready(jobs)) {
-        // Physical precedence: the grant is wasted, not banked.
+      if (!job.runnable(jobs, slot)) {
+        // Physical precedence (or a fault backoff): the grant is wasted,
+        // not banked.
         ++result.not_ready_allocations;
         granted_total = workload::add(granted_total, amount);
         grants.emplace_back(alloc.uid, workload::zeros());
@@ -426,6 +567,7 @@ SimResult Simulator::run(const workload::Scenario& scenario,
                   .field("not_ready_allocations",
                          result.not_ready_allocations));
   }
+  result.faults = injector.log();
   result.jobs.reserve(jobs.size());
   for (LiveJob& job : jobs) result.jobs.push_back(std::move(job.record));
   return result;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.h"  // FaultPlan (config) + FaultLog (result)
 #include "sim/scheduler.h"
 #include "workload/trace_gen.h"
 
@@ -41,15 +42,11 @@ struct SimConfig {
   /// is lost to fragmentation (reported in SimResult). 0 = fluid mode: the
   /// cluster is one divisible resource pool, the paper's LP abstraction.
   int num_nodes = 0;
-
-  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
-  /// `cluster.slot_seconds`.
-  [[deprecated("use cluster.capacity")]] ResourceVec& capacity() {
-    return cluster.capacity;
-  }
-  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
-    return cluster.slot_seconds;
-  }
+  /// Fault-injection plan (machine churn, task faults, stragglers,
+  /// estimate noise). Empty by default: the fault path is skipped entirely
+  /// and runs are byte-identical to pre-fault builds. All fault randomness
+  /// derives from `fault_plan.seed`, so one seed fixes the whole run.
+  fault::FaultPlan fault_plan;
 };
 
 /// Outcome of one job.
@@ -87,6 +84,10 @@ struct SimResult {
   /// Node mode only: granted work that could not be realized as whole
   /// containers on any node (fragmentation + quantization loss).
   ResourceVec fragmentation_lost{};
+  /// Fault-injection activity this run (all zero for empty plans). The
+  /// obs `fault.*` counters and `fault_injected`/`task_retry`/
+  /// `capacity_change` trace events carry the same story per event.
+  fault::FaultLog faults;
 
   const JobRecord& record(JobUid uid) const {
     return jobs[static_cast<std::size_t>(uid)];

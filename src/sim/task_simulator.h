@@ -28,15 +28,6 @@ namespace flowtime::sim {
 struct TaskSimConfig {
   workload::ClusterSpec cluster;
   double max_horizon_s = 48.0 * 3600.0;
-
-  /// Deprecated pre-ClusterSpec spellings; use `cluster.capacity` /
-  /// `cluster.slot_seconds`.
-  [[deprecated("use cluster.capacity")]] ResourceVec& capacity() {
-    return cluster.capacity;
-  }
-  [[deprecated("use cluster.slot_seconds")]] double& slot_seconds() {
-    return cluster.slot_seconds;
-  }
 };
 
 /// Runs one scenario at task granularity. Reuses SimResult; the

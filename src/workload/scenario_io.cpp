@@ -1,5 +1,7 @@
 #include "workload/scenario_io.h"
 
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -55,6 +57,27 @@ bool get_int(const Fields& fields, const std::string& key, bool required,
     return false;
   }
   *out = static_cast<int>(value);
+  return true;
+}
+
+bool get_uint64(const Fields& fields, const std::string& key, bool required,
+                std::uint64_t fallback, std::uint64_t* out,
+                std::string* message) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    if (required) {
+      *message = "missing field '" + key + "'";
+      return false;
+    }
+    *out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    *message = "field '" + key + "' is not an integer: " + it->second;
+    return false;
+  }
   return true;
 }
 
@@ -231,6 +254,95 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
                           ? fields["name"]
                           : "adhoc-" + std::to_string(job.id);
       parsed.scenario.adhoc_jobs.push_back(std::move(job));
+    } else if (directive == "fault") {
+      if (!parse_fields(tokens, 1, &fields, &message) ||
+          !get_uint64(fields, "seed", true, 0, &parsed.fault_plan.seed,
+                      &message)) {
+        return fail(line_number, message);
+      }
+    } else if (directive == "fault_machine") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::MachineFault machine;
+      if (!get_int(fields, "down", true, 0, &machine.down_slot, &message) ||
+          !get_int(fields, "up", false, -1, &machine.up_slot, &message) ||
+          !get_double(fields, "cores", true, 0,
+                      &machine.capacity[kCpu], &message) ||
+          !get_double(fields, "mem_gb", true, 0,
+                      &machine.capacity[kMemory], &message)) {
+        return fail(line_number, message);
+      }
+      parsed.fault_plan.machines.push_back(machine);
+    } else if (directive == "fault_task") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::TaskFault task;
+      if (!get_int(fields, "workflow", false, -1, &task.workflow_id,
+                   &message) ||
+          !get_int(fields, "node", true, -1, &task.node, &message) ||
+          !get_int(fields, "slot", true, 0, &task.slot, &message) ||
+          !get_double(fields, "lose", false, 1.0, &task.lost_fraction,
+                      &message) ||
+          !get_int(fields, "backoff", false, 1, &task.backoff_slots,
+                   &message)) {
+        return fail(line_number, message);
+      }
+      parsed.fault_plan.task_faults.push_back(task);
+    } else if (directive == "fault_straggler") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::StragglerFault straggler;
+      if (!get_int(fields, "workflow", false, -1, &straggler.workflow_id,
+                   &message) ||
+          !get_int(fields, "node", true, -1, &straggler.node, &message) ||
+          !get_int(fields, "slot", true, 0, &straggler.slot, &message) ||
+          !get_double(fields, "factor", true, 2.0, &straggler.factor,
+                      &message)) {
+        return fail(line_number, message);
+      }
+      parsed.fault_plan.stragglers.push_back(straggler);
+    } else if (directive == "fault_hazard") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::HazardConfig& hazard = parsed.fault_plan.hazard;
+      if (!get_double(fields, "prob", true, 0, &hazard.prob_per_slot,
+                      &message) ||
+          !get_double(fields, "lose", false, 1.0, &hazard.lost_fraction,
+                      &message) ||
+          !get_int(fields, "backoff", false, 1, &hazard.backoff_slots,
+                   &message) ||
+          !get_int(fields, "retries", false, 3, &hazard.max_retries,
+                   &message)) {
+        return fail(line_number, message);
+      }
+    } else if (directive == "fault_noise") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::NoiseConfig& noise = parsed.fault_plan.noise;
+      const auto model_it = fields.find("model");
+      if (model_it == fields.end()) {
+        return fail(line_number, "missing field 'model'");
+      }
+      if (model_it->second == "lognormal") {
+        noise.model = fault::NoiseModel::kLognormal;
+      } else if (model_it->second == "adversarial") {
+        noise.model = fault::NoiseModel::kAdversarial;
+      } else if (model_it->second == "none") {
+        noise.model = fault::NoiseModel::kNone;
+      } else {
+        return fail(line_number,
+                    "unknown noise model '" + model_it->second + "'");
+      }
+      if (!get_double(fields, "sigma", false, 0.0, &noise.sigma,
+                      &message) ||
+          !get_double(fields, "bias", false, 1.0, &noise.bias, &message)) {
+        return fail(line_number, message);
+      }
     } else {
       return fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -248,7 +360,8 @@ std::optional<ParsedScenario> parse_scenario(const std::string& text,
 }
 
 std::string write_scenario(const Scenario& scenario,
-                           const std::optional<ScenarioCluster>& cluster) {
+                           const std::optional<ScenarioCluster>& cluster,
+                           const fault::FaultPlan& fault_plan) {
   std::ostringstream out;
   out << std::setprecision(15);  // lossless enough for round-trips
   out << "# FlowTime scenario\n";
@@ -289,6 +402,37 @@ std::string write_scenario(const Scenario& scenario,
       out << " error=" << job.spec.actual_runtime_factor;
     }
     out << "\n";
+  }
+  if (!fault_plan.empty()) {
+    out << "\nfault seed=" << fault_plan.seed << "\n";
+    for (const fault::MachineFault& machine : fault_plan.machines) {
+      out << "fault_machine down=" << machine.down_slot;
+      if (machine.up_slot >= 0) out << " up=" << machine.up_slot;
+      out << " cores=" << machine.capacity[kCpu]
+          << " mem_gb=" << machine.capacity[kMemory] << "\n";
+    }
+    for (const fault::TaskFault& task : fault_plan.task_faults) {
+      out << "fault_task workflow=" << task.workflow_id
+          << " node=" << task.node << " slot=" << task.slot
+          << " lose=" << task.lost_fraction
+          << " backoff=" << task.backoff_slots << "\n";
+    }
+    for (const fault::StragglerFault& straggler : fault_plan.stragglers) {
+      out << "fault_straggler workflow=" << straggler.workflow_id
+          << " node=" << straggler.node << " slot=" << straggler.slot
+          << " factor=" << straggler.factor << "\n";
+    }
+    if (fault_plan.hazard.active()) {
+      out << "fault_hazard prob=" << fault_plan.hazard.prob_per_slot
+          << " lose=" << fault_plan.hazard.lost_fraction
+          << " backoff=" << fault_plan.hazard.backoff_slots
+          << " retries=" << fault_plan.hazard.max_retries << "\n";
+    }
+    if (fault_plan.noise.active()) {
+      out << "fault_noise model=" << fault::to_string(fault_plan.noise.model)
+          << " sigma=" << fault_plan.noise.sigma
+          << " bias=" << fault_plan.noise.bias << "\n";
+    }
   }
   return out.str();
 }

@@ -14,15 +14,25 @@
 //
 //     adhoc id=0 arrival=120 tasks=8 runtime=30 cores=1 mem=1
 //
+//     fault seed=42
+//     fault_machine down=30 up=90 cores=100 mem_gb=200
+//     fault_task workflow=0 node=1 slot=45 lose=1 backoff=3
+//     fault_straggler workflow=0 node=2 slot=50 factor=2.5
+//     fault_hazard prob=0.001 lose=1 backoff=2 retries=3
+//     fault_noise model=lognormal sigma=0.2 bias=1.1
+//
 // `error` is the hidden actual_runtime_factor (defaults to 1). Jobs must
-// cover nodes 0..N-1 densely; edges reference those nodes. The writer
-// produces files the parser round-trips exactly (modulo formatting).
+// cover nodes 0..N-1 densely; edges reference those nodes. The `fault*`
+// directives declare a fault::FaultPlan (see fault/plan.h) — all optional;
+// a file without them parses to an empty plan. The writer produces files
+// the parser round-trips exactly (modulo formatting).
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "fault/plan.h"
 #include "workload/trace_gen.h"
 
 namespace flowtime::workload {
@@ -35,6 +45,9 @@ using ScenarioCluster = ClusterSpec;
 struct ParsedScenario {
   Scenario scenario;
   std::optional<ScenarioCluster> cluster;
+  /// Declared perturbations; empty (the default) when the file has no
+  /// `fault*` directives, in which case simulations run undisturbed.
+  fault::FaultPlan fault_plan;
 };
 
 struct ParseError {
@@ -49,9 +62,12 @@ std::optional<ParsedScenario> parse_scenario(const std::string& text,
                                              ParseError* error);
 
 /// Serializes a scenario (with an optional cluster line) into the format
-/// parse_scenario reads.
+/// parse_scenario reads. A non-empty `fault_plan` adds the `fault*`
+/// directives; the default empty plan writes nothing fault-related, so
+/// pre-fault files round-trip unchanged.
 std::string write_scenario(const Scenario& scenario,
-                           const std::optional<ScenarioCluster>& cluster);
+                           const std::optional<ScenarioCluster>& cluster,
+                           const fault::FaultPlan& fault_plan = {});
 
 /// Convenience: load from a file path.
 std::optional<ParsedScenario> load_scenario_file(const std::string& path,

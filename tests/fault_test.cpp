@@ -1,0 +1,327 @@
+// Tests for the fault-injection subsystem: the FaultInjector engine
+// (machine churn schedule, declared/hazard task faults, stragglers,
+// estimate noise, determinism) and the FaultPlan scenario_io round-trip.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "obs/testing.h"
+#include "workload/scenario_io.h"
+
+namespace flowtime::fault {
+namespace {
+
+using workload::kCpu;
+using workload::kMemory;
+using workload::ResourceVec;
+
+workload::ClusterSpec test_cluster() {
+  workload::ClusterSpec cluster;
+  cluster.capacity = ResourceVec{100.0, 256.0};
+  cluster.slot_seconds = 10.0;
+  return cluster;
+}
+
+TEST(FaultPlan, EmptyByDefault) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.hazard.prob_per_slot = 0.01;
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultInjector, EmptyPlanIsInactiveAndTransparent) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultInjector injector(FaultPlan{}, test_cluster());
+  EXPECT_FALSE(injector.active());
+  bool changed = true;
+  const ResourceVec base{100.0, 256.0};
+  const ResourceVec out = injector.capacity_for_slot(0, 0.0, base, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_DOUBLE_EQ(out[kCpu], 100.0);
+  EXPECT_DOUBLE_EQ(out[kMemory], 256.0);
+  EXPECT_FALSE(injector.task_fault(0, 0, 0, 0).has_value());
+  EXPECT_DOUBLE_EQ(injector.straggler_factor(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.noise_factor(0, 0), 1.0);
+}
+
+TEST(FaultInjector, MachineChurnSchedule) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultPlan plan;
+  plan.machines.push_back(MachineFault{2, 5, ResourceVec{30.0, 64.0}});
+  plan.machines.push_back(MachineFault{3, -1, ResourceVec{10.0, 16.0}});
+  FaultInjector injector(plan, test_cluster());
+  const ResourceVec base{100.0, 256.0};
+
+  bool changed = false;
+  ResourceVec cap = injector.capacity_for_slot(0, 0.0, base, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_DOUBLE_EQ(cap[kCpu], 100.0);
+
+  // Slot 2: first machine down.
+  injector.capacity_for_slot(1, 10.0, base, &changed);
+  cap = injector.capacity_for_slot(2, 20.0, base, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(cap[kCpu], 70.0);
+  EXPECT_DOUBLE_EQ(cap[kMemory], 192.0);
+
+  // Slot 3: second machine (never recovers) stacks on top.
+  cap = injector.capacity_for_slot(3, 30.0, base, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(cap[kCpu], 60.0);
+
+  // Slot 4: no transition.
+  cap = injector.capacity_for_slot(4, 40.0, base, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_DOUBLE_EQ(cap[kCpu], 60.0);
+
+  // Slot 5: first machine recovers; the permanent loss remains.
+  cap = injector.capacity_for_slot(5, 50.0, base, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(cap[kCpu], 90.0);
+  EXPECT_DOUBLE_EQ(cap[kMemory], 240.0);
+
+  EXPECT_EQ(injector.log().machine_downs, 2);
+  EXPECT_EQ(injector.log().machine_ups, 1);
+  EXPECT_EQ(injector.log().capacity_changes, 3);
+}
+
+TEST(FaultInjector, CapacityNeverGoesNegative) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultPlan plan;
+  plan.machines.push_back(MachineFault{0, -1, ResourceVec{500.0, 999.0}});
+  FaultInjector injector(plan, test_cluster());
+  bool changed = false;
+  const ResourceVec cap =
+      injector.capacity_for_slot(0, 0.0, ResourceVec{100.0, 256.0}, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(cap[kCpu], 0.0);
+  EXPECT_DOUBLE_EQ(cap[kMemory], 0.0);
+}
+
+TEST(FaultInjector, DeclaredTaskFaultFiresOnceEvenWhenDeferred) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultPlan plan;
+  plan.task_faults.push_back(TaskFault{0, 1, 5, 0.5, 3});
+  FaultInjector injector(plan, test_cluster());
+
+  // Before the declared slot: nothing.
+  EXPECT_FALSE(injector.task_fault(4, 0, 1, 0).has_value());
+  // Wrong job at the right slot: nothing.
+  EXPECT_FALSE(injector.task_fault(5, 0, 2, 0).has_value());
+  // The job first becomes runnable after the declared slot: still fires.
+  const auto action = injector.task_fault(8, 0, 1, 0);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_DOUBLE_EQ(action->lost_fraction, 0.5);
+  EXPECT_EQ(action->backoff_slots, 3);
+  EXPECT_FALSE(action->from_hazard);
+  // Consumed: never fires again.
+  EXPECT_FALSE(injector.task_fault(9, 0, 1, 1).has_value());
+}
+
+TEST(FaultInjector, HazardIsDeterministicAndRespectsMaxRetries) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.hazard.prob_per_slot = 0.3;
+  plan.hazard.max_retries = 2;
+  plan.hazard.backoff_slots = 4;
+
+  auto draw_pattern = [&](const FaultPlan& p) {
+    FaultInjector injector(p, test_cluster());
+    std::string pattern;
+    for (int slot = 0; slot < 64; ++slot) {
+      const auto action = injector.task_fault(slot, 0, 0, 0);
+      pattern += action.has_value() ? '1' : '0';
+      if (action) {
+        EXPECT_TRUE(action->from_hazard);
+        EXPECT_EQ(action->backoff_slots, 4);
+      }
+    }
+    return pattern;
+  };
+  const std::string first = draw_pattern(plan);
+  EXPECT_EQ(first, draw_pattern(plan)) << "same seed must replay";
+  EXPECT_NE(first.find('1'), std::string::npos) << "p=0.3 over 64 draws";
+
+  FaultPlan other = plan;
+  other.seed = 8;
+  EXPECT_NE(first, draw_pattern(other)) << "different seed, different draws";
+
+  // At the retry cap the hazard stops firing for that job.
+  FaultInjector capped(plan, test_cluster());
+  for (int slot = 0; slot < 64; ++slot) {
+    EXPECT_FALSE(capped.task_fault(slot, 0, 0, 2).has_value());
+  }
+}
+
+TEST(FaultInjector, StragglerFiresOnce) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultPlan plan;
+  plan.stragglers.push_back(StragglerFault{0, 2, 10, 2.5});
+  FaultInjector injector(plan, test_cluster());
+  EXPECT_DOUBLE_EQ(injector.straggler_factor(9, 0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(injector.straggler_factor(12, 0, 2), 2.5);  // deferred
+  EXPECT_DOUBLE_EQ(injector.straggler_factor(13, 0, 2), 1.0);  // consumed
+}
+
+TEST(FaultInjector, NoiseModels) {
+  obs::testing::ScopedRegistryReset reset;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.noise.model = NoiseModel::kAdversarial;
+  plan.noise.bias = 1.4;
+  {
+    FaultInjector injector(plan, test_cluster());
+    EXPECT_DOUBLE_EQ(injector.noise_factor(0, 0), 1.4);
+    EXPECT_DOUBLE_EQ(injector.noise_factor(0, 1), 1.4);
+    EXPECT_EQ(injector.log().noised_jobs, 2);
+  }
+  plan.noise.model = NoiseModel::kLognormal;
+  plan.noise.sigma = 0.25;
+  plan.noise.bias = 1.0;
+  FaultInjector a(plan, test_cluster());
+  FaultInjector b(plan, test_cluster());
+  for (int i = 0; i < 8; ++i) {
+    const double factor = a.noise_factor(0, i);
+    EXPECT_GT(factor, 0.0);
+    EXPECT_DOUBLE_EQ(factor, b.noise_factor(0, i)) << "same seed, same draw";
+  }
+}
+
+// --- scenario_io round-trip ------------------------------------------------
+
+constexpr const char* kChaosFile = R"(
+cluster cores=100 mem_gb=256 slot_seconds=10
+
+workflow id=0 name=wf start=0 deadline=1800
+job node=0 name=a tasks=10 runtime=60 cores=1 mem=2
+job node=1 name=b tasks=10 runtime=60 cores=1 mem=2
+edge 0 1
+end
+
+adhoc id=0 arrival=50 tasks=4 runtime=30 cores=1 mem=1
+
+fault seed=123
+fault_machine down=20 up=50 cores=30 mem_gb=64
+fault_machine down=80 cores=10 mem_gb=16
+fault_task workflow=0 node=1 slot=40 lose=0.75 backoff=3
+fault_straggler workflow=0 node=0 slot=15 factor=2.5
+fault_hazard prob=0.002 lose=0.5 backoff=2 retries=4
+fault_noise model=lognormal sigma=0.2 bias=1.1
+)";
+
+TEST(FaultPlanIo, ParsesFaultDirectives) {
+  workload::ParseError error;
+  const auto parsed =
+      workload::parse_scenario(std::string(kChaosFile), &error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  const FaultPlan& plan = parsed->fault_plan;
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.seed, 123u);
+
+  ASSERT_EQ(plan.machines.size(), 2u);
+  EXPECT_EQ(plan.machines[0].down_slot, 20);
+  EXPECT_EQ(plan.machines[0].up_slot, 50);
+  EXPECT_DOUBLE_EQ(plan.machines[0].capacity[kCpu], 30.0);
+  EXPECT_DOUBLE_EQ(plan.machines[0].capacity[kMemory], 64.0);
+  EXPECT_EQ(plan.machines[1].up_slot, -1) << "no up= means never recovers";
+
+  ASSERT_EQ(plan.task_faults.size(), 1u);
+  EXPECT_EQ(plan.task_faults[0].workflow_id, 0);
+  EXPECT_EQ(plan.task_faults[0].node, 1);
+  EXPECT_EQ(plan.task_faults[0].slot, 40);
+  EXPECT_DOUBLE_EQ(plan.task_faults[0].lost_fraction, 0.75);
+  EXPECT_EQ(plan.task_faults[0].backoff_slots, 3);
+
+  ASSERT_EQ(plan.stragglers.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.stragglers[0].factor, 2.5);
+
+  EXPECT_DOUBLE_EQ(plan.hazard.prob_per_slot, 0.002);
+  EXPECT_DOUBLE_EQ(plan.hazard.lost_fraction, 0.5);
+  EXPECT_EQ(plan.hazard.backoff_slots, 2);
+  EXPECT_EQ(plan.hazard.max_retries, 4);
+
+  EXPECT_EQ(plan.noise.model, NoiseModel::kLognormal);
+  EXPECT_DOUBLE_EQ(plan.noise.sigma, 0.2);
+  EXPECT_DOUBLE_EQ(plan.noise.bias, 1.1);
+}
+
+TEST(FaultPlanIo, WriteParseRoundTrip) {
+  workload::ParseError error;
+  const auto parsed =
+      workload::parse_scenario(std::string(kChaosFile), &error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+
+  const std::string written = workload::write_scenario(
+      parsed->scenario, parsed->cluster, parsed->fault_plan);
+  const auto reparsed = workload::parse_scenario(written, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error.message << "\n" << written;
+
+  const FaultPlan& a = parsed->fault_plan;
+  const FaultPlan& b = reparsed->fault_plan;
+  EXPECT_EQ(a.seed, b.seed);
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (std::size_t i = 0; i < a.machines.size(); ++i) {
+    EXPECT_EQ(a.machines[i].down_slot, b.machines[i].down_slot);
+    EXPECT_EQ(a.machines[i].up_slot, b.machines[i].up_slot);
+    EXPECT_EQ(a.machines[i].capacity, b.machines[i].capacity);
+  }
+  ASSERT_EQ(a.task_faults.size(), b.task_faults.size());
+  for (std::size_t i = 0; i < a.task_faults.size(); ++i) {
+    EXPECT_EQ(a.task_faults[i].workflow_id, b.task_faults[i].workflow_id);
+    EXPECT_EQ(a.task_faults[i].node, b.task_faults[i].node);
+    EXPECT_EQ(a.task_faults[i].slot, b.task_faults[i].slot);
+    EXPECT_DOUBLE_EQ(a.task_faults[i].lost_fraction,
+                     b.task_faults[i].lost_fraction);
+    EXPECT_EQ(a.task_faults[i].backoff_slots, b.task_faults[i].backoff_slots);
+  }
+  ASSERT_EQ(a.stragglers.size(), b.stragglers.size());
+  for (std::size_t i = 0; i < a.stragglers.size(); ++i) {
+    EXPECT_EQ(a.stragglers[i].node, b.stragglers[i].node);
+    EXPECT_DOUBLE_EQ(a.stragglers[i].factor, b.stragglers[i].factor);
+  }
+  EXPECT_DOUBLE_EQ(a.hazard.prob_per_slot, b.hazard.prob_per_slot);
+  EXPECT_EQ(a.hazard.max_retries, b.hazard.max_retries);
+  EXPECT_EQ(a.noise.model, b.noise.model);
+  EXPECT_DOUBLE_EQ(a.noise.sigma, b.noise.sigma);
+  EXPECT_DOUBLE_EQ(a.noise.bias, b.noise.bias);
+}
+
+TEST(FaultPlanIo, EmptyPlanWritesNoFaultLines) {
+  workload::ParseError error;
+  const auto parsed = workload::parse_scenario(
+      std::string("adhoc id=0 arrival=0 tasks=1 runtime=10 cores=1 mem=1\n"),
+      &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fault_plan.empty());
+  const std::string written = workload::write_scenario(
+      parsed->scenario, parsed->cluster, parsed->fault_plan);
+  EXPECT_EQ(written.find("fault"), std::string::npos);
+}
+
+TEST(FaultPlanIo, RejectsMalformedFaultDirectives) {
+  const char* kBad[] = {
+      "fault\n",                                       // missing seed
+      "fault_machine up=5 cores=10 mem_gb=16\n",       // missing down
+      "fault_machine down=5 cores=10\n",               // missing mem_gb
+      "fault_task workflow=0 slot=4\n",                // missing node
+      "fault_task workflow=0 node=1\n",                // missing slot
+      "fault_straggler workflow=0 node=1 slot=2\n",    // missing factor
+      "fault_hazard lose=1\n",                         // missing prob
+      "fault_noise sigma=0.2\n",                       // missing model
+      "fault_noise model=gauss\n",                     // unknown model
+      "fault seed=abc\n",                              // non-integer seed
+  };
+  for (const char* text : kBad) {
+    workload::ParseError error;
+    EXPECT_FALSE(workload::parse_scenario(std::string(text), &error)
+                     .has_value())
+        << "should reject: " << text;
+    EXPECT_GT(error.line, 0);
+  }
+}
+
+}  // namespace
+}  // namespace flowtime::fault
