@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "obs/trace.h"
@@ -45,5 +46,34 @@ inline bool init_trace_out(int* argc, char** argv) {
 
 /// Flushes and closes the sink; harmless when none was installed.
 inline void finish_trace_out() { obs::clear_trace_sink(); }
+
+/// Scans argv for --solver-budget-ms (same extraction rules as
+/// init_trace_out, so google-benchmark parsers never see it) and returns
+/// its value, or 0.0 (= unlimited) when absent. Benches that build a
+/// FlowTimeConfig assign the result to config.solver_budget_ms to run the
+/// sweep under the graceful-degradation ladder (DESIGN.md §10).
+inline double init_solver_budget_ms(int* argc, char** argv) {
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--solver-budget-ms=", 0) == 0) {
+      value = arg.substr(std::string("--solver-budget-ms=").size());
+      continue;
+    }
+    if (arg == "--solver-budget-ms" && i + 1 < *argc) {
+      value = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (value.empty()) return 0.0;
+  const double ms = std::strtod(value.c_str(), nullptr);
+  if (ms > 0.0) {
+    std::fprintf(stderr, "solver budget: %g ms per re-plan\n", ms);
+  }
+  return ms > 0.0 ? ms : 0.0;
+}
 
 }  // namespace flowtime::bench

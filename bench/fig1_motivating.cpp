@@ -54,6 +54,8 @@ workload::Scenario fig1_scenario() {
 
 int main(int argc, char** argv) {
   if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
+  const double solver_budget_ms =
+      flowtime::bench::init_solver_budget_ms(&argc, argv);
   std::printf("=== Fig. 1: motivating example ===\n");
   std::printf(
       "W1: two chained jobs, deadline 200; A1 arrives t=0, A2 t=100; "
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
   config.sim.cluster.capacity = ResourceVec{2.0, 2.0};
   config.flowtime.cluster.capacity = config.sim.cluster.capacity;
   config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
+  config.flowtime.solver_budget_ms = solver_budget_ms;
   // The example's windows are exact; slack would shrink them below the
   // jobs' minimum runtimes.
   config.flowtime.deadline_slack_s = 0.0;

@@ -19,6 +19,8 @@
 
 int main(int argc, char** argv) {
   if (!flowtime::bench::init_trace_out(&argc, argv)) return 1;
+  const double solver_budget_ms =
+      flowtime::bench::init_solver_budget_ms(&argc, argv);
   using namespace flowtime;
   using workload::ResourceVec;
 
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   config.sim.max_horizon_s = 8.0 * 3600.0;
   config.flowtime.cluster.capacity = config.sim.cluster.capacity;
   config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
+  config.flowtime.solver_budget_ms = solver_budget_ms;
   config.schedulers = {"FlowTime", "FlowTime_no_ds"};
 
   workload::Fig4Config fig4;

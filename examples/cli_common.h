@@ -1,0 +1,34 @@
+// Shared helpers for the example CLIs (flowtime_sim, trace_report).
+//
+// Error surfacing contract: every user-facing failure is one line on
+// stderr — `path: message` (with a line number when the error came from the
+// scenario parser) — followed by a nonzero exit. No stack traces, no
+// multi-line dumps; the CLIs are meant to be scripted against.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "workload/scenario_io.h"
+
+namespace flowtime::cli {
+
+/// Prints `path: message` to stderr and returns the conventional failure
+/// exit code, so call sites can write `return fail(path, "cannot open");`.
+inline int fail(const std::string& path, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", path.c_str(), message.c_str());
+  return 1;
+}
+
+/// Parser-error overload: `path:LINE: message` when the error carries a
+/// line number, plain `path: message` otherwise (e.g. unreadable file).
+inline int fail(const std::string& path, const workload::ParseError& error) {
+  if (error.line > 0) {
+    std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), error.line,
+                 error.message.c_str());
+    return 1;
+  }
+  return fail(path, error.message);
+}
+
+}  // namespace flowtime::cli

@@ -17,9 +17,13 @@
 //                        Prometheus text exposition format
 //   --fault-seed N       override the fault plan's RNG seed (scenario files
 //                        declare faults with the fault* directives)
+//   --solver-budget-ms N cap FlowTime's per-replan LP solving at N ms of
+//                        wall clock; exceeding it escalates down the
+//                        graceful-degradation ladder (DESIGN.md §10)
 //   --dump-example       print a commented example scenario and exit
 #include <cstdio>
 
+#include "cli_common.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -66,13 +70,12 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string prom_out = flags.get_string("prom-out", "");
   const double fault_seed = flags.get_double("fault-seed", -1.0);
+  const double solver_budget_ms = flags.get_double("solver-budget-ms", 0.0);
   for (const std::string& typo : flags.unqueried()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
   }
   if (!trace_out.empty() && !obs::open_trace_file(trace_out)) {
-    std::fprintf(stderr, "error: cannot open trace file %s\n",
-                 trace_out.c_str());
-    return 1;
+    return cli::fail(trace_out, "cannot open trace file");
   }
   if (!prom_out.empty()) obs::set_enabled(true);  // metrics without a sink
   if (path.empty()) {
@@ -84,11 +87,7 @@ int main(int argc, char** argv) {
 
   workload::ParseError error;
   const auto parsed = workload::load_scenario_file(path, &error);
-  if (!parsed) {
-    std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), error.line,
-                 error.message.c_str());
-    return 1;
-  }
+  if (!parsed) return cli::fail(path, error);
 
   sched::ExperimentConfig config;
   if (parsed->cluster) {
@@ -102,6 +101,7 @@ int main(int argc, char** argv) {
   config.flowtime.cluster.capacity = config.sim.cluster.capacity;
   config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.flowtime.deadline_slack_s = slack;
+  config.flowtime.solver_budget_ms = solver_budget_ms;
   for (const std::string& name : util::split(scheduler_list, ',')) {
     if (!name.empty()) config.schedulers.push_back(name);
   }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/flags.h"
@@ -84,10 +85,7 @@ int main(int argc, char** argv) {
   }
 
   std::ifstream file(input);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot open %s\n", input.c_str());
-    return 1;
-  }
+  if (!file) return cli::fail(input, "cannot open file");
   std::vector<TraceRecord> events;
   int malformed = 0;
   std::string line;
@@ -241,6 +239,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- solver degradation ------------------------------------------------
+  std::map<std::string, int> escalation_reasons;
+  int degraded_replans = 0;
+  int degrade_enters = 0;
+  int degrade_exits = 0;
+  for (const TraceRecord& record : events) {
+    const std::string type = as_string(record, "type");
+    if (type == "solver_escalation") {
+      ++escalation_reasons[as_string(record, "reason", "?")];
+    } else if (type == "replan") {
+      if (as_double(record, "degrade_rung") > 0) ++degraded_replans;
+    } else if (type == "degrade_enter") {
+      ++degrade_enters;
+    } else if (type == "degrade_exit") {
+      ++degrade_exits;
+    }
+  }
+  if (!escalation_reasons.empty() || degrade_enters > 0) {
+    std::printf("\nSolver degradation:\n");
+    std::printf("  degraded re-plans     %d\n", degraded_replans);
+    std::printf("  degraded-mode windows %d entered, %d recovered\n",
+                degrade_enters, degrade_exits);
+    for (const auto& [reason, count] : escalation_reasons) {
+      std::printf("  escalation %-18s %d\n", reason.c_str(), count);
+    }
+  }
+
   // --- deadline risk -----------------------------------------------------
   std::map<std::string, int> risk_counts;  // "entity/level" -> transitions
   // workflow id -> worst level seen (0 ok, 1 warn, 2 breach)
@@ -275,10 +300,7 @@ int main(int argc, char** argv) {
   if (!chrome_out.empty()) {
     const std::string json = obs::render_chrome_trace(events);
     std::ofstream out(chrome_out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", chrome_out.c_str());
-      return 1;
-    }
+    if (!out) return cli::fail(chrome_out, "cannot write file");
     out << json;
     std::printf(
         "\nChrome trace written to %s (load in chrome://tracing or "

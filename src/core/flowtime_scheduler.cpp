@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/greedy_placement.h"
+#include "lp/solve_budget.h"
 #include "obs/deadline_monitor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +33,22 @@ std::string to_string(ReplanCause causes) {
   append(ReplanCause::kTaskFailure, "task_failure");
   if (out.empty()) out = "none";
   return out;
+}
+
+const char* to_string(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kTimeout:
+      return "timeout";
+    case DegradeReason::kIterationLimit:
+      return "iteration_limit";
+    case DegradeReason::kNumericalFailure:
+      return "numerical_failure";
+    case DegradeReason::kInfeasible:
+      return "infeasible";
+  }
+  return "?";
 }
 
 FlowTimeScheduler::FlowTimeScheduler(FlowTimeConfig config)
@@ -256,6 +274,19 @@ void FlowTimeScheduler::on_task_failure(sim::JobUid uid, double now_s,
   }
 }
 
+void FlowTimeScheduler::on_solver_sabotage(double now_s, double budget_ms,
+                                           std::int64_t pivot_cap,
+                                           bool force_numerical_failure) {
+  (void)now_s;
+  // Stored, not acted on: the sabotage tightens (or, on lift, releases)
+  // the budget of every re-plan that starts while it is active. It never
+  // triggers a re-plan by itself — that would let the chaos layer change
+  // *when* the scheduler plans, not just how hard planning is.
+  sabotage_budget_ms_ = budget_ms;
+  sabotage_pivot_cap_ = pivot_cap > 0 ? pivot_cap : 0;
+  sabotage_force_numerical_ = force_numerical_failure;
+}
+
 const DecompositionResult* FlowTimeScheduler::decomposition(
     int workflow_id) const {
   const auto it = decompositions_.find(workflow_id);
@@ -276,6 +307,50 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
     record.pivots = total_pivots_ - pivots_before;
   }
   replan_log_.push_back(record);
+
+  // Degraded-mode state machine (hysteresis; DESIGN.md §10). Every re-plan
+  // re-attempts the full LP, so recovery needs no special trigger — just
+  // `degrade_recovery_replans` consecutive clean rung-0 plans.
+  if (record.degrade_rung > 0) {
+    ++degraded_replans_;
+    clean_replans_ = 0;
+    if (obs::enabled()) {
+      obs::registry().counter("core.degraded_replans").add();
+    }
+    if (!degraded_mode_) {
+      degraded_mode_ = true;
+      FT_LOG(kWarn) << "FlowTime: entering degraded mode at slot "
+                    << record.slot << " (rung " << record.degrade_rung
+                    << ", " << to_string(record.degrade_reason) << ")";
+      if (obs::enabled()) {
+        obs::registry().counter("core.degrade_enters").add();
+        obs::emit(obs::TraceEvent("degrade_enter")
+                      .field("slot", record.slot)
+                      .field("rung", record.degrade_rung)
+                      .field("reason", to_string(record.degrade_reason)));
+        degraded_span_ = obs::begin_span(
+            "degraded", "degraded@slot" + std::to_string(record.slot),
+            obs::kNoSpan, state.now_s);
+      }
+    }
+  } else if (degraded_mode_) {
+    ++clean_replans_;
+    if (clean_replans_ >= std::max(config_.degrade_recovery_replans, 1)) {
+      degraded_mode_ = false;
+      clean_replans_ = 0;
+      FT_LOG(kInfo) << "FlowTime: leaving degraded mode at slot "
+                    << record.slot;
+      if (obs::enabled()) {
+        obs::emit(obs::TraceEvent("degrade_exit")
+                      .field("slot", record.slot)
+                      .field("clean_replans",
+                             std::max(config_.degrade_recovery_replans, 1)));
+        obs::end_span(degraded_span_, state.now_s);
+        degraded_span_ = obs::kNoSpan;
+      }
+    }
+  }
+
   if (obs::enabled()) {
     // Each re-plan opens a new plan epoch; the previous one ends here and
     // the simulator's end_open_spans closes the last epoch of the run.
@@ -304,7 +379,11 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
                   .field("lp_failed", record.lp_failed)
                   .field("lexmin_truncated", record.lexmin_truncated)
                   .field("max_normalized_load",
-                         record.max_normalized_load));
+                         record.max_normalized_load)
+                  .field("degrade_rung", record.degrade_rung)
+                  .field("degrade_reason", to_string(record.degrade_reason))
+                  .field("budget_exhausted", record.budget_exhausted)
+                  .field("degraded_mode", degraded_mode_));
   }
 }
 
@@ -415,17 +494,114 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
   if (lp_options.warm_cache == nullptr) {
     lp_options.warm_cache = &warm_cache_;
   }
-  LpSchedule schedule = solve_placement(
-      lp_jobs, caps, bucket > 1 ? 0 : state.slot, lp_options);
-  if (cap_fraction < 1.0 &&
-      (!schedule.ok() || schedule.capacity_exceeded)) {
-    // The reserved headroom is a preference, not a mandate: retry at the
-    // full cluster before conceding any deadline.
-    caps.assign(static_cast<std::size_t>(coarse_horizon), full_cap);
-    schedule = solve_placement(lp_jobs, caps,
-                               bucket > 1 ? 0 : state.slot, lp_options);
+  const int lp_first_slot = bucket > 1 ? 0 : state.slot;
+
+  // --- Escalation ladder (DESIGN.md §10) ---------------------------------
+  // One budget shared by every solve of this re-plan: the config's knobs
+  // merged with any chaos-injected sabotage, tightest limit winning.
+  lp::SolveBudget budget;
+  {
+    double wall_ms = config_.solver_budget_ms;
+    if (sabotage_budget_ms_ >= 0.0) {
+      wall_ms = wall_ms > 0.0 ? std::min(wall_ms, sabotage_budget_ms_)
+                              : sabotage_budget_ms_;
+    }
+    std::int64_t pivot_cap = config_.solver_pivot_budget;
+    if (sabotage_pivot_cap_ > 0) {
+      pivot_cap = pivot_cap > 0 ? std::min(pivot_cap, sabotage_pivot_cap_)
+                                : sabotage_pivot_cap_;
+    }
+    budget.set_wall_clock_ms(wall_ms);
+    budget.set_pivot_cap(pivot_cap);
+  }
+  if (budget.limited()) {
+    // Installed only when a limit exists, so the unlimited path is
+    // bit-identical to a build without budgets.
+    lp_options.lexmin.lp_options.budget = &budget;
+  }
+
+  const auto classify = [](lp::SolveStatus status) {
+    switch (status) {
+      case lp::SolveStatus::kTimeout:
+        return DegradeReason::kTimeout;
+      case lp::SolveStatus::kIterationLimit:
+        return DegradeReason::kIterationLimit;
+      case lp::SolveStatus::kInfeasible:
+        return DegradeReason::kInfeasible;
+      default:
+        return DegradeReason::kNumericalFailure;
+    }
+  };
+  const auto escalate = [&](int from_rung, DegradeReason reason) {
+    if (record.degrade_reason == DegradeReason::kNone) {
+      record.degrade_reason = reason;
+    }
+    FT_LOG(kWarn) << "FlowTime replan: solver rung " << from_rung
+                  << " failed (" << to_string(reason) << "); escalating to rung "
+                  << from_rung + 1;
+    if (obs::enabled()) {
+      obs::registry().counter("core.solver_escalations").add();
+      obs::emit(obs::TraceEvent("solver_escalation")
+                    .field("slot", state.slot)
+                    .field("from_rung", from_rung)
+                    .field("to_rung", from_rung + 1)
+                    .field("reason", to_string(reason))
+                    .field("budget_pivots", budget.pivots_used()));
+    }
+  };
+
+  // Rung 0: the regular warm-started LP (with the headroom retry).
+  LpSchedule schedule;
+  if (sabotage_force_numerical_) {
+    // Chaos injection: pretend the warm solve lost its numerics so the
+    // cold rung is exercised end to end.
+    schedule.status = lp::SolveStatus::kNumericalFailure;
+  } else {
+    schedule = solve_placement(lp_jobs, caps, lp_first_slot, lp_options);
+    if (cap_fraction < 1.0 &&
+        (!schedule.ok() || schedule.capacity_exceeded)) {
+      // The reserved headroom is a preference, not a mandate: retry at the
+      // full cluster before conceding any deadline.
+      caps.assign(static_cast<std::size_t>(coarse_horizon), full_cap);
+      const std::int64_t prior = schedule.pivots;
+      schedule = solve_placement(lp_jobs, caps, lp_first_slot, lp_options);
+      schedule.pivots += prior;
+    }
   }
   total_pivots_ += schedule.pivots;
+
+  if (!schedule.ok()) {
+    // Rung 1: cold LP — fresh basis (the warm cache may be poisoned, so it
+    // is dropped entirely), Bland's rule from the first pivot, a tighter
+    // pivot tolerance, and the most permissive caps.
+    escalate(0, classify(schedule.status));
+    record.degrade_rung = 1;
+    warm_cache_.clear();
+    LpScheduleOptions cold = lp_options;
+    cold.warm_cache = nullptr;
+    cold.lexmin.warm_start = false;
+    cold.lexmin.lp_options.degenerate_before_bland = 0;
+    cold.lexmin.lp_options.pivot_tol = 1e-7;
+    caps.assign(static_cast<std::size_t>(coarse_horizon), full_cap);
+    schedule = solve_placement(lp_jobs, caps, lp_first_slot, cold);
+    total_pivots_ += schedule.pivots;
+  }
+
+  if (!schedule.ok()) {
+    // Rung 2: the LP-free guaranteed fallback. Cannot itself fail; the
+    // plan may be less flat and may oversubscribe (capacity_exceeded),
+    // which the allocator's proportional shrink absorbs.
+    escalate(1, classify(schedule.status));
+    record.degrade_rung = 2;
+    record.lp_failed = true;
+    FT_LOG(kError) << "FlowTime replan: both LP rungs failed ("
+                   << lp::to_string(schedule.status)
+                   << "); using greedy fallback placement for "
+                   << lp_jobs.size() << " jobs";
+    schedule = greedy_placement(lp_jobs, caps, lp_first_slot);
+  }
+
+  record.budget_exhausted = budget.limited() && budget.exhausted();
   record.capacity_exceeded = schedule.capacity_exceeded;
   record.lexmin_truncated = schedule.lexmin_truncated;
   record.max_normalized_load = schedule.max_normalized_load;
@@ -433,32 +609,6 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
     ++truncated_replans_;
     FT_LOG(kWarn) << "FlowTime replan: lexmin round budget exhausted; the "
                      "plan's load profile tail is unrefined";
-  }
-  if (!schedule.ok()) {
-    record.lp_failed = true;
-    // Should not happen (windows were made feasible above); degrade to an
-    // EDF-style emergency plan: full width from now on for every job.
-    FT_LOG(kError) << "FlowTime replan failed: "
-                   << lp::to_string(schedule.status)
-                   << "; falling back to width-greedy placement";
-    for (const LpJob& job : lp_jobs) {
-      FT_LOG(kDebug) << "  lp_job uid=" << job.uid << " window=["
-                     << job.release_slot << "," << job.deadline_slot
-                     << "] demand=" << workload::to_string(job.demand)
-                     << " width=" << workload::to_string(job.width)
-                     << " now_slot=" << state.slot;
-    }
-    for (std::size_t j = 0; j < lp_jobs.size(); ++j) {
-      auto& row = plan_[lp_uids[j]];
-      row.assign(static_cast<std::size_t>(
-                     std::max(min_slots_needed(
-                                  deadline_jobs_[lp_uids[j]]),
-                              1)),
-                 lp_jobs[j].width);
-      deadline_jobs_[lp_uids[j]].planned_last_slot =
-          state.slot + static_cast<int>(row.size()) - 1;
-    }
-    return;
   }
   if (schedule.capacity_exceeded) {
     FT_LOG(kInfo) << "FlowTime: deadline windows need "
@@ -560,8 +710,13 @@ std::vector<sim::Allocation> FlowTimeScheduler::allocate(
       if (job.planned_last_slot >= 0) {
         const double planned_end = (job.planned_last_slot + 1) * slot_s;
         const auto deadline_it = job_deadlines_.find(job.ref);
-        if (deadline_it != job_deadlines_.end() &&
-            planned_end > deadline_it->second + kTol) {
+        const bool planned_late =
+            deadline_it != job_deadlines_.end() &&
+            planned_end > deadline_it->second + kTol;
+        // In degraded mode the plan came from a fallback rung, so its
+        // quality guarantee is gone: the planned end is the honest forecast
+        // even when it nominally beats the deadline.
+        if (planned_late || degraded_mode_) {
           projected = std::max(projected, planned_end);
         }
       }

@@ -62,6 +62,20 @@ struct FlowTimeConfig {
   /// deadline down), and a bucket's allocation is spread evenly over its
   /// slots. Keeps re-plan latency bounded for day-scale deadlines.
   int max_planning_slots = 360;
+  /// Wall-clock allowance for ALL LP solving of one re-plan (warm and cold
+  /// rungs share it); <= 0 = unlimited. Enforced by a monotonic-clock
+  /// watchdog at pivot granularity, so placements under a wall budget are
+  /// machine-dependent — use solver_pivot_budget for reproducible runs.
+  double solver_budget_ms = 0.0;
+  /// Total simplex pivots one re-plan may spend across every solve; <= 0 =
+  /// unlimited. Deterministic, unlike the wall clock: the same scenario and
+  /// cap degrade at the same pivot and produce byte-identical placements.
+  std::int64_t solver_pivot_budget = 0;
+  /// Consecutive clean full-LP re-plans required before degraded mode ends
+  /// (hysteresis; see DESIGN.md §10). Every re-plan re-attempts the full
+  /// LP regardless — this only delays *reporting* recovery, so one lucky
+  /// solve amid a numerical storm does not flap the mode.
+  int degrade_recovery_replans = 3;
 
   FlowTimeConfig() {
     // Scheduling needs the peak flattened and a couple of refinement
@@ -97,6 +111,19 @@ inline bool has_cause(ReplanCause mask, ReplanCause bit) {
 /// "arrival|deviation|overrun|plan_exhausted|stale_plan" subset.
 std::string to_string(ReplanCause causes);
 
+/// Why an escalation-ladder rung was abandoned (DESIGN.md §10). Attached to
+/// every `solver_escalation` trace event and, for the first failed rung, to
+/// the re-plan's record.
+enum class DegradeReason {
+  kNone = 0,
+  kTimeout,           // wall-clock budget or cancellation fired mid-solve
+  kIterationLimit,    // pivot budget (or solver iteration cap) exhausted
+  kNumericalFailure,  // solver lost feasibility/optimality numerically
+  kInfeasible,        // infeasible even after late-extension window repair
+};
+
+const char* to_string(DegradeReason reason);
+
 /// One re-plan, as recorded in FlowTimeScheduler::replan_log() and emitted
 /// as a "replan" trace event.
 struct ReplanRecord {
@@ -107,12 +134,20 @@ struct ReplanRecord {
   double wall_s = 0.0;        // re-plan wall time (0 when obs disabled)
   int late_extensions = 0;    // jobs whose window had to be extended
   bool capacity_exceeded = false;
-  bool lp_failed = false;     // width-greedy emergency fallback used
+  bool lp_failed = false;     // greedy fallback used (degrade_rung == 2)
   /// The lexmin round budget ran out before the load profile was fully
   /// refined: the plan is feasible and its peak exact, but its tail is not
   /// the lexicographic optimum (plan-quality warning, not a failure).
   bool lexmin_truncated = false;
   double max_normalized_load = 0.0;
+  /// Escalation-ladder rung that produced this plan: 0 = warm LP,
+  /// 1 = cold LP retry, 2 = greedy fallback placement.
+  int degrade_rung = 0;
+  /// Why rung 0 was abandoned (kNone when the warm LP succeeded). Per-rung
+  /// reasons are in the `solver_escalation` trace events.
+  DegradeReason degrade_reason = DegradeReason::kNone;
+  /// The re-plan's shared SolveBudget ran out at some point of the ladder.
+  bool budget_exhausted = false;
 };
 
 /// FlowTime as a sim::Scheduler. Single-threaded, one instance per run.
@@ -137,6 +172,9 @@ class FlowTimeScheduler : public sim::Scheduler {
   void on_task_failure(sim::JobUid uid, double now_s,
                        const sim::ResourceVec& lost_estimate, int retry,
                        double retry_at_s) override;
+  void on_solver_sabotage(double now_s, double budget_ms,
+                          std::int64_t pivot_cap,
+                          bool force_numerical_failure) override;
   std::vector<sim::Allocation> allocate(
       const sim::ClusterState& state) override;
 
@@ -169,6 +207,14 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// job's decomposed window infeasible (negative slack) since
   /// construction. See on_task_failure.
   int fault_redecompositions() const { return fault_redecompositions_; }
+
+  /// True while the scheduler is in degraded mode: some recent re-plan
+  /// needed the ladder and fewer than `degrade_recovery_replans` clean
+  /// full-LP re-plans have happened since.
+  bool degraded_mode() const { return degraded_mode_; }
+
+  /// Re-plans that escalated past the warm LP (rung > 0) since construction.
+  int degraded_replans() const { return degraded_replans_; }
 
  private:
   struct DeadlineJobState {
@@ -214,6 +260,20 @@ class FlowTimeScheduler : public sim::Scheduler {
   int fault_redecompositions_ = 0;
   std::vector<ReplanRecord> replan_log_;
   obs::SpanId plan_span_ = obs::kNoSpan;  // current re-plan epoch
+
+  // Degraded-mode state machine (DESIGN.md §10): entered when a re-plan
+  // escalates past the warm LP, left after `degrade_recovery_replans`
+  // consecutive clean full-LP re-plans.
+  bool degraded_mode_ = false;
+  int clean_replans_ = 0;       // consecutive rung-0 re-plans while degraded
+  int degraded_replans_ = 0;    // lifetime count of rung > 0 re-plans
+  obs::SpanId degraded_span_ = obs::kNoSpan;
+  // Active solver sabotage injected via on_solver_sabotage (chaos testing);
+  // merged into the re-plan budget. budget_ms < 0 and pivot_cap == 0 mean
+  // no sabotage.
+  double sabotage_budget_ms_ = -1.0;
+  std::int64_t sabotage_pivot_cap_ = 0;
+  bool sabotage_force_numerical_ = false;
 
   std::map<sim::JobUid, DeadlineJobState> deadline_jobs_;
   std::vector<sim::JobUid> adhoc_fifo_;  // arrival order

@@ -164,6 +164,8 @@ LpSchedule solve_placement(
     schedule.pivots += lex.pivots;
     schedule.lexmin_rounds = std::max(schedule.lexmin_rounds, lex.rounds);
     schedule.lexmin_truncated = schedule.lexmin_truncated || lex.truncated;
+    schedule.budget_exhausted =
+        schedule.budget_exhausted || lex.budget_exhausted;
     if (!lex.optimal()) {
       schedule.status = lex.status;
       return schedule;
@@ -326,6 +328,7 @@ LpSchedule solve_placement_coupled(
   schedule.pivots = lex.pivots;
   schedule.lexmin_rounds = lex.rounds;
   schedule.lexmin_truncated = lex.truncated;
+  schedule.budget_exhausted = lex.budget_exhausted;
   if (!lex.optimal()) {
     schedule.status = lex.status;
     return schedule;

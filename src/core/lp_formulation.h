@@ -110,6 +110,11 @@ struct LpSchedule {
   /// profile tail is not the lexicographic optimum (a plan-quality
   /// warning, not a failure).
   bool lexmin_truncated = false;
+  /// True when a shared SolveBudget (options.lexmin.lp_options.budget) ran
+  /// out during the solve. The schedule may still be ok() — a truncated
+  /// feasible point — but the caller's escalation ladder should know the
+  /// budget, not the model, bounded its quality.
+  bool budget_exhausted = false;
 
   bool ok() const { return status == lp::SolveStatus::kOptimal; }
 };

@@ -187,4 +187,52 @@ double FaultInjector::noise_factor(int workflow_id, int node) {
   return factor;
 }
 
+std::optional<SolverFault> FaultInjector::solver_fault_for_slot(
+    int slot, bool* changed) {
+  *changed = false;
+  if (plan_.solver_faults.empty()) return std::nullopt;
+
+  // Merge every window covering this slot: tightest limits win, failure
+  // forcing ORs.
+  std::optional<SolverFault> merged;
+  for (const SolverFault& fault : plan_.solver_faults) {
+    if (slot < fault.slot) continue;
+    if (fault.until_slot >= 0 && slot >= fault.until_slot) continue;
+    if (!merged.has_value()) {
+      merged = fault;
+      merged->slot = slot;
+      merged->until_slot = -1;  // the merge is a per-slot answer
+      continue;
+    }
+    if (fault.budget_ms >= 0.0) {
+      merged->budget_ms = merged->budget_ms >= 0.0
+                              ? std::min(merged->budget_ms, fault.budget_ms)
+                              : fault.budget_ms;
+    }
+    if (fault.pivot_cap > 0) {
+      merged->pivot_cap = merged->pivot_cap > 0
+                              ? std::min(merged->pivot_cap, fault.pivot_cap)
+                              : fault.pivot_cap;
+    }
+    merged->force_numerical_failure =
+        merged->force_numerical_failure || fault.force_numerical_failure;
+  }
+
+  const bool same =
+      solver_checked_once_ &&
+      merged.has_value() == last_solver_fault_.has_value() &&
+      (!merged.has_value() ||
+       (merged->budget_ms == last_solver_fault_->budget_ms &&
+        merged->pivot_cap == last_solver_fault_->pivot_cap &&
+        merged->force_numerical_failure ==
+            last_solver_fault_->force_numerical_failure));
+  if (!same) {
+    *changed = true;
+    if (merged.has_value()) ++log_.solver_sabotages;
+  }
+  solver_checked_once_ = true;
+  last_solver_fault_ = merged;
+  return merged;
+}
+
 }  // namespace flowtime::fault

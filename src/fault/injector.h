@@ -55,6 +55,7 @@ struct FaultLog {
   int task_retries = 0;
   int stragglers = 0;
   int noised_jobs = 0;
+  int solver_sabotages = 0;  // engage transitions (lifts are not counted)
 };
 
 class FaultInjector {
@@ -92,6 +93,14 @@ class FaultInjector {
   /// (call in layout order for determinism). 1.0 when noise is off.
   double noise_factor(int workflow_id, int node);
 
+  /// Merged solver sabotage active at `slot` (tightest budget and pivot cap
+  /// of every overlapping window, ORed failure forcing), or nullopt when
+  /// none is active. Must be called once per slot in increasing slot order;
+  /// `*changed` is set when the merged state differs from the previous
+  /// slot's — engage, lift, AND window-to-window tightening all count, so
+  /// the scheduler hook fires exactly on transitions.
+  std::optional<SolverFault> solver_fault_for_slot(int slot, bool* changed);
+
   /// In-process mirrors for tests/reports (the obs counters match).
   void count_task_failure() { ++log_.task_failures; }
   void count_task_retry() { ++log_.task_retries; }
@@ -115,6 +124,10 @@ class FaultInjector {
   /// consumed (fire once).
   std::multimap<int, TaskFault> task_faults_by_slot_;
   std::multimap<int, StragglerFault> stragglers_by_slot_;
+  /// Merged sabotage state of the previous solver_fault_for_slot call, for
+  /// transition detection. nullopt = no sabotage was active.
+  std::optional<SolverFault> last_solver_fault_;
+  bool solver_checked_once_ = false;
   FaultLog log_;
 };
 

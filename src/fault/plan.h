@@ -104,6 +104,21 @@ struct NoiseConfig {
   bool active() const { return model != NoiseModel::kNone; }
 };
 
+/// Solver sabotage: from the start of `slot` until the start of
+/// `until_slot` (-1 = forever) the scheduler's internal solver is squeezed
+/// to `budget_ms` of wall clock and `pivot_cap` pivots per planning
+/// decision (either may be unlimited: < 0 resp. <= 0), and — when
+/// `force_numerical_failure` is set — its primary solve path is declared
+/// numerically broken, forcing the escalation ladder to its cold rung.
+/// Overlapping windows merge with the tightest limit winning.
+struct SolverFault {
+  int slot = 0;
+  int until_slot = -1;
+  double budget_ms = -1.0;
+  std::int64_t pivot_cap = 0;
+  bool force_numerical_failure = false;
+};
+
 /// The complete fault declaration for one run. Default-constructed plans
 /// are empty: the injector becomes a no-op and instrumented binaries are
 /// byte-identical to pre-fault builds.
@@ -112,12 +127,13 @@ struct FaultPlan {
   std::vector<MachineFault> machines;
   std::vector<TaskFault> task_faults;
   std::vector<StragglerFault> stragglers;
+  std::vector<SolverFault> solver_faults;
   HazardConfig hazard;
   NoiseConfig noise;
 
   bool empty() const {
     return machines.empty() && task_faults.empty() && stragglers.empty() &&
-           !hazard.active() && !noise.active();
+           solver_faults.empty() && !hazard.active() && !noise.active();
   }
 };
 

@@ -46,10 +46,19 @@ Solution BranchAndBound::solve(const LpProblem& problem,
   LpProblem work = problem;
   std::int64_t explored = 0;
   bool hit_node_limit = false;
+  bool hit_budget = false;
 
   while (!open.empty()) {
     if (explored >= options_.max_nodes) {
       hit_node_limit = true;
+      break;
+    }
+    // The node LPs already stop at the shared budget; this check stops the
+    // tree search itself so an exhausted budget cannot keep opening nodes
+    // whose relaxations each fail after one pivot.
+    if (options_.lp_options.budget != nullptr &&
+        options_.lp_options.budget->exhausted()) {
+      hit_budget = true;
       break;
     }
     const std::shared_ptr<Node> node = open.top();
@@ -115,6 +124,9 @@ Solution BranchAndBound::solve(const LpProblem& problem,
 
   if (hit_node_limit && best.status != SolveStatus::kOptimal) {
     best.status = SolveStatus::kIterationLimit;
+  }
+  if (hit_budget && best.status != SolveStatus::kOptimal) {
+    best.status = options_.lp_options.budget->exhausted_status();
   }
   best.iterations = explored;
   if (best.status == SolveStatus::kOptimal) {

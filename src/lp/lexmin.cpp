@@ -42,6 +42,7 @@ LexMinMaxResult LexMinMaxSolver::solve(
                 .field("levels", result.levels.size())
                 .field("max_level", result.max_level())
                 .field("truncated", result.truncated)
+                .field("budget_exhausted", result.budget_exhausted)
                 .field("probe_failures", result.probe_failures)
                 .field("wall_s", wall_s));
   return result;
@@ -66,6 +67,9 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
     result.x = std::move(s.x);
     result.pivots = s.iterations;
     result.final_basis = std::move(s.basis);
+    if (options_.lp_options.budget != nullptr) {
+      result.budget_exhausted = options_.lp_options.budget->exhausted();
+    }
     return result;
   }
 
@@ -95,6 +99,19 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
         p, options_.warm_start && !basis.empty() ? &basis : nullptr);
     result.pivots += s.iterations;
     if (!s.optimal()) {
+      SolveBudget* budget = options_.lp_options.budget;
+      if (budget != nullptr && budget->exhausted()) {
+        result.budget_exhausted = true;
+        // A phase-2 cutoff still returns a feasible (unproven) point; a
+        // phase-1 cutoff returns none, but an earlier round may have. In
+        // either case the best feasible point seen becomes a truncated
+        // result instead of a failure; with no feasible point at all the
+        // budget's status propagates and the caller's ladder escalates.
+        if (!s.x.empty()) {
+          result.x.assign(s.x.begin(), s.x.begin() + base.num_columns());
+        }
+        if (!result.x.empty()) break;
+      }
       result.status = s.status;
       return result;
     }

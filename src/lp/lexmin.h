@@ -77,6 +77,12 @@ struct LexMinMaxResult {
   /// Exact-fixing probes that did not solve to optimality and fell back to
   /// the dual test for that candidate (solver failure, not a bound proof).
   int probe_failures = 0;
+  /// True when the shared SolveBudget (lp_options.budget) ran out during
+  /// this solve. When a feasible point from an earlier (or cut-short) round
+  /// was available the result reports kOptimal with `truncated` set — the
+  /// placement is usable but not the lexicographic optimum; otherwise the
+  /// budget's status (kTimeout / kIterationLimit) is propagated.
+  bool budget_exhausted = false;
   /// Final simplex basis of the last round, for warm-starting the next
   /// lexmin solve of a same-shaped instance (see LexMinMaxSolver::solve).
   Basis final_basis;

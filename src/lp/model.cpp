@@ -19,6 +19,8 @@ const char* to_string(SolveStatus status) {
       return "iteration_limit";
     case SolveStatus::kNumericalFailure:
       return "numerical_failure";
+    case SolveStatus::kTimeout:
+      return "timeout";
   }
   return "?";
 }

@@ -37,6 +37,10 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
   kNumericalFailure,
+  /// A SolveBudget's wall-clock watchdog (or cancellation token) fired
+  /// mid-solve. Like kIterationLimit, the solve stopped at a feasible but
+  /// unproven point when one was available.
+  kTimeout,
 };
 
 const char* to_string(SolveStatus status);

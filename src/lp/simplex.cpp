@@ -91,11 +91,14 @@ class Engine {
       }
     }
 
-    // Phase 2: the real objective.
+    // Phase 2: the real objective. An iteration-limit or budget cutoff
+    // still returns the current feasible point and basis — truncated, not
+    // failed.
     const SolveStatus phase2 = optimize(w_.cost, limit, &result.iterations);
     result.status = phase2;
     if (phase2 != SolveStatus::kOptimal &&
-        phase2 != SolveStatus::kIterationLimit) {
+        phase2 != SolveStatus::kIterationLimit &&
+        phase2 != SolveStatus::kTimeout) {
       return result;
     }
     result.basis = capture_basis();
@@ -610,6 +613,12 @@ class Engine {
 
     while (true) {
       if (*iteration_counter >= limit) return SolveStatus::kIterationLimit;
+      // Watchdog: the shared budget is polled at pivot granularity, so a
+      // pathological basis can never stall past the caller's deadline by
+      // more than one pivot's work.
+      if (options_.budget != nullptr && options_.budget->exhausted()) {
+        return options_.budget->exhausted_status();
+      }
 
       const std::vector<double> y = compute_duals(cost);
       const bool bland = degenerate_run > options_.degenerate_before_bland;
@@ -740,6 +749,7 @@ class Engine {
                            ? degenerate_run + 1
                            : 0;
       ++*iteration_counter;
+      if (options_.budget != nullptr) options_.budget->charge_pivot();
 
       if (leaving_row < 0) {
         // Bound flip: entering travels its whole gap, basis unchanged.
@@ -830,6 +840,11 @@ Solution SimplexSolver::solve(const LpProblem& problem,
   if (result.warm_start_used) reg.counter("lp.simplex.warm_starts").add();
   if (result.warm_start_fallback) {
     reg.counter("lp.simplex.warm_start_fallbacks").add();
+  }
+  if (options_.budget != nullptr && options_.budget->exhausted() &&
+      (result.status == SolveStatus::kTimeout ||
+       result.status == SolveStatus::kIterationLimit)) {
+    reg.counter("lp.budget_exhausted").add();
   }
   obs::emit(obs::TraceEvent("simplex_solve")
                 .field("rows", problem.num_rows())

@@ -34,6 +34,7 @@
 #include <cstdint>
 
 #include "lp/model.h"
+#include "lp/solve_budget.h"
 
 namespace flowtime::lp {
 
@@ -51,6 +52,11 @@ struct SimplexOptions {
   /// declared after a full empty wrap. 0 = auto: max(64, columns / 8);
   /// small problems therefore still see full Dantzig pricing.
   int pricing_section = 0;
+  /// Shared solve budget (wall-clock watchdog + pivot cap + cancellation),
+  /// checked between pivots. Not owned; null = unlimited, which leaves the
+  /// solve path identical to a build without budgets. See
+  /// lp/solve_budget.h for the sharing and determinism contract.
+  SolveBudget* budget = nullptr;
 };
 
 /// Solves `problem` (minimization). The returned Solution carries primal

@@ -9,6 +9,7 @@
 //   * Ground truth (actual runtimes) lives only inside the simulator.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,21 @@ class Scheduler {
     (void)lost_estimate;
     (void)retry;
     (void)retry_at_s;
+  }
+
+  /// Chaos injection squeezed (or, on lift, released) the scheduler's
+  /// solver resources: the planner should cap its per-decision solve work
+  /// at `budget_ms` wall-clock (< 0 = unlimited) and `pivot_cap` pivots
+  /// (<= 0 = unlimited); `force_numerical_failure` asks it to treat its
+  /// primary solve path as numerically broken. A lift is signalled as
+  /// (-1.0, 0, false). Schedulers without an internal solver ignore this.
+  virtual void on_solver_sabotage(double now_s, double budget_ms,
+                                  std::int64_t pivot_cap,
+                                  bool force_numerical_failure) {
+    (void)now_s;
+    (void)budget_ms;
+    (void)pivot_cap;
+    (void)force_numerical_failure;
   }
 
   virtual std::vector<Allocation> allocate(const ClusterState& state) = 0;

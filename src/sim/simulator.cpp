@@ -240,6 +240,38 @@ SimResult Simulator::run(const workload::Scenario& scenario,
             workload::scale(capacity_units, config_.cluster.slot_seconds));
       }
 
+      // Solver sabotage: squeeze (or release) the scheduler's internal
+      // solver on window transitions.
+      bool solver_changed = false;
+      const auto sabotage = injector.solver_fault_for_slot(slot, &solver_changed);
+      if (solver_changed) {
+        if (obs::enabled()) {
+          if (sabotage.has_value()) {
+            obs::registry().counter("fault.solver_sabotages").add();
+            obs::emit(obs::TraceEvent("fault_injected")
+                          .field("kind", "solver_sabotage")
+                          .field("slot", slot)
+                          .field("now_s", now)
+                          .field("budget_ms", sabotage->budget_ms)
+                          .field("pivot_cap", sabotage->pivot_cap)
+                          .field("force_numerical_failure",
+                                 sabotage->force_numerical_failure));
+          } else {
+            obs::emit(obs::TraceEvent("fault_lifted")
+                          .field("kind", "solver_sabotage")
+                          .field("slot", slot)
+                          .field("now_s", now));
+          }
+        }
+        if (sabotage.has_value()) {
+          scheduler.on_solver_sabotage(now, sabotage->budget_ms,
+                                       sabotage->pivot_cap,
+                                       sabotage->force_numerical_failure);
+        } else {
+          scheduler.on_solver_sabotage(now, -1.0, 0, false);
+        }
+      }
+
       // Release retries whose backoff expired, then inject this slot's
       // task faults and stragglers. Order matters for determinism: jobs
       // are visited in uid order and retries precede new failures.

@@ -1,5 +1,6 @@
 #include "workload/scenario_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -47,7 +48,27 @@ bool get_double(const Fields& fields, const std::string& key, bool required,
     *message = "field '" + key + "' is not a number: " + it->second;
     return false;
   }
+  // strtod happily parses "nan" and "inf"; neither is a meaningful
+  // capacity, runtime, demand or deadline anywhere in the format.
+  if (!std::isfinite(*out)) {
+    *message = "field '" + key + "' is not finite: " + it->second;
+    return false;
+  }
   return true;
+}
+
+bool require_nonnegative(double value, const std::string& key,
+                         std::string* message) {
+  if (value >= 0.0) return true;
+  *message = "field '" + key + "' must be >= 0, got " + std::to_string(value);
+  return false;
+}
+
+bool require_positive(double value, const std::string& key,
+                      std::string* message) {
+  if (value > 0.0) return true;
+  *message = "field '" + key + "' must be > 0, got " + std::to_string(value);
+  return false;
 }
 
 bool get_int(const Fields& fields, const std::string& key, bool required,
@@ -166,6 +187,11 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
                       &cluster.slot_seconds, &message)) {
         return fail(line_number, message);
       }
+      if (!require_positive(cluster.capacity[kCpu], "cores", &message) ||
+          !require_positive(cluster.capacity[kMemory], "mem_gb", &message) ||
+          !require_positive(cluster.slot_seconds, "slot_seconds", &message)) {
+        return fail(line_number, message);
+      }
       parsed.cluster = cluster;
     } else if (directive == "workflow") {
       if (current.has_value()) {
@@ -180,6 +206,13 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
           !get_double(fields, "deadline", true, 0, &w.deadline_s,
                       &message)) {
         return fail(line_number, message);
+      }
+      if (!require_nonnegative(w.start_s, "start", &message) ||
+          !require_nonnegative(w.deadline_s, "deadline", &message)) {
+        return fail(line_number, message);
+      }
+      if (w.deadline_s <= w.start_s) {
+        return fail(line_number, "workflow deadline must be after its start");
       }
       w.name = fields.count("name") ? fields["name"]
                                     : "workflow-" + std::to_string(w.id);
@@ -203,6 +236,15 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
           !get_double(fields, "mem", true, 0, &mem, &message) ||
           !get_double(fields, "error", false, 1.0,
                       &job.actual_runtime_factor, &message)) {
+        return fail(line_number, message);
+      }
+      if (job.num_tasks <= 0) {
+        return fail(line_number, "job must have at least one task");
+      }
+      if (!require_nonnegative(job.task.runtime_s, "runtime", &message) ||
+          !require_nonnegative(cores, "cores", &message) ||
+          !require_nonnegative(mem, "mem", &message) ||
+          !require_positive(job.actual_runtime_factor, "error", &message)) {
         return fail(line_number, message);
       }
       job.task.demand = ResourceVec{cores, mem};
@@ -247,6 +289,18 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
           !get_double(fields, "mem", true, 0, &mem, &message) ||
           !get_double(fields, "error", false, 1.0,
                       &job.spec.actual_runtime_factor, &message)) {
+        return fail(line_number, message);
+      }
+      if (job.spec.num_tasks <= 0) {
+        return fail(line_number, "job must have at least one task");
+      }
+      if (!require_nonnegative(job.arrival_s, "arrival", &message) ||
+          !require_nonnegative(job.spec.task.runtime_s, "runtime",
+                               &message) ||
+          !require_nonnegative(cores, "cores", &message) ||
+          !require_nonnegative(mem, "mem", &message) ||
+          !require_positive(job.spec.actual_runtime_factor, "error",
+                            &message)) {
         return fail(line_number, message);
       }
       job.spec.task.demand = ResourceVec{cores, mem};
@@ -304,6 +358,28 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
         return fail(line_number, message);
       }
       parsed.fault_plan.stragglers.push_back(straggler);
+    } else if (directive == "fault_solver") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::SolverFault solver;
+      double pivots = 0.0;
+      int fail_flag = 0;
+      if (!get_int(fields, "slot", true, 0, &solver.slot, &message) ||
+          !get_int(fields, "until", false, -1, &solver.until_slot,
+                   &message) ||
+          !get_double(fields, "budget_ms", false, -1.0, &solver.budget_ms,
+                      &message) ||
+          !get_double(fields, "pivots", false, 0, &pivots, &message) ||
+          !get_int(fields, "fail", false, 0, &fail_flag, &message)) {
+        return fail(line_number, message);
+      }
+      solver.pivot_cap = static_cast<std::int64_t>(pivots);
+      solver.force_numerical_failure = fail_flag != 0;
+      if (solver.slot < 0) {
+        return fail(line_number, "field 'slot' must be >= 0");
+      }
+      parsed.fault_plan.solver_faults.push_back(solver);
     } else if (directive == "fault_hazard") {
       if (!parse_fields(tokens, 1, &fields, &message)) {
         return fail(line_number, message);
@@ -421,6 +497,14 @@ std::string write_scenario(const Scenario& scenario,
       out << "fault_straggler workflow=" << straggler.workflow_id
           << " node=" << straggler.node << " slot=" << straggler.slot
           << " factor=" << straggler.factor << "\n";
+    }
+    for (const fault::SolverFault& solver : fault_plan.solver_faults) {
+      out << "fault_solver slot=" << solver.slot;
+      if (solver.until_slot >= 0) out << " until=" << solver.until_slot;
+      if (solver.budget_ms >= 0.0) out << " budget_ms=" << solver.budget_ms;
+      if (solver.pivot_cap > 0) out << " pivots=" << solver.pivot_cap;
+      if (solver.force_numerical_failure) out << " fail=1";
+      out << "\n";
     }
     if (fault_plan.hazard.active()) {
       out << "fault_hazard prob=" << fault_plan.hazard.prob_per_slot

@@ -116,7 +116,62 @@ INSTANTIATE_TEST_SUITE_P(
         ErrorCase{"nested",
                   "workflow id=0 start=0 deadline=10\n"
                   "workflow id=1 start=0 deadline=10\n",
-                  "not closed"}));
+                  "not closed"},
+        // Numeric hardening: non-finite, negative, and zero values that
+        // strtod parses happily but no directive can mean.
+        ErrorCase{"nancores", "cluster cores=nan mem_gb=1\n", "not finite"},
+        ErrorCase{"infruntime",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=0 tasks=1 runtime=inf cores=1 mem=1\nend\n",
+                  "not finite"},
+        ErrorCase{"zerocores", "cluster cores=0 mem_gb=1\n", "must be > 0"},
+        ErrorCase{"negslot",
+                  "cluster cores=1 mem_gb=1 slot_seconds=-5\n",
+                  "must be > 0"},
+        ErrorCase{"negruntime",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=0 tasks=1 runtime=-1 cores=1 mem=1\nend\n",
+                  "must be >= 0"},
+        ErrorCase{"negdemand",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=0 tasks=1 runtime=1 cores=-2 mem=1\nend\n",
+                  "must be >= 0"},
+        ErrorCase{"zerotasks",
+                  "workflow id=0 start=0 deadline=10\n"
+                  "job node=0 tasks=0 runtime=1 cores=1 mem=1\nend\n",
+                  "at least one task"},
+        ErrorCase{"negdeadline",
+                  "workflow id=0 start=0 deadline=-10\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\nend\n",
+                  "must be >= 0"},
+        ErrorCase{"deadlinebeforestart",
+                  "workflow id=0 start=50 deadline=50\n"
+                  "job node=0 tasks=1 runtime=1 cores=1 mem=1\nend\n",
+                  "after its start"},
+        ErrorCase{"negarrival",
+                  "adhoc id=0 arrival=-3 tasks=1 runtime=1 cores=1 mem=1\n",
+                  "must be >= 0"},
+        ErrorCase{"adhoczerotasks",
+                  "adhoc id=0 arrival=0 tasks=0 runtime=1 cores=1 mem=1\n",
+                  "at least one task"},
+        ErrorCase{"negsolverslot", "fault seed=1\nfault_solver slot=-1\n",
+                  "must be >= 0"}));
+
+TEST(ScenarioIo, BadInputReportsTheOffendingLineNumber) {
+  // The invalid job sits on line 4 (line numbers are 1-based and count the
+  // leading comment and blank line).
+  ParseError error;
+  const auto parsed = parse_scenario(
+      "# header\n"
+      "cluster cores=10 mem_gb=10\n"
+      "workflow id=0 start=0 deadline=100\n"
+      "job node=0 tasks=1 runtime=nan cores=1 mem=1\n"
+      "end\n",
+      &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_EQ(error.line, 4) << error.message;
+  EXPECT_NE(error.message.find("not finite"), std::string::npos);
+}
 
 TEST(ScenarioIo, MissingFileReportsError) {
   ParseError error;
@@ -180,6 +235,51 @@ TEST(ScenarioIo, RoundTripPreservesErrorFactors) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_NEAR(parsed->scenario.workflows[0].jobs[0].actual_runtime_factor,
               1.3, 1e-9);
+}
+
+TEST(ScenarioIo, FaultSolverDirectiveRoundTrips) {
+  ParseError error;
+  const auto parsed = parse_scenario(
+      "cluster cores=10 mem_gb=10\n"
+      "adhoc id=0 arrival=0 tasks=1 runtime=10 cores=1 mem=1\n"
+      "fault seed=7\n"
+      "fault_solver slot=5 until=9 budget_ms=0.5 pivots=40 fail=1\n"
+      "fault_solver slot=20\n",
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << "line " << error.line << ": "
+                                  << error.message;
+  ASSERT_EQ(parsed->fault_plan.solver_faults.size(), 2u);
+  const fault::SolverFault& first = parsed->fault_plan.solver_faults[0];
+  EXPECT_EQ(first.slot, 5);
+  EXPECT_EQ(first.until_slot, 9);
+  EXPECT_DOUBLE_EQ(first.budget_ms, 0.5);
+  EXPECT_EQ(first.pivot_cap, 40);
+  EXPECT_TRUE(first.force_numerical_failure);
+  const fault::SolverFault& second = parsed->fault_plan.solver_faults[1];
+  EXPECT_EQ(second.slot, 20);
+  EXPECT_EQ(second.until_slot, -1);
+  EXPECT_DOUBLE_EQ(second.budget_ms, -1.0);
+  EXPECT_EQ(second.pivot_cap, 0);
+  EXPECT_FALSE(second.force_numerical_failure);
+
+  // write -> parse preserves every field.
+  const std::string text =
+      write_scenario(parsed->scenario, parsed->cluster, parsed->fault_plan);
+  ParseError error2;
+  const auto reparsed = parse_scenario(text, &error2);
+  ASSERT_TRUE(reparsed.has_value()) << "line " << error2.line << ": "
+                                    << error2.message;
+  ASSERT_EQ(reparsed->fault_plan.solver_faults.size(), 2u);
+  const fault::SolverFault& a = reparsed->fault_plan.solver_faults[0];
+  EXPECT_EQ(a.slot, 5);
+  EXPECT_EQ(a.until_slot, 9);
+  EXPECT_DOUBLE_EQ(a.budget_ms, 0.5);
+  EXPECT_EQ(a.pivot_cap, 40);
+  EXPECT_TRUE(a.force_numerical_failure);
+  const fault::SolverFault& b = reparsed->fault_plan.solver_faults[1];
+  EXPECT_EQ(b.slot, 20);
+  EXPECT_EQ(b.until_slot, -1);
+  EXPECT_FALSE(b.force_numerical_failure);
 }
 
 }  // namespace

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
+#include "core/flowtime_scheduler.h"
 #include "lp/lexmin.h"
 #include "lp/simplex.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "workload/scenario_io.h"
 
 namespace flowtime {
 namespace {
@@ -139,6 +143,61 @@ TEST_P(LexminStress, HeuristicFixingMatchesExactOnMaxLevel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LexminStress, ::testing::Range(1, 11));
+
+TEST(IterationLimitEndToEnd, ExhaustedPivotCapYieldsDeterministicFallback) {
+  // Eight identical jobs sharing one window make the placement LP highly
+  // degenerate — plenty of tied pivots to chew through a tiny cap. The cap
+  // must surface as kIterationLimit (never a crash or an unplaced job), and
+  // because the pivot budget is deterministic, two runs must be
+  // byte-identical.
+  const char* scenario_text =
+      "cluster cores=64 mem_gb=128 slot_seconds=10\n"
+      "workflow id=0 name=degenerate start=0 deadline=500\n"
+      "job node=0 name=a tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=1 name=b tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=2 name=c tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=3 name=d tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=4 name=e tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=5 name=f tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=6 name=g tasks=8 runtime=80 cores=1 mem=2\n"
+      "job node=7 name=h tasks=8 runtime=80 cores=1 mem=2\n"
+      "end\n";
+  auto run_once = [&]() {
+    workload::ParseError error;
+    const auto parsed = workload::parse_scenario(scenario_text, &error);
+    EXPECT_TRUE(parsed.has_value()) << error.message;
+    sim::SimConfig config;
+    if (parsed->cluster) config.cluster = *parsed->cluster;
+    core::FlowTimeConfig ft;
+    ft.cluster = config.cluster;
+    ft.solver_pivot_budget = 5;  // far below what 8 demand rows need
+    core::FlowTimeScheduler scheduler(ft);
+    sim::Simulator simulator(config);
+    sim::SimResult result = simulator.run(parsed->scenario, scheduler);
+    bool iteration_limited = false;
+    for (const core::ReplanRecord& record : scheduler.replan_log()) {
+      if (record.degrade_reason == core::DegradeReason::kIterationLimit) {
+        iteration_limited = true;
+        EXPECT_TRUE(record.budget_exhausted);
+      }
+    }
+    EXPECT_TRUE(iteration_limited)
+        << "the pivot cap must trip at least one re-plan";
+    return result;
+  };
+  const sim::SimResult a = run_once();
+  const sim::SimResult b = run_once();
+  EXPECT_TRUE(a.all_completed);
+  EXPECT_EQ(a.capacity_violations, 0);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].completion_s, b.jobs[i].completion_s);
+  }
+  ASSERT_EQ(a.used_per_slot.size(), b.used_per_slot.size());
+  for (std::size_t t = 0; t < a.used_per_slot.size(); ++t) {
+    EXPECT_EQ(a.used_per_slot[t], b.used_per_slot[t]) << "slot " << t;
+  }
+}
 
 TEST(TableEdge, EmptyTableRendersHeaderOnly) {
   util::Table t({"a", "b"});
