@@ -20,6 +20,15 @@
 //   --solver-budget-ms N cap FlowTime's per-replan LP solving at N ms of
 //                        wall clock; exceeding it escalates down the
 //                        graceful-degradation ladder (DESIGN.md §10)
+//   --async-replan       run the FlowTime variants behind the concurrent
+//                        runtime: events are queued and the LP solve runs
+//                        on a background thread while the current plan
+//                        keeps serving (DESIGN.md §11)
+//   --async-barrier      with --async-replan: wait for every solve before
+//                        serving its slot — deterministic (plan-for-plan
+//                        identical to the synchronous path)
+//   --runtime-threads N  solver threads for the concurrent runtime
+//                        (default 1)
 //   --dump-example       print a commented example scenario and exit
 #include <cstdio>
 
@@ -71,6 +80,10 @@ int main(int argc, char** argv) {
   const std::string prom_out = flags.get_string("prom-out", "");
   const double fault_seed = flags.get_double("fault-seed", -1.0);
   const double solver_budget_ms = flags.get_double("solver-budget-ms", 0.0);
+  const bool async_replan = flags.get_bool("async-replan", false);
+  const bool async_barrier = flags.get_bool("async-barrier", false);
+  const int runtime_threads =
+      static_cast<int>(flags.get_double("runtime-threads", 1.0));
   for (const std::string& typo : flags.unqueried()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
   }
@@ -102,6 +115,9 @@ int main(int argc, char** argv) {
   config.flowtime.cluster.slot_seconds = config.sim.cluster.slot_seconds;
   config.flowtime.deadline_slack_s = slack;
   config.flowtime.solver_budget_ms = solver_budget_ms;
+  config.async_replan = async_replan;
+  config.async_barrier = async_barrier;
+  config.runtime_threads = runtime_threads;
   for (const std::string& name : util::split(scheduler_list, ',')) {
     if (!name.empty()) config.schedulers.push_back(name);
   }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <type_traits>
+#include <utility>
 
 #include "core/greedy_placement.h"
 #include "lp/solve_budget.h"
@@ -54,6 +57,29 @@ const char* to_string(DegradeReason reason) {
 FlowTimeScheduler::FlowTimeScheduler(FlowTimeConfig config)
     : config_(std::move(config)) {}
 
+void FlowTimeScheduler::on_event(const sim::SchedulerEvent& event) {
+  std::visit(
+      [this](const auto& e) {
+        using E = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<E, sim::WorkflowArrivalEvent>) {
+          handle_workflow_arrival(*e.workflow, e.node_uids, e.now_s);
+        } else if constexpr (std::is_same_v<E, sim::AdhocArrivalEvent>) {
+          handle_adhoc_arrival(e.uid);
+        } else if constexpr (std::is_same_v<E, sim::JobCompleteEvent>) {
+          handle_job_complete(e.uid, e.now_s);
+        } else if constexpr (std::is_same_v<E, sim::CapacityChangeEvent>) {
+          handle_capacity_change();
+        } else if constexpr (std::is_same_v<E, sim::TaskFailureEvent>) {
+          handle_task_failure(e.uid, e.now_s, e.lost_estimate, e.retry_at_s);
+        } else {
+          static_assert(std::is_same_v<E, sim::SolverSabotageEvent>);
+          handle_solver_sabotage(e.budget_ms, e.pivot_cap,
+                                 e.force_numerical_failure);
+        }
+      },
+      event);
+}
+
 int FlowTimeScheduler::seconds_to_release_slot(double seconds) const {
   return static_cast<int>(
       std::floor(seconds / config_.cluster.slot_seconds + kTol));
@@ -78,10 +104,9 @@ int FlowTimeScheduler::min_slots_needed(const DeadlineJobState& job) const {
   return needed;
 }
 
-void FlowTimeScheduler::on_workflow_arrival(
+void FlowTimeScheduler::handle_workflow_arrival(
     const workload::Workflow& workflow,
     const std::vector<sim::JobUid>& node_uids, double now_s) {
-  (void)now_s;
   DecompositionConfig decomposition_config;
   decomposition_config.cluster = config_.cluster;
   decomposition_config.mode = config_.decomposition_mode;
@@ -154,14 +179,11 @@ void FlowTimeScheduler::on_workflow_arrival(
   mark_dirty(ReplanCause::kWorkflowArrival);
 }
 
-void FlowTimeScheduler::on_adhoc_arrival(sim::JobUid uid, double now_s,
-                                         const sim::ResourceVec& width) {
-  (void)now_s;
-  (void)width;
+void FlowTimeScheduler::handle_adhoc_arrival(sim::JobUid uid) {
   adhoc_fifo_.push_back(uid);
 }
 
-void FlowTimeScheduler::on_job_complete(sim::JobUid uid, double now_s) {
+void FlowTimeScheduler::handle_job_complete(sim::JobUid uid, double now_s) {
   const auto it = deadline_jobs_.find(uid);
   if (it == deadline_jobs_.end()) {
     // Ad-hoc completion frees leftover capacity only; no plan impact.
@@ -170,6 +192,9 @@ void FlowTimeScheduler::on_job_complete(sim::JobUid uid, double now_s) {
   }
   DeadlineJobState& job = it->second;
   job.complete = true;
+  // A deadline job leaving the planning set changes what the next solve
+  // sees, whether or not it triggers one: any in-flight solve is now stale.
+  ++planner_epoch_;
   if (obs::enabled()) {
     obs::deadline_monitor().complete_job(job.ref.workflow_id, job.ref.node,
                                          now_s);
@@ -186,21 +211,17 @@ void FlowTimeScheduler::on_job_complete(sim::JobUid uid, double now_s) {
   plan_.erase(uid);
 }
 
-void FlowTimeScheduler::on_capacity_change(double now_s,
-                                           const sim::ResourceVec& capacity) {
+void FlowTimeScheduler::handle_capacity_change() {
   // The next allocate() snapshot carries the new capacity, so the re-plan
   // automatically flattens the remaining deadline work under it (SV: C_t^r
   // may vary). A failure shrinks the budget — the LP may now need late
   // extensions; a recovery widens it — the plan can relax again.
-  (void)now_s;
-  (void)capacity;
   mark_dirty(ReplanCause::kCapacityChange);
 }
 
-void FlowTimeScheduler::on_task_failure(sim::JobUid uid, double now_s,
-                                        const sim::ResourceVec& lost_estimate,
-                                        int retry, double retry_at_s) {
-  (void)retry;
+void FlowTimeScheduler::handle_task_failure(
+    sim::JobUid uid, double now_s, const sim::ResourceVec& lost_estimate,
+    double retry_at_s) {
   const auto it = deadline_jobs_.find(uid);
   if (it == deadline_jobs_.end()) {
     // Ad-hoc: no plan to repair; the simulator re-runs the lost work and
@@ -274,10 +295,9 @@ void FlowTimeScheduler::on_task_failure(sim::JobUid uid, double now_s,
   }
 }
 
-void FlowTimeScheduler::on_solver_sabotage(double now_s, double budget_ms,
-                                           std::int64_t pivot_cap,
-                                           bool force_numerical_failure) {
-  (void)now_s;
+void FlowTimeScheduler::handle_solver_sabotage(double budget_ms,
+                                               std::int64_t pivot_cap,
+                                               bool force_numerical_failure) {
   // Stored, not acted on: the sabotage tightens (or, on lift, releases)
   // the budget of every re-plan that starts while it is active. It never
   // triggers a re-plan by itself — that would let the chaos layer change
@@ -294,105 +314,31 @@ const DecompositionResult* FlowTimeScheduler::decomposition(
 }
 
 void FlowTimeScheduler::replan(const sim::ClusterState& state) {
-  ++replans_;
-  ReplanRecord record;
-  record.slot = state.slot;
-  record.causes = pending_causes_;
-  pending_causes_ = ReplanCause::kNone;
+  // The synchronous path: the three phases of the planner/serving split
+  // run back to back on the calling thread. The concurrent runtime calls
+  // the same phases with the solve moved to a background thread; keeping
+  // one code path is what makes sync-vs-async parity testable at all.
+  PendingReplan pending = begin_replan(state);
+  PlanSolveResult solved;
   {
     std::optional<obs::ScopedTimer> timer;
-    if (obs::enabled()) timer.emplace(&record.wall_s);
-    const std::int64_t pivots_before = total_pivots_;
-    replan_impl(state, record);
-    record.pivots = total_pivots_ - pivots_before;
+    if (obs::enabled()) timer.emplace(&pending.record.wall_s);
+    solved = solve_replan(config_, &warm_cache_, pending);
   }
-  replan_log_.push_back(record);
-
-  // Degraded-mode state machine (hysteresis; DESIGN.md §10). Every re-plan
-  // re-attempts the full LP, so recovery needs no special trigger — just
-  // `degrade_recovery_replans` consecutive clean rung-0 plans.
-  if (record.degrade_rung > 0) {
-    ++degraded_replans_;
-    clean_replans_ = 0;
-    if (obs::enabled()) {
-      obs::registry().counter("core.degraded_replans").add();
-    }
-    if (!degraded_mode_) {
-      degraded_mode_ = true;
-      FT_LOG(kWarn) << "FlowTime: entering degraded mode at slot "
-                    << record.slot << " (rung " << record.degrade_rung
-                    << ", " << to_string(record.degrade_reason) << ")";
-      if (obs::enabled()) {
-        obs::registry().counter("core.degrade_enters").add();
-        obs::emit(obs::TraceEvent("degrade_enter")
-                      .field("slot", record.slot)
-                      .field("rung", record.degrade_rung)
-                      .field("reason", to_string(record.degrade_reason)));
-        degraded_span_ = obs::begin_span(
-            "degraded", "degraded@slot" + std::to_string(record.slot),
-            obs::kNoSpan, state.now_s);
-      }
-    }
-  } else if (degraded_mode_) {
-    ++clean_replans_;
-    if (clean_replans_ >= std::max(config_.degrade_recovery_replans, 1)) {
-      degraded_mode_ = false;
-      clean_replans_ = 0;
-      FT_LOG(kInfo) << "FlowTime: leaving degraded mode at slot "
-                    << record.slot;
-      if (obs::enabled()) {
-        obs::emit(obs::TraceEvent("degrade_exit")
-                      .field("slot", record.slot)
-                      .field("clean_replans",
-                             std::max(config_.degrade_recovery_replans, 1)));
-        obs::end_span(degraded_span_, state.now_s);
-        degraded_span_ = obs::kNoSpan;
-      }
-    }
-  }
-
-  if (obs::enabled()) {
-    // Each re-plan opens a new plan epoch; the previous one ends here and
-    // the simulator's end_open_spans closes the last epoch of the run.
-    obs::end_span(plan_span_, state.now_s);
-    plan_span_ = obs::begin_span(
-        "plan", "plan#" + std::to_string(replans_) + ":" +
-                    to_string(record.causes),
-        obs::kNoSpan, state.now_s);
-    obs::registry().counter("core.replans").add();
-    obs::registry().counter("core.replan_pivots").add(record.pivots);
-    obs::registry().histogram("core.replan_seconds").observe(record.wall_s);
-    if (record.lp_failed) {
-      obs::registry().counter("core.replan_lp_failures").add();
-    }
-    if (record.lexmin_truncated) {
-      obs::registry().counter("core.replan_lexmin_truncated").add();
-    }
-    obs::emit(obs::TraceEvent("replan")
-                  .field("slot", record.slot)
-                  .field("cause", to_string(record.causes))
-                  .field("planned_jobs", record.planned_jobs)
-                  .field("pivots", record.pivots)
-                  .field("wall_s", record.wall_s)
-                  .field("late_extensions", record.late_extensions)
-                  .field("capacity_exceeded", record.capacity_exceeded)
-                  .field("lp_failed", record.lp_failed)
-                  .field("lexmin_truncated", record.lexmin_truncated)
-                  .field("max_normalized_load",
-                         record.max_normalized_load)
-                  .field("degrade_rung", record.degrade_rung)
-                  .field("degrade_reason", to_string(record.degrade_reason))
-                  .field("budget_exhausted", record.budget_exhausted)
-                  .field("degraded_mode", degraded_mode_));
-  }
+  finish_replan(pending, std::move(solved), state.now_s);
 }
 
-void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
-                                    ReplanRecord& record) {
-  std::vector<LpJob> lp_jobs;
-  std::vector<sim::JobUid> lp_uids;
-  int horizon_last_slot = state.slot;
+PendingReplan FlowTimeScheduler::begin_replan(const sim::ClusterState& state) {
+  ++replans_;
+  PendingReplan pending;
+  pending.state = state;
+  pending.epoch = planner_epoch_;
+  pending.record.slot = state.slot;
+  pending.record.causes = pending_causes_;
+  pending_causes_ = ReplanCause::kNone;
+  dirty_ = false;
 
+  int horizon_last_slot = state.slot;
   for (auto& [uid, job] : deadline_jobs_) {
     if (job.complete) continue;
     LpJob lp_job;
@@ -434,21 +380,182 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
       // deadline metrics will record the miss; the LP stays feasible.
       lp_job.deadline_slot =
           lp_job.release_slot + min_slots_needed(job) - 1;
-      ++record.late_extensions;
+      ++pending.record.late_extensions;
     }
     horizon_last_slot = std::max(horizon_last_slot, lp_job.deadline_slot);
-    lp_jobs.push_back(lp_job);
-    lp_uids.push_back(uid);
+    pending.lp_jobs.push_back(lp_job);
+    pending.lp_uids.push_back(uid);
   }
+  pending.horizon_last_slot = horizon_last_slot;
+  pending.record.planned_jobs = static_cast<int>(pending.lp_jobs.size());
 
-  plan_.clear();
-  plan_first_slot_ = state.slot;
+  // Merged solver budget: the config's knobs and any chaos-injected
+  // sabotage, tightest limit winning. Snapshotted here so the solve can
+  // run on another thread without reading live sabotage state.
+  {
+    double wall_ms = config_.solver_budget_ms;
+    if (sabotage_budget_ms_ >= 0.0) {
+      wall_ms = wall_ms > 0.0 ? std::min(wall_ms, sabotage_budget_ms_)
+                              : sabotage_budget_ms_;
+    }
+    std::int64_t pivot_cap = config_.solver_pivot_budget;
+    if (sabotage_pivot_cap_ > 0) {
+      pivot_cap = pivot_cap > 0 ? std::min(pivot_cap, sabotage_pivot_cap_)
+                                : sabotage_pivot_cap_;
+    }
+    pending.budget_wall_ms = wall_ms;
+    pending.budget_pivot_cap = pivot_cap;
+    pending.force_numerical = sabotage_force_numerical_;
+  }
+  return pending;
+}
+
+void FlowTimeScheduler::finish_replan(const PendingReplan& pending,
+                                      PlanSolveResult&& solved,
+                                      double now_s) {
+  ReplanRecord record = pending.record;
+  record.pivots = solved.pivots;
+  total_pivots_ += solved.pivots;
+
+  // Adopt: the solved rows replace the serving plan wholesale, indexed
+  // from the slot the inputs were snapshotted at (plans are time-indexed,
+  // so late adoption under the async runtime still aligns).
+  plan_ = std::move(solved.rows);
+  plan_first_slot_ = pending.state.slot;
   for (auto& [uid, job] : deadline_jobs_) {
     (void)uid;
     if (!job.complete) job.planned_last_slot = -1;
   }
-  record.planned_jobs = static_cast<int>(lp_jobs.size());
-  if (lp_jobs.empty()) return;
+  for (const auto& [uid, last] : solved.planned_last_slot) {
+    const auto it = deadline_jobs_.find(uid);
+    if (it != deadline_jobs_.end() && !it->second.complete) {
+      it->second.planned_last_slot = last;
+    }
+  }
+  if (record.lexmin_truncated) {
+    ++truncated_replans_;
+    FT_LOG(kWarn) << "FlowTime replan: lexmin round budget exhausted; the "
+                     "plan's load profile tail is unrefined";
+  }
+  if (record.capacity_exceeded) {
+    FT_LOG(kInfo) << "FlowTime: deadline windows need "
+                  << record.max_normalized_load
+                  << "x capacity; some deadlines will be missed";
+  }
+  replan_log_.push_back(record);
+
+  // Degraded-mode state machine (hysteresis; DESIGN.md §10). Every re-plan
+  // re-attempts the full LP, so recovery needs no special trigger — just
+  // `degrade_recovery_replans` consecutive clean rung-0 plans.
+  if (record.degrade_rung > 0) {
+    ++degraded_replans_;
+    clean_replans_ = 0;
+    if (obs::enabled()) {
+      obs::registry().counter("core.degraded_replans").add();
+    }
+    if (!degraded_mode_) {
+      degraded_mode_ = true;
+      FT_LOG(kWarn) << "FlowTime: entering degraded mode at slot "
+                    << record.slot << " (rung " << record.degrade_rung
+                    << ", " << to_string(record.degrade_reason) << ")";
+      if (obs::enabled()) {
+        obs::registry().counter("core.degrade_enters").add();
+        obs::emit(obs::TraceEvent("degrade_enter")
+                      .field("slot", record.slot)
+                      .field("rung", record.degrade_rung)
+                      .field("reason", to_string(record.degrade_reason)));
+        degraded_span_ = obs::begin_span(
+            "degraded", "degraded@slot" + std::to_string(record.slot),
+            obs::kNoSpan, now_s);
+      }
+    }
+  } else if (degraded_mode_) {
+    ++clean_replans_;
+    if (clean_replans_ >= std::max(config_.degrade_recovery_replans, 1)) {
+      degraded_mode_ = false;
+      clean_replans_ = 0;
+      FT_LOG(kInfo) << "FlowTime: leaving degraded mode at slot "
+                    << record.slot;
+      if (obs::enabled()) {
+        obs::emit(obs::TraceEvent("degrade_exit")
+                      .field("slot", record.slot)
+                      .field("clean_replans",
+                             std::max(config_.degrade_recovery_replans, 1)));
+        obs::end_span(degraded_span_, now_s);
+        degraded_span_ = obs::kNoSpan;
+      }
+    }
+  }
+
+  if (obs::enabled()) {
+    // Each re-plan opens a new plan epoch; the previous one ends here and
+    // the simulator's end_open_spans closes the last epoch of the run.
+    obs::end_span(plan_span_, now_s);
+    plan_span_ = obs::begin_span(
+        "plan", "plan#" + std::to_string(replans_) + ":" +
+                    to_string(record.causes),
+        obs::kNoSpan, now_s);
+    obs::registry().counter("core.replans").add();
+    obs::registry().counter("core.replan_pivots").add(record.pivots);
+    obs::registry().histogram("core.replan_seconds").observe(record.wall_s);
+    if (record.lp_failed) {
+      obs::registry().counter("core.replan_lp_failures").add();
+    }
+    if (record.lexmin_truncated) {
+      obs::registry().counter("core.replan_lexmin_truncated").add();
+    }
+    obs::emit(obs::TraceEvent("replan")
+                  .field("slot", record.slot)
+                  .field("cause", to_string(record.causes))
+                  .field("planned_jobs", record.planned_jobs)
+                  .field("pivots", record.pivots)
+                  .field("wall_s", record.wall_s)
+                  .field("late_extensions", record.late_extensions)
+                  .field("capacity_exceeded", record.capacity_exceeded)
+                  .field("lp_failed", record.lp_failed)
+                  .field("lexmin_truncated", record.lexmin_truncated)
+                  .field("max_normalized_load",
+                         record.max_normalized_load)
+                  .field("degrade_rung", record.degrade_rung)
+                  .field("degrade_reason", to_string(record.degrade_reason))
+                  .field("budget_exhausted", record.budget_exhausted)
+                  .field("degraded_mode", degraded_mode_));
+  }
+}
+
+void FlowTimeScheduler::abandon_replan(const PendingReplan& pending,
+                                       const PlanSolveResult& solved) {
+  // The solve ran (and spent pivots) but its inputs went stale — or a
+  // cancel token preempted it. Account for the work, record the attempt as
+  // discarded, and leave every piece of serving state untouched: the old
+  // plan keeps serving until a fresh solve adopts.
+  ReplanRecord record = pending.record;
+  record.pivots = solved.pivots;
+  record.discarded = true;
+  total_pivots_ += solved.pivots;
+  replan_log_.push_back(record);
+  if (obs::enabled()) {
+    obs::registry().counter("core.replans_discarded").add();
+    obs::emit(obs::TraceEvent("replan_discarded")
+                  .field("slot", record.slot)
+                  .field("cause", to_string(record.causes))
+                  .field("epoch", static_cast<std::int64_t>(pending.epoch))
+                  .field("pivots", record.pivots)
+                  .field("preempted", solved.preempted));
+  }
+}
+
+PlanSolveResult FlowTimeScheduler::solve_replan(const FlowTimeConfig& config,
+                                                PlacementWarmCache* warm_cache,
+                                                PendingReplan& pending) {
+  PlanSolveResult out;
+  if (pending.lp_jobs.empty()) return out;
+  ReplanRecord& record = pending.record;
+  const sim::ClusterState& state = pending.state;
+  // Bucketing rewrites the job windows in place; work on a copy so the
+  // snapshot in `pending` stays what begin_replan produced.
+  std::vector<LpJob> lp_jobs = pending.lp_jobs;
+  const int horizon_last_slot = pending.horizon_last_slot;
 
   const int num_slots = horizon_last_slot - state.slot + 1;
   // Plan-ahead coarsening: bucket `bucket` consecutive slots into one
@@ -456,8 +563,8 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
   // horizons. Windows round conservatively (release up, deadline down);
   // bucket allocations are spread evenly over their slots at issue time.
   const int bucket =
-      (num_slots + config_.max_planning_slots - 1) /
-      std::max(config_.max_planning_slots, 1);
+      (num_slots + config.max_planning_slots - 1) /
+      std::max(config.max_planning_slots, 1);
   int coarse_horizon = 1;
   if (bucket > 1) {
     for (LpJob& job : lp_jobs) {
@@ -486,34 +593,30 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
   const workload::ResourceVec full_cap =
       workload::scale(state.capacity, bucket > 1 ? bucket : 1);
   const double cap_fraction =
-      std::clamp(config_.deadline_cap_fraction, 0.05, 1.0);
+      std::clamp(config.deadline_cap_fraction, 0.05, 1.0);
   std::vector<workload::ResourceVec> caps(
       static_cast<std::size_t>(coarse_horizon),
       workload::scale(full_cap, cap_fraction));
-  LpScheduleOptions lp_options = config_.lp;
+  LpScheduleOptions lp_options = config.lp;
   if (lp_options.warm_cache == nullptr) {
-    lp_options.warm_cache = &warm_cache_;
+    lp_options.warm_cache = warm_cache;
   }
   const int lp_first_slot = bucket > 1 ? 0 : state.slot;
 
   // --- Escalation ladder (DESIGN.md §10) ---------------------------------
-  // One budget shared by every solve of this re-plan: the config's knobs
-  // merged with any chaos-injected sabotage, tightest limit winning.
+  // One budget shared by every solve of this re-plan. The limits were
+  // merged (config knobs + chaos sabotage, tightest winning) at
+  // begin_replan time so this function reads no live scheduler state; the
+  // cancel token is how the concurrent runtime preempts a solve whose
+  // inputs went stale mid-flight.
   lp::SolveBudget budget;
-  {
-    double wall_ms = config_.solver_budget_ms;
-    if (sabotage_budget_ms_ >= 0.0) {
-      wall_ms = wall_ms > 0.0 ? std::min(wall_ms, sabotage_budget_ms_)
-                              : sabotage_budget_ms_;
-    }
-    std::int64_t pivot_cap = config_.solver_pivot_budget;
-    if (sabotage_pivot_cap_ > 0) {
-      pivot_cap = pivot_cap > 0 ? std::min(pivot_cap, sabotage_pivot_cap_)
-                                : sabotage_pivot_cap_;
-    }
-    budget.set_wall_clock_ms(wall_ms);
-    budget.set_pivot_cap(pivot_cap);
-  }
+  budget.set_wall_clock_ms(pending.budget_wall_ms);
+  budget.set_pivot_cap(pending.budget_pivot_cap);
+  budget.set_cancel_token(pending.cancel);
+  const auto preempted = [&pending] {
+    return pending.cancel != nullptr &&
+           pending.cancel->load(std::memory_order_relaxed);
+  };
   if (budget.limited()) {
     // Installed only when a limit exists, so the unlimited path is
     // bit-identical to a build without budgets.
@@ -552,7 +655,7 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
 
   // Rung 0: the regular warm-started LP (with the headroom retry).
   LpSchedule schedule;
-  if (sabotage_force_numerical_) {
+  if (pending.force_numerical) {
     // Chaos injection: pretend the warm solve lost its numerics so the
     // cold rung is exercised end to end.
     schedule.status = lp::SolveStatus::kNumericalFailure;
@@ -568,15 +671,21 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
       schedule.pivots += prior;
     }
   }
-  total_pivots_ += schedule.pivots;
+  out.pivots += schedule.pivots;
 
+  if (!schedule.ok() && preempted()) {
+    // Cancelled, not broken: the inputs went stale while rung 0 ran.
+    // Escalating would burn the cold rung on answers nobody will adopt.
+    out.preempted = true;
+    return out;
+  }
   if (!schedule.ok()) {
     // Rung 1: cold LP — fresh basis (the warm cache may be poisoned, so it
     // is dropped entirely), Bland's rule from the first pivot, a tighter
     // pivot tolerance, and the most permissive caps.
     escalate(0, classify(schedule.status));
     record.degrade_rung = 1;
-    warm_cache_.clear();
+    if (warm_cache != nullptr) warm_cache->clear();
     LpScheduleOptions cold = lp_options;
     cold.warm_cache = nullptr;
     cold.lexmin.warm_start = false;
@@ -584,9 +693,13 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
     cold.lexmin.lp_options.pivot_tol = 1e-7;
     caps.assign(static_cast<std::size_t>(coarse_horizon), full_cap);
     schedule = solve_placement(lp_jobs, caps, lp_first_slot, cold);
-    total_pivots_ += schedule.pivots;
+    out.pivots += schedule.pivots;
   }
 
+  if (!schedule.ok() && preempted()) {
+    out.preempted = true;
+    return out;
+  }
   if (!schedule.ok()) {
     // Rung 2: the LP-free guaranteed fallback. Cannot itself fail; the
     // plan may be less flat and may oversubscribe (capacity_exceeded),
@@ -605,18 +718,8 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
   record.capacity_exceeded = schedule.capacity_exceeded;
   record.lexmin_truncated = schedule.lexmin_truncated;
   record.max_normalized_load = schedule.max_normalized_load;
-  if (schedule.lexmin_truncated) {
-    ++truncated_replans_;
-    FT_LOG(kWarn) << "FlowTime replan: lexmin round budget exhausted; the "
-                     "plan's load profile tail is unrefined";
-  }
-  if (schedule.capacity_exceeded) {
-    FT_LOG(kInfo) << "FlowTime: deadline windows need "
-                  << schedule.max_normalized_load
-                  << "x capacity; some deadlines will be missed";
-  }
   for (std::size_t j = 0; j < lp_jobs.size(); ++j) {
-    auto& row = plan_[lp_uids[j]];
+    auto& row = out.rows[pending.lp_uids[j]];
     if (bucket > 1) {
       // Spread each planning bucket's allocation evenly over its slots.
       row.assign(static_cast<std::size_t>(schedule.num_slots) *
@@ -639,9 +742,10 @@ void FlowTimeScheduler::replan_impl(const sim::ClusterState& state,
         last = t;
       }
     }
-    deadline_jobs_[lp_uids[j]].planned_last_slot =
+    out.planned_last_slot[pending.lp_uids[j]] =
         last < 0 ? -1 : state.slot + last;
   }
+  return out;
 }
 
 void FlowTimeScheduler::check_cluster_skew(const sim::ClusterState& state) {
@@ -666,33 +770,43 @@ void FlowTimeScheduler::check_cluster_skew(const sim::ClusterState& state) {
 
 std::vector<sim::Allocation> FlowTimeScheduler::allocate(
     const sim::ClusterState& state) {
+  sync_views(state);
+  // Under the concurrent runtime the replan is driven externally
+  // (begin/solve/finish on the runtime's threads); allocate() then only
+  // serves the last adopted plan and must never block on a solve.
+  if (dirty_ && !config_.external_replan_driver) {
+    replan(state);
+  }
+  return serve(state);
+}
+
+void FlowTimeScheduler::sync_views(const sim::ClusterState& state) {
   if (!skew_checked_) check_cluster_skew(state);
   // Sync authoritative view state.
-  std::vector<const sim::JobView*> adhoc_views;
   for (const sim::JobView& view : state.active) {
-    if (view.kind == sim::JobKind::kDeadline) {
-      auto it = deadline_jobs_.find(view.uid);
-      if (it == deadline_jobs_.end()) continue;
-      DeadlineJobState& job = it->second;
-      job.remaining = view.remaining_estimate;
-      job.ready = view.ready;
-      if (view.overrun && !job.overrun) {
-        job.overrun = true;
-        mark_dirty(ReplanCause::kOverrun);  // needs more than planned
-      }
-      // Plan exhausted while the job still runs: re-plan.
-      if (!dirty_ && job.planned_last_slot >= 0 &&
-          state.slot > job.planned_last_slot) {
-        mark_dirty(ReplanCause::kPlanExhausted);
-      }
-    } else {
-      adhoc_views.push_back(&view);
+    if (view.kind != sim::JobKind::kDeadline) continue;
+    auto it = deadline_jobs_.find(view.uid);
+    if (it == deadline_jobs_.end()) continue;
+    DeadlineJobState& job = it->second;
+    job.remaining = view.remaining_estimate;
+    job.ready = view.ready;
+    if (view.overrun && !job.overrun) {
+      job.overrun = true;
+      mark_dirty(ReplanCause::kOverrun);  // needs more than planned
+    }
+    // Plan exhausted while the job still runs: re-plan.
+    if (!dirty_ && job.planned_last_slot >= 0 &&
+        state.slot > job.planned_last_slot) {
+      mark_dirty(ReplanCause::kPlanExhausted);
     }
   }
+}
 
-  if (dirty_) {
-    replan(state);
-    dirty_ = false;
+std::vector<sim::Allocation> FlowTimeScheduler::serve(
+    const sim::ClusterState& state) {
+  std::vector<const sim::JobView*> adhoc_views;
+  for (const sim::JobView& view : state.active) {
+    if (view.kind != sim::JobKind::kDeadline) adhoc_views.push_back(&view);
   }
 
   if (obs::enabled()) {

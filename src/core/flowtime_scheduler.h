@@ -20,6 +20,7 @@
 //     the honest outcome.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <string>
@@ -76,6 +77,12 @@ struct FlowTimeConfig {
   /// LP regardless — this only delays *reporting* recovery, so one lucky
   /// solve amid a numerical storm does not flap the mode.
   int degrade_recovery_replans = 3;
+  /// When true the scheduler never re-plans inside allocate(): an external
+  /// driver (runtime::ConcurrentScheduler) watches dirty() and runs the
+  /// begin_replan / solve_replan / finish_replan cycle itself — possibly on
+  /// another thread — while allocate() keeps serving the current plan.
+  /// DESIGN.md §11 documents the threading contract.
+  bool external_replan_driver = false;
 
   FlowTimeConfig() {
     // Scheduling needs the peak flattened and a couple of refinement
@@ -148,9 +155,59 @@ struct ReplanRecord {
   DegradeReason degrade_reason = DegradeReason::kNone;
   /// The re-plan's shared SolveBudget ran out at some point of the ladder.
   bool budget_exhausted = false;
+  /// The solve finished (or was preempted) but was never adopted: its
+  /// inputs went stale while it ran and the concurrent runtime discarded
+  /// it. Synchronous runs never set this.
+  bool discarded = false;
 };
 
-/// FlowTime as a sim::Scheduler. Single-threaded, one instance per run.
+/// One re-plan in flight, produced by FlowTimeScheduler::begin_replan. The
+/// planner/serving split (DESIGN.md §11) hinges on this type: everything
+/// the heavy LP solve needs is copied in here, so `solve_replan` can run on
+/// a background thread against this immutable snapshot — a plan epoch —
+/// while the scheduler keeps serving the current plan. `epoch` captures the
+/// planner-state version the inputs were built from; the concurrent runtime
+/// compares it against the live version at adoption time to detect solves
+/// whose inputs went stale mid-flight.
+struct PendingReplan {
+  sim::ClusterState state;      // trigger-time snapshot (slot, capacity)
+  ReplanRecord record;          // slot/causes filled; solve adds the rest
+  std::vector<LpJob> lp_jobs;   // planner inputs, windows already baked
+  std::vector<sim::JobUid> lp_uids;
+  int horizon_last_slot = 0;
+  std::uint64_t epoch = 0;      // planner-state version at build time
+  // Merged solver budget (config knobs + active sabotage, tightest wins).
+  double budget_wall_ms = 0.0;
+  std::int64_t budget_pivot_cap = 0;
+  bool force_numerical = false;
+  /// Optional cooperative preemption: the async runtime points this at its
+  /// cancel flag so a stale solve can be aborted between pivots. Not owned.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// What one solve produced: the plan rows (per uid, indexed from
+/// PendingReplan::state.slot) ready for adoption. Carried separately from
+/// the scheduler so a background solve never touches live serving state.
+struct PlanSolveResult {
+  std::map<sim::JobUid, std::vector<workload::ResourceVec>> rows;
+  std::map<sim::JobUid, int> planned_last_slot;  // absolute slot, -1 = none
+  std::int64_t pivots = 0;
+  /// The solve was abandoned because PendingReplan::cancel fired — the
+  /// result must be discarded, not adopted (it skipped the ladder).
+  bool preempted = false;
+};
+
+/// FlowTime as a sim::Scheduler.
+///
+/// Threading contract: with the default config the instance is
+/// single-threaded, exactly as before. With `external_replan_driver` the
+/// class splits into two roles that may run on different threads:
+///   * serving — on_event / allocate / begin_replan / finish_replan, all
+///     from one thread (the event-loop / simulator thread);
+///   * solving — the static `solve_replan`, which reads only its arguments
+///     (config copy or stable reference, the warm cache it is handed, and
+///     the PendingReplan snapshot) and may therefore run concurrently with
+///     serving, provided at most one solve runs at a time per warm cache.
 class FlowTimeScheduler : public sim::Scheduler {
  public:
   explicit FlowTimeScheduler(FlowTimeConfig config = {});
@@ -161,22 +218,59 @@ class FlowTimeScheduler : public sim::Scheduler {
     return &config_.cluster;
   }
 
-  void on_workflow_arrival(const workload::Workflow& workflow,
-                           const std::vector<sim::JobUid>& node_uids,
-                           double now_s) override;
-  void on_adhoc_arrival(sim::JobUid uid, double now_s,
-                        const sim::ResourceVec& width) override;
-  void on_job_complete(sim::JobUid uid, double now_s) override;
-  void on_capacity_change(double now_s,
-                          const sim::ResourceVec& capacity) override;
-  void on_task_failure(sim::JobUid uid, double now_s,
-                       const sim::ResourceVec& lost_estimate, int retry,
-                       double retry_at_s) override;
-  void on_solver_sabotage(double now_s, double budget_ms,
-                          std::int64_t pivot_cap,
-                          bool force_numerical_failure) override;
+  /// FlowTime consumes the typed event API natively (the legacy virtuals
+  /// are bypassed entirely).
+  void on_event(const sim::SchedulerEvent& event) override;
   std::vector<sim::Allocation> allocate(
       const sim::ClusterState& state) override;
+
+  // --- Planner / serving split (DESIGN.md §11) ---------------------------
+  // The synchronous path is replan() = begin + solve + finish on one
+  // thread. The concurrent runtime drives the three steps itself so the
+  // solve can move to a background thread. These are building blocks, not
+  // a general API: begin/finish must run on the serving thread, and
+  // finish_replan must see every begin_replan exactly once (or the pending
+  // plan be explicitly abandoned via abandon_replan).
+
+  /// True when some event since the last re-plan invalidated the plan.
+  bool dirty() const { return dirty_; }
+  /// Causes accumulated since the last re-plan (merged into the next one).
+  ReplanCause pending_causes() const { return pending_causes_; }
+  /// Version counter of the planner inputs: bumped by every event that
+  /// changes what a re-plan would see. A solve built at epoch E is stale
+  /// once planner_epoch() > E.
+  std::uint64_t planner_epoch() const { return planner_epoch_; }
+
+  /// Starts a re-plan: snapshots planner inputs into a PendingReplan and
+  /// clears the dirty flag. Serving thread only.
+  PendingReplan begin_replan(const sim::ClusterState& state);
+  /// The heavy step: bucketing, escalation ladder, LP solves. Static and
+  /// self-contained so it can run on a solver thread; `warm_cache` must not
+  /// be shared with a concurrent solve. Updates pending.record in place.
+  static PlanSolveResult solve_replan(const FlowTimeConfig& config,
+                                      PlacementWarmCache* warm_cache,
+                                      PendingReplan& pending);
+  /// Adopts a solved plan: installs the rows, updates counters, the replan
+  /// log, the degraded-mode state machine and observability. Serving
+  /// thread only. `now_s` is adoption time (== pending.state.now_s on the
+  /// synchronous path; later under async adoption).
+  void finish_replan(const PendingReplan& pending, PlanSolveResult&& solved,
+                     double now_s);
+  /// Accounts a solve that was discarded unadopted (stale or preempted):
+  /// the attempt still shows up in replans()/pivots so solver work is never
+  /// silently unattributed. Serving thread only.
+  void abandon_replan(const PendingReplan& pending,
+                      const PlanSolveResult& solved);
+
+  /// First half of allocate(): syncs job state from the authoritative views
+  /// (remaining estimates, readiness, the overrun latch, plan-exhaustion).
+  /// May mark the scheduler dirty. Idempotent for a given state. The
+  /// external replan driver calls this before deciding whether to start a
+  /// solve; plain allocate() calls it internally.
+  void sync_views(const sim::ClusterState& state);
+  /// Second half of allocate(): issues allocations from the current plan
+  /// (deadline shares, then max-min fair ad-hoc leftover). Never solves.
+  std::vector<sim::Allocation> serve(const sim::ClusterState& state);
 
   /// Decomposed job deadlines (without slack), for evaluation: every
   /// scheduler in a comparison is judged against these milestones.
@@ -189,6 +283,10 @@ class FlowTimeScheduler : public sim::Scheduler {
 
   int replans() const { return replans_; }
   std::int64_t total_pivots() const { return total_pivots_; }
+
+  /// The effective configuration (after construction-time adjustments);
+  /// what an external replan driver must pass to solve_replan.
+  const FlowTimeConfig& config() const { return config_; }
 
   /// One record per re-plan, in order — cause tags, LP stats, fallbacks.
   /// In-process mirror of the "replan" trace events, so tests can assert on
@@ -230,11 +328,33 @@ class FlowTimeScheduler : public sim::Scheduler {
     int planned_last_slot = -1;  // last slot with planned allocation
   };
 
+  // Event handlers behind on_event (the former legacy virtuals).
+  void handle_workflow_arrival(const workload::Workflow& workflow,
+                               const std::vector<sim::JobUid>& node_uids,
+                               double now_s);
+  void handle_adhoc_arrival(sim::JobUid uid);
+  void handle_job_complete(sim::JobUid uid, double now_s);
+  void handle_capacity_change();
+  void handle_task_failure(sim::JobUid uid, double now_s,
+                           const sim::ResourceVec& lost_estimate,
+                           double retry_at_s);
+  void handle_solver_sabotage(double budget_ms, std::int64_t pivot_cap,
+                              bool force_numerical_failure);
+
   void replan(const sim::ClusterState& state);
-  void replan_impl(const sim::ClusterState& state, ReplanRecord& record);
   void mark_dirty(ReplanCause cause) {
     dirty_ = true;
     pending_causes_ |= cause;
+    // Time-derived causes (the clock walked past the planned horizon, or
+    // the current plan touched a not-yet-ready job) re-assert every slot
+    // until a fresh plan is adopted, and a re-plan started from the same
+    // planner inputs already accounts for them. Bumping the epoch for them
+    // would re-mark an in-flight solve stale every slot — a solve slower
+    // than one slot would then never be adopted.
+    if (cause != ReplanCause::kPlanExhausted &&
+        cause != ReplanCause::kStalePlan) {
+      ++planner_epoch_;
+    }
   }
   /// Once per run: compare config_.cluster against the simulator's view.
   void check_cluster_skew(const sim::ClusterState& state);
@@ -248,10 +368,16 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// final basis of one re-plan seeds the next when the LP shape (same
   /// jobs, same windows, same horizon) repeats, which is the common case
   /// for deviation/overrun re-plans. Keyed by a shape fingerprint inside
-  /// solve_placement; a mismatch falls back to a cold solve.
+  /// solve_placement; a mismatch falls back to a cold solve. Under the
+  /// external replan driver the solver thread owns this exclusively.
   PlacementWarmCache warm_cache_;
   bool dirty_ = false;
   ReplanCause pending_causes_ = ReplanCause::kNone;
+  /// Bumped by every event that changes what a re-plan would see (arrivals,
+  /// completions, failures, capacity changes, overrun latches) — the
+  /// staleness yardstick for asynchronous solves. Per-slot estimate drift
+  /// does not count: a plan is not stale merely because time passed.
+  std::uint64_t planner_epoch_ = 0;
   bool skew_checked_ = false;
   int replans_ = 0;
   std::int64_t total_pivots_ = 0;

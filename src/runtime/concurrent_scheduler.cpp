@@ -1,0 +1,182 @@
+#include "runtime/concurrent_scheduler.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flowtime::runtime {
+
+namespace {
+
+core::FlowTimeConfig make_inner_config(const RuntimeConfig& config) {
+  core::FlowTimeConfig fc = config.flowtime;
+  // In async mode the runtime drives begin/solve/finish itself; the inner
+  // scheduler must never block allocate() on an inline solve.
+  fc.external_replan_driver = config.async_replan;
+  return fc;
+}
+
+}  // namespace
+
+ConcurrentScheduler::ConcurrentScheduler(RuntimeConfig config)
+    : config_(std::move(config)),
+      inner_(make_inner_config(config_)),
+      queue_(config_.queue_capacity) {
+  if (config_.async_replan) {
+    pool_ = std::make_unique<SolverPool>(config_.solver_threads);
+  }
+}
+
+ConcurrentScheduler::~ConcurrentScheduler() {
+  queue_.close();
+  if (inflight_) inflight_->cancel.store(true, std::memory_order_relaxed);
+  if (pool_) pool_->shutdown();  // runs the queued solve to completion
+  if (inflight_ && inflight_->done.load(std::memory_order_acquire)) {
+    // The run ended with a solve still in flight: account its pivots as a
+    // discarded attempt rather than losing them.
+    std::unique_ptr<InFlight> fin = std::move(inflight_);
+    inner_.abandon_replan(fin->pending, fin->result);
+  }
+}
+
+void ConcurrentScheduler::on_event(const sim::SchedulerEvent& event) {
+  if (!config_.async_replan) {
+    inner_.on_event(event);
+    return;
+  }
+  queue_.push(event);
+}
+
+std::vector<sim::Allocation> ConcurrentScheduler::allocate(
+    const sim::ClusterState& state) {
+  if (!config_.async_replan) return inner_.allocate(state);
+
+  apply_queued_events();
+  // Adopt a finished solve before syncing views, so plan-exhaustion is
+  // judged against the freshest plan.
+  harvest(state.now_s);
+  inner_.sync_views(state);
+  maybe_submit(state);
+  if (config_.barrier_mode) {
+    // Deterministic mode: no plan is served while a newer one is pending.
+    // Events cannot interleave here (single serving thread), so the solve
+    // is never stale and the loop adopts exactly what the synchronous
+    // path would have computed.
+    while (inflight_) {
+      wait_for_solve();
+      harvest(state.now_s);
+      maybe_submit(state);
+    }
+  }
+  return inner_.serve(state);
+}
+
+void ConcurrentScheduler::drain_events() {
+  if (!config_.async_replan) return;
+  apply_queued_events();
+}
+
+void ConcurrentScheduler::quiesce(const sim::ClusterState& state) {
+  if (!config_.async_replan) return;
+  apply_queued_events();
+  harvest(state.now_s);
+  inner_.sync_views(state);
+  maybe_submit(state);
+  while (inflight_) {
+    wait_for_solve();
+    harvest(state.now_s);
+    maybe_submit(state);
+  }
+}
+
+void ConcurrentScheduler::apply_queued_events() {
+  batch_.clear();
+  queue_.drain(batch_);
+  if (batch_.empty()) return;
+  int triggers = 0;
+  for (const sim::SchedulerEvent& event : batch_) {
+    if (sim::is_replan_trigger(event)) ++triggers;
+    inner_.on_event(event);
+  }
+  if (triggers > 1) {
+    // All the triggers of this batch share the single re-plan the batch
+    // causes; everything past the first rode along for free.
+    coalesced_events_ += triggers - 1;
+    if (obs::enabled()) {
+      obs::registry().counter("runtime.coalesced_events").add(triggers - 1);
+    }
+  }
+  if (inflight_ && !inflight_->done.load(std::memory_order_acquire) &&
+      inflight_->pending.epoch != inner_.planner_epoch()) {
+    // The batch changed the planner inputs under the running solve: its
+    // answer is already unusable, so stop it between pivots instead of
+    // letting it finish a plan nobody will adopt.
+    inflight_->cancel.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentScheduler::harvest(double now_s) {
+  if (!inflight_ || !inflight_->done.load(std::memory_order_acquire)) return;
+  std::unique_ptr<InFlight> fin = std::move(inflight_);
+  const bool stale = fin->pending.epoch != inner_.planner_epoch();
+  if (stale || fin->result.preempted) {
+    ++stale_solves_;
+    if (fin->result.preempted) ++preempted_solves_;
+    if (obs::enabled()) {
+      obs::registry().counter("runtime.stale_solves").add();
+      if (fin->result.preempted) {
+        obs::registry().counter("runtime.preempted_solves").add();
+      }
+    }
+    inner_.abandon_replan(fin->pending, fin->result);
+  } else {
+    inner_.finish_replan(fin->pending, std::move(fin->result), now_s);
+  }
+  if (obs::enabled()) obs::end_span(fin->span, now_s);
+}
+
+void ConcurrentScheduler::maybe_submit(const sim::ClusterState& state) {
+  if (inflight_ || !inner_.dirty()) return;
+  auto fly = std::make_unique<InFlight>();
+  fly->pending = inner_.begin_replan(state);
+  fly->pending.cancel = &fly->cancel;
+  if (obs::enabled()) {
+    fly->span = obs::begin_span(
+        "async_replan", "async_replan@slot" + std::to_string(state.slot),
+        obs::kNoSpan, state.now_s);
+    obs::registry().counter("runtime.async_solves").add();
+  }
+  InFlight* job = fly.get();
+  inflight_ = std::move(fly);
+  ++async_solves_;
+  pool_->submit([this, job] {
+    if (config_.solve_started_hook) config_.solve_started_hook(job->pending);
+    {
+      std::optional<obs::ScopedTimer> timer;
+      if (obs::enabled()) timer.emplace(&job->pending.record.wall_s);
+      job->result = core::FlowTimeScheduler::solve_replan(
+          inner_.config(), &warm_cache_, job->pending);
+    }
+    {
+      // The store pairs with harvest's acquire load; taking the mutex
+      // first makes the condvar wait in wait_for_solve race-free.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      job->done.store(true, std::memory_order_release);
+    }
+    done_cv_.notify_all();
+  });
+}
+
+void ConcurrentScheduler::wait_for_solve() {
+  if (!inflight_) return;
+  InFlight* job = inflight_.get();
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [job] {
+    return job->done.load(std::memory_order_acquire);
+  });
+}
+
+}  // namespace flowtime::runtime

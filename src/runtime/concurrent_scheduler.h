@@ -1,0 +1,163 @@
+// Concurrent scheduler runtime: asynchronous re-planning behind the
+// sim::Scheduler interface (DESIGN.md §11).
+//
+// Wraps a core::FlowTimeScheduler and moves the expensive lexmin LP solve
+// off the serving path:
+//
+//   producers ──► EventQueue ──► [serving thread: drain + apply + serve]
+//                                      │ begin_replan (snapshot, epoch E)
+//                                      ▼
+//                               [solver thread: solve_replan]
+//                                      │ done
+//                                      ▼
+//                 [serving thread: epoch still E? adopt : discard]
+//
+// Three properties, in decreasing order of importance:
+//   * allocate() never blocks on a solve (async mode): the current plan
+//     keeps serving while the next one is computed;
+//   * bursts coalesce: all events drained in one sweep trigger at most one
+//     re-plan, not one each;
+//   * staleness is detected, not ignored: a solve whose planner inputs
+//     changed mid-flight (epoch mismatch) is discarded — and preempted
+//     early via the cancel token so the solver thread stops wasting pivots.
+//
+// Determinism: with `async_replan = false` the wrapper is a pure
+// pass-through (byte-identical to the bare FlowTimeScheduler). With
+// `async_replan = true` and `barrier_mode = true` every allocate() waits
+// for the in-flight solve to adopt before serving, which serializes the
+// run plan-for-plan with the synchronous path while still exercising the
+// full queue/snapshot/solver-thread machinery — the property the
+// determinism tests pin.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/flowtime_scheduler.h"
+#include "obs/span.h"
+#include "runtime/event_queue.h"
+#include "runtime/solver_pool.h"
+#include "sim/scheduler.h"
+
+namespace flowtime::runtime {
+
+struct RuntimeConfig {
+  core::FlowTimeConfig flowtime;
+  /// false: pass-through (single-threaded, byte-identical to the bare
+  /// scheduler). true: events are queued and solves run on the pool.
+  bool async_replan = false;
+  /// Only meaningful with async_replan: every allocate() waits for the
+  /// in-flight solve and adopts it before serving. Deterministic (same
+  /// plans as the synchronous path) at the cost of blocking per slot.
+  bool barrier_mode = false;
+  /// EventQueue bound; producers block (back-pressure) when it fills.
+  std::size_t queue_capacity = 4096;
+  /// Solver pool width. One suffices for a single scheduler — the warm
+  /// cache admits one solve at a time anyway.
+  int solver_threads = 1;
+  /// Test hook, solver thread: called right before each solve runs. Tests
+  /// block in here to hold a solve in flight deterministically (e.g. to
+  /// force staleness). Must not touch the scheduler.
+  std::function<void(const core::PendingReplan&)> solve_started_hook;
+};
+
+class ConcurrentScheduler : public sim::Scheduler {
+ public:
+  explicit ConcurrentScheduler(RuntimeConfig config);
+  ~ConcurrentScheduler() override;
+
+  ConcurrentScheduler(const ConcurrentScheduler&) = delete;
+  ConcurrentScheduler& operator=(const ConcurrentScheduler&) = delete;
+
+  /// Reports the inner policy's name so comparisons and reports treat the
+  /// wrapped scheduler as the same policy (the runtime is infrastructure,
+  /// not a policy).
+  std::string name() const override { return inner_.name(); }
+  const workload::ClusterSpec* cluster_spec() const override {
+    return inner_.cluster_spec();
+  }
+
+  /// Async mode: O(1) — the event is enqueued (value semantics; workflow
+  /// payloads ride as non-owning shared_ptrs) and applied at the next
+  /// allocate(). Sync mode: applied immediately.
+  void on_event(const sim::SchedulerEvent& event) override;
+
+  /// Serving entry point; see the class comment for the async pipeline.
+  std::vector<sim::Allocation> allocate(
+      const sim::ClusterState& state) override;
+
+  /// Applies everything still queued (events arriving after the last
+  /// allocate of a run). No re-plan is started. Serving thread only.
+  void drain_events();
+
+  /// Blocks until no solve is in flight and the planner is clean: drains
+  /// events, then begin/wait/adopt in a loop. Serving thread only.
+  void quiesce(const sim::ClusterState& state);
+
+  // --- Runtime statistics (serving thread, or after the run) -------------
+  /// Replan-trigger events that shared a re-plan with an earlier trigger
+  /// of the same drained batch instead of causing their own.
+  std::int64_t coalesced_events() const { return coalesced_events_; }
+  /// Solves that completed but were discarded because their inputs went
+  /// stale mid-flight (epoch mismatch at adoption, or preempted).
+  std::int64_t stale_solves() const { return stale_solves_; }
+  /// Subset of stale_solves() that the cancel token stopped early.
+  std::int64_t preempted_solves() const { return preempted_solves_; }
+  /// Solves submitted to the pool (async mode only).
+  std::int64_t async_solves() const { return async_solves_; }
+
+  /// The wrapped scheduler, for stats (replans, pivots, replan_log) and
+  /// deadline evaluation. Do not call mutating members while a run is in
+  /// progress.
+  const core::FlowTimeScheduler& inner() const { return inner_; }
+  core::FlowTimeScheduler& inner() { return inner_; }
+
+ private:
+  /// One solve in flight. The serving thread owns the structure; the
+  /// solver thread touches only `pending` (read), `result` (write before
+  /// `done`) and the two atomics. `done` is the publication edge: the
+  /// solver's release-store makes `result` visible to the serving thread's
+  /// acquire-load.
+  struct InFlight {
+    core::PendingReplan pending;
+    core::PlanSolveResult result;
+    std::atomic<bool> done{false};
+    std::atomic<bool> cancel{false};
+    obs::SpanId span = obs::kNoSpan;
+  };
+
+  /// Drains the queue and applies events to the inner scheduler; counts
+  /// coalesced replan triggers and preempts a now-stale in-flight solve.
+  void apply_queued_events();
+  /// Adopts or discards a finished solve, if any.
+  void harvest(double now_s);
+  /// Starts a solve when the planner is dirty and none is in flight.
+  void maybe_submit(const sim::ClusterState& state);
+  /// Blocks until the in-flight solve (if any) reports done.
+  void wait_for_solve();
+
+  RuntimeConfig config_;
+  core::FlowTimeScheduler inner_;
+  EventQueue queue_;
+  std::unique_ptr<SolverPool> pool_;  // created only in async mode
+  /// Solver-thread-exclusive warm cache: exactly one solve runs at a time
+  /// (inflight_ is singular), so no lock is needed — exactly the contract
+  /// core::FlowTimeScheduler::solve_replan documents.
+  core::PlacementWarmCache warm_cache_;
+  std::unique_ptr<InFlight> inflight_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::vector<sim::SchedulerEvent> batch_;  // drain scratch, reused
+  std::int64_t coalesced_events_ = 0;
+  std::int64_t stale_solves_ = 0;
+  std::int64_t preempted_solves_ = 0;
+  std::int64_t async_solves_ = 0;
+};
+
+}  // namespace flowtime::runtime

@@ -1,0 +1,57 @@
+#include "runtime/event_queue.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace flowtime::runtime {
+
+bool EventQueue::push(sim::SchedulerEvent event) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(event));
+    if (obs::enabled()) {
+      obs::registry().counter("runtime.events_enqueued").add();
+      obs::registry().gauge("runtime.queue_depth").set(
+          static_cast<double>(items_.size()));
+    }
+  }
+  return true;
+}
+
+std::size_t EventQueue::drain(std::vector<sim::SchedulerEvent>& out) {
+  std::deque<sim::SchedulerEvent> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    taken.swap(items_);
+  }
+  not_full_.notify_all();
+  if (obs::enabled() && !taken.empty()) {
+    obs::registry().gauge("runtime.queue_depth").set(0.0);
+  }
+  for (sim::SchedulerEvent& e : taken) out.push_back(std::move(e));
+  return taken.size();
+}
+
+std::size_t EventQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+}
+
+bool EventQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace flowtime::runtime

@@ -1,0 +1,54 @@
+// Bounded MPSC queue of scheduler events (DESIGN.md §11).
+//
+// The ingestion side of the concurrent runtime: producers (the simulator
+// loop, fault injectors, external drivers) push SchedulerEvent values;
+// the single consumer — the runtime's serving thread — drains everything
+// queued in one sweep at the top of each allocate(). Draining in batches
+// is what makes burst coalescing possible: five arrivals queued between
+// two slots become one re-plan, not five.
+//
+// Bounded with blocking push: when the queue is full the producer waits,
+// which back-pressures event sources instead of growing memory without
+// limit. `close()` releases blocked producers and makes further pushes
+// fail, for shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "sim/events.h"
+
+namespace flowtime::runtime {
+
+class EventQueue {
+ public:
+  explicit EventQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues one event, blocking while the queue is full. Returns false
+  /// (dropping the event) only after close(). Thread-safe.
+  bool push(sim::SchedulerEvent event);
+
+  /// Moves every queued event into `out` (appending, FIFO order) and
+  /// returns how many were taken. Never blocks. Single consumer.
+  std::size_t drain(std::vector<sim::SchedulerEvent>& out);
+
+  /// Events currently queued (snapshot; racy by nature).
+  std::size_t depth() const;
+
+  /// Releases blocked producers and rejects further pushes. Queued events
+  /// remain drainable.
+  void close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<sim::SchedulerEvent> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace flowtime::runtime

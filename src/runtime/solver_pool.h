@@ -1,0 +1,49 @@
+// Background solver threads for the concurrent runtime (DESIGN.md §11).
+//
+// A deliberately small worker pool: tasks are whole LP solves (tens of
+// milliseconds to seconds), so there is nothing to gain from lock-free
+// cleverness — one mutex, one condvar, FIFO order. The runtime submits at
+// most one solve per scheduler at a time (the warm cache is solver-
+// exclusive), so extra threads only matter when several schedulers share
+// one pool.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flowtime::runtime {
+
+class SolverPool {
+ public:
+  /// Starts `threads` workers (clamped to >= 1).
+  explicit SolverPool(int threads = 1);
+  /// Drains queued tasks and joins the workers.
+  ~SolverPool();
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Enqueues a task; FIFO per pool. Must not be called after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Runs every queued task to completion, then joins all workers.
+  /// Idempotent. Submitting after shutdown is a no-op (task dropped).
+  void shutdown();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace flowtime::runtime

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "runtime/concurrent_scheduler.h"
 #include "sched/baselines.h"
 #include "sched/cora.h"
 #include "sched/morpheus.h"
@@ -11,15 +12,32 @@
 
 namespace flowtime::sched {
 
+namespace {
+
+std::unique_ptr<sim::Scheduler> make_flowtime(
+    core::FlowTimeConfig flowtime, const ExperimentConfig& config) {
+  if (!config.async_replan) {
+    return std::make_unique<core::FlowTimeScheduler>(std::move(flowtime));
+  }
+  runtime::RuntimeConfig rt;
+  rt.flowtime = std::move(flowtime);
+  rt.async_replan = true;
+  rt.barrier_mode = config.async_barrier;
+  rt.solver_threads = config.runtime_threads;
+  return std::make_unique<runtime::ConcurrentScheduler>(std::move(rt));
+}
+
+}  // namespace
+
 std::unique_ptr<sim::Scheduler> make_scheduler(
     const std::string& name, const ExperimentConfig& config) {
   if (name == "FlowTime") {
-    return std::make_unique<core::FlowTimeScheduler>(config.flowtime);
+    return make_flowtime(config.flowtime, config);
   }
   if (name == "FlowTime_no_ds") {
     core::FlowTimeConfig no_slack = config.flowtime;
     no_slack.deadline_slack_s = 0.0;
-    return std::make_unique<core::FlowTimeScheduler>(no_slack);
+    return make_flowtime(std::move(no_slack), config);
   }
   if (name == "CORA") return std::make_unique<CoraScheduler>();
   if (name == "EDF") {
@@ -88,8 +106,18 @@ std::vector<SchedulerOutcome> run_comparison(
     outcome.deadlines =
         sim::evaluate_deadlines(outcome.result, scenario.workflows, deadlines);
     outcome.adhoc = sim::evaluate_adhoc(outcome.result);
-    if (const auto* flowtime =
-            dynamic_cast<const core::FlowTimeScheduler*>(scheduler.get())) {
+    const core::FlowTimeScheduler* flowtime =
+        dynamic_cast<const core::FlowTimeScheduler*>(scheduler.get());
+    if (auto* wrapped =
+            dynamic_cast<runtime::ConcurrentScheduler*>(scheduler.get())) {
+      // Events queued after the run's last allocate (final completions)
+      // must be applied before reading stats.
+      wrapped->drain_events();
+      flowtime = &wrapped->inner();
+      outcome.coalesced_events = wrapped->coalesced_events();
+      outcome.stale_solves = wrapped->stale_solves();
+    }
+    if (flowtime != nullptr) {
       outcome.replans = flowtime->replans();
       outcome.pivots = flowtime->total_pivots();
     }

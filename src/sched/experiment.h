@@ -25,8 +25,10 @@ struct SchedulerOutcome {
   sim::SimResult result;
   sim::DeadlineReport deadlines;
   sim::AdhocReport adhoc;
-  int replans = 0;            // FlowTime only
-  std::int64_t pivots = 0;    // FlowTime only
+  int replans = 0;                     // FlowTime only
+  std::int64_t pivots = 0;             // FlowTime only
+  std::int64_t coalesced_events = 0;   // async runtime only
+  std::int64_t stale_solves = 0;       // async runtime only
 };
 
 struct ExperimentConfig {
@@ -36,6 +38,15 @@ struct ExperimentConfig {
   /// CORA, EDF, Fair, FIFO, Morpheus, Rayon. Empty = the paper's Fig. 4
   /// set (FlowTime, CORA, EDF, Fair, FIFO).
   std::vector<std::string> schedulers;
+  /// Run the FlowTime variants behind the concurrent runtime: events are
+  /// queued and the LP solve runs on a background thread (DESIGN.md §11).
+  /// Baselines are unaffected (they have no solver to move).
+  bool async_replan = false;
+  /// With async_replan: wait for every solve before serving its slot, so
+  /// the run is deterministic (plan-for-plan equal to the sync path).
+  bool async_barrier = false;
+  /// Solver threads for the concurrent runtime.
+  int runtime_threads = 1;
 
   ExperimentConfig() { flowtime.cluster = sim.cluster; }
 };

@@ -1,0 +1,42 @@
+#include "sim/scheduler.h"
+
+#include <type_traits>
+
+namespace flowtime::sim {
+
+// Default dispatch: unpack the variant into the legacy per-event virtuals.
+// This is the one sanctioned caller of the deprecated hooks — policies that
+// have not migrated yet receive exactly the calls they always did, in the
+// same order, with the same arguments.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+void Scheduler::on_event(const SchedulerEvent& event) {
+  std::visit(
+      [this](const auto& e) {
+        using E = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<E, WorkflowArrivalEvent>) {
+          on_workflow_arrival(*e.workflow, e.node_uids, e.now_s);
+        } else if constexpr (std::is_same_v<E, AdhocArrivalEvent>) {
+          on_adhoc_arrival(e.uid, e.now_s, e.width);
+        } else if constexpr (std::is_same_v<E, JobCompleteEvent>) {
+          on_job_complete(e.uid, e.now_s);
+        } else if constexpr (std::is_same_v<E, CapacityChangeEvent>) {
+          on_capacity_change(e.now_s, e.capacity);
+        } else if constexpr (std::is_same_v<E, TaskFailureEvent>) {
+          on_task_failure(e.uid, e.now_s, e.lost_estimate, e.retry,
+                          e.retry_at_s);
+        } else {
+          static_assert(std::is_same_v<E, SolverSabotageEvent>);
+          on_solver_sabotage(e.now_s, e.budget_ms, e.pivot_cap,
+                             e.force_numerical_failure);
+        }
+      },
+      event);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace flowtime::sim

@@ -14,15 +14,13 @@
 #include <vector>
 
 #include "dag/dag.h"
+#include "sim/events.h"
 #include "workload/resources.h"
 #include "workload/workflow.h"
 
 namespace flowtime::sim {
 
 using workload::ResourceVec;
-
-/// Dense per-run job identifier assigned by the simulator.
-using JobUid = int;
 
 enum class JobKind { kDeadline, kAdhoc };
 
@@ -68,10 +66,16 @@ struct Allocation {
   ResourceVec amount{};
 };
 
-/// Scheduling policy. The simulator drives it with arrival/completion events
-/// and asks for one allocation vector per slot. Implementations must stay
-/// within capacity and per-job widths; the simulator clamps violations and
-/// reports them so tests can assert they never happen.
+/// Scheduling policy. The simulator (or the concurrent runtime) drives it
+/// with SchedulerEvent values through on_event and asks for one allocation
+/// vector per slot. Implementations must stay within capacity and per-job
+/// widths; the simulator clamps violations and reports them so tests can
+/// assert they never happen.
+///
+/// Event delivery is unified: every producer calls `on_event`. The default
+/// `on_event` unpacks the variant into the legacy per-event virtuals below
+/// so existing policies keep working unchanged; new policies override
+/// `on_event` directly and ignore the deprecated hooks.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -86,7 +90,20 @@ class Scheduler {
     return nullptr;
   }
 
+  /// Unified event entry point. The default implementation dispatches to
+  /// the legacy per-event virtuals, so policies migrate incrementally.
+  /// Events arrive in simulation-time order; a policy must tolerate any
+  /// interleaving of event kinds.
+  virtual void on_event(const SchedulerEvent& event);
+
+  // --- Legacy per-event hooks -------------------------------------------
+  // Deprecated: override (or call) `on_event` instead. These remain only
+  // as the default dispatch targets so policies in src/sched migrate
+  // incrementally; they will be removed once every policy consumes the
+  // typed events.
+
   /// A workflow was released. `node_uids[v]` is the JobUid of DAG node v.
+  [[deprecated("override on_event(WorkflowArrivalEvent) instead")]]
   virtual void on_workflow_arrival(const workload::Workflow& workflow,
                                    const std::vector<JobUid>& node_uids,
                                    double now_s) {
@@ -96,6 +113,7 @@ class Scheduler {
   }
 
   /// An ad-hoc job arrived; only identity, time and width are disclosed.
+  [[deprecated("override on_event(AdhocArrivalEvent) instead")]]
   virtual void on_adhoc_arrival(JobUid uid, double now_s,
                                 const ResourceVec& width) {
     (void)uid;
@@ -104,6 +122,7 @@ class Scheduler {
   }
 
   /// A job finished (its completion slot just ended).
+  [[deprecated("override on_event(JobCompleteEvent) instead")]]
   virtual void on_job_complete(JobUid uid, double now_s) {
     (void)uid;
     (void)now_s;
@@ -114,6 +133,7 @@ class Scheduler {
   /// budget in resource-seconds — the same units ClusterState::capacity
   /// uses. Self-healing schedulers re-plan; the default ignores it and the
   /// simulator's capacity clamp keeps the policy honest either way.
+  [[deprecated("override on_event(CapacityChangeEvent) instead")]]
   virtual void on_capacity_change(double now_s, const ResourceVec& capacity) {
     (void)now_s;
     (void)capacity;
@@ -123,6 +143,7 @@ class Scheduler {
   /// `lost_estimate` is the estimated demand added back to the job's
   /// remaining work (resource-seconds); the job is barred from running
   /// until `retry_at_s`. `retry` counts this job's failures so far.
+  [[deprecated("override on_event(TaskFailureEvent) instead")]]
   virtual void on_task_failure(JobUid uid, double now_s,
                                const ResourceVec& lost_estimate, int retry,
                                double retry_at_s) {
@@ -139,6 +160,7 @@ class Scheduler {
   /// (<= 0 = unlimited); `force_numerical_failure` asks it to treat its
   /// primary solve path as numerically broken. A lift is signalled as
   /// (-1.0, 0, false). Schedulers without an internal solver ignore this.
+  [[deprecated("override on_event(SolverSabotageEvent) instead")]]
   virtual void on_solver_sabotage(double now_s, double budget_ms,
                                   std::int64_t pivot_cap,
                                   bool force_numerical_failure) {

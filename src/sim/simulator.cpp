@@ -204,8 +204,13 @@ SimResult Simulator::run(const workload::Scenario& scenario,
               obs::begin_span("job", job.record.name, wf_span, now, meta);
         }
       }
-      scheduler.on_workflow_arrival(*pending.workflow, pending.node_uids,
-                                    now);
+      // The event aliases the scenario's workflow (no copy, no ownership):
+      // the scenario outlives the run, and any scheduler that needs the DAG
+      // past the callback copies it, as FlowTimeScheduler does.
+      scheduler.on_event(WorkflowArrivalEvent{
+          std::shared_ptr<const workload::Workflow>(
+              std::shared_ptr<const workload::Workflow>(), pending.workflow),
+          pending.node_uids, now});
       ++next_workflow;
     }
     while (next_adhoc < adhoc_queue.size() &&
@@ -220,7 +225,7 @@ SimResult Simulator::run(const workload::Scenario& scenario,
         job.job_span = obs::begin_span("job", job.record.name, obs::kNoSpan,
                                        now, meta);
       }
-      scheduler.on_adhoc_arrival(job.record.uid, now, job.width);
+      scheduler.on_event(AdhocArrivalEvent{job.record.uid, now, job.width});
       ++next_adhoc;
     }
 
@@ -235,9 +240,9 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       capacity_units = injector.capacity_for_slot(slot, now, capacity_units,
                                                   &capacity_changed);
       if (capacity_changed) {
-        scheduler.on_capacity_change(
+        scheduler.on_event(CapacityChangeEvent{
             now,
-            workload::scale(capacity_units, config_.cluster.slot_seconds));
+            workload::scale(capacity_units, config_.cluster.slot_seconds)});
       }
 
       // Solver sabotage: squeeze (or release) the scheduler's internal
@@ -264,11 +269,11 @@ SimResult Simulator::run(const workload::Scenario& scenario,
           }
         }
         if (sabotage.has_value()) {
-          scheduler.on_solver_sabotage(now, sabotage->budget_ms,
-                                       sabotage->pivot_cap,
-                                       sabotage->force_numerical_failure);
+          scheduler.on_event(SolverSabotageEvent{
+              now, sabotage->budget_ms, sabotage->pivot_cap,
+              sabotage->force_numerical_failure});
         } else {
-          scheduler.on_solver_sabotage(now, -1.0, 0, false);
+          scheduler.on_event(SolverSabotageEvent{now, -1.0, 0, false});
         }
       }
 
@@ -371,9 +376,9 @@ SimResult Simulator::run(const workload::Scenario& scenario,
               obs::begin_span("fault", "task_retry:" + job.record.name,
                               job.job_span, now, meta);
         }
-        scheduler.on_task_failure(
+        scheduler.on_event(TaskFailureEvent{
             job.record.uid, now, lost_estimate, job.retries,
-            job.backoff_until_slot * config_.cluster.slot_seconds);
+            job.backoff_until_slot * config_.cluster.slot_seconds});
       }
     }
 
@@ -575,7 +580,8 @@ SimResult Simulator::run(const workload::Scenario& scenario,
           workflow_spans.erase(wf_it);
         }
       }
-      scheduler.on_job_complete(uid, now + config_.cluster.slot_seconds);
+      scheduler.on_event(
+          JobCompleteEvent{uid, now + config_.cluster.slot_seconds});
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "util/logging.h"
 
@@ -153,7 +154,7 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
     }
     for (JobUid uid : completed_now) {
       --incomplete;
-      scheduler.on_job_complete(uid, now);
+      scheduler.on_event(JobCompleteEvent{uid, now});
     }
     if (incomplete == 0) {
       result.slots_simulated = slot;
@@ -167,8 +168,12 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
       for (JobUid uid : pending.node_uids) {
         jobs[static_cast<std::size_t>(uid)].arrived = true;
       }
-      scheduler.on_workflow_arrival(*pending.workflow, pending.node_uids,
-                                    now);
+      // Aliasing, non-owning: the scenario outlives the run, so the event
+      // can carry a shared_ptr without taking ownership or copying.
+      scheduler.on_event(WorkflowArrivalEvent{
+          std::shared_ptr<const workload::Workflow>(
+              std::shared_ptr<const workload::Workflow>(), pending.workflow),
+          pending.node_uids, now});
       ++next_workflow;
     }
     while (next_adhoc < adhoc_queue.size() &&
@@ -176,9 +181,9 @@ SimResult TaskLevelSimulator::run(const workload::Scenario& scenario,
                    .record.arrival_s <= now + kTol) {
       TaskJob& job = jobs[static_cast<std::size_t>(adhoc_queue[next_adhoc])];
       job.arrived = true;
-      scheduler.on_adhoc_arrival(
+      scheduler.on_event(AdhocArrivalEvent{
           job.record.uid, now,
-          workload::scale(job.container, job.tasks_total));
+          workload::scale(job.container, job.tasks_total)});
       ++next_adhoc;
     }
 
