@@ -329,7 +329,6 @@ void FlowTimeScheduler::replan(const sim::ClusterState& state) {
 }
 
 PendingReplan FlowTimeScheduler::begin_replan(const sim::ClusterState& state) {
-  ++replans_;
   PendingReplan pending;
   pending.state = state;
   pending.epoch = planner_epoch_;
@@ -413,6 +412,10 @@ PendingReplan FlowTimeScheduler::begin_replan(const sim::ClusterState& state) {
 void FlowTimeScheduler::finish_replan(const PendingReplan& pending,
                                       PlanSolveResult&& solved,
                                       double now_s) {
+  // Counted at adoption, not at begin_replan: discarded attempts go to
+  // replans_discarded_ instead, so replans() means "plans served" in both
+  // sync and async runs and the comparison numbers stay comparable.
+  ++replans_;
   ReplanRecord record = pending.record;
   record.pivots = solved.pivots;
   total_pivots_ += solved.pivots;
@@ -532,8 +535,18 @@ void FlowTimeScheduler::abandon_replan(const PendingReplan& pending,
   ReplanRecord record = pending.record;
   record.pivots = solved.pivots;
   record.discarded = true;
+  ++replans_discarded_;
   total_pivots_ += solved.pivots;
   replan_log_.push_back(record);
+  // Discarding must not swallow the triggers: begin_replan cleared the
+  // dirty flag and the causes when it snapshotted, so put them back. The
+  // event that staled this solve bumped the epoch but need not have marked
+  // dirty itself (an on-time completion, for instance) — without the
+  // re-assert the original trigger would never be re-planned and its jobs
+  // would starve with no plan rows. No epoch bump: the next begin_replan
+  // snapshots at the live epoch and is valid by construction.
+  dirty_ = true;
+  pending_causes_ |= pending.record.causes;
   if (obs::enabled()) {
     obs::registry().counter("core.replans_discarded").add();
     obs::emit(obs::TraceEvent("replan_discarded")

@@ -257,8 +257,11 @@ class FlowTimeScheduler : public sim::Scheduler {
   void finish_replan(const PendingReplan& pending, PlanSolveResult&& solved,
                      double now_s);
   /// Accounts a solve that was discarded unadopted (stale or preempted):
-  /// the attempt still shows up in replans()/pivots so solver work is never
-  /// silently unattributed. Serving thread only.
+  /// the attempt shows up in replans_discarded()/total_pivots() and the
+  /// replan log so solver work is never silently unattributed, and the
+  /// planner is re-marked dirty with the discarded solve's causes so the
+  /// external driver immediately re-bases a fresh solve — a discard must
+  /// never swallow its trigger. Serving thread only.
   void abandon_replan(const PendingReplan& pending,
                       const PlanSolveResult& solved);
 
@@ -281,7 +284,13 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// Decomposition of one arrived workflow (for tests and examples).
   const DecompositionResult* decomposition(int workflow_id) const;
 
+  /// Re-plans whose solution was adopted (counted at finish_replan, so
+  /// sync and async runs report comparable numbers). Discarded attempts
+  /// are in replans_discarded().
   int replans() const { return replans_; }
+  /// Solves that ran but were abandoned unadopted (stale or preempted).
+  /// Always 0 on the synchronous path.
+  int replans_discarded() const { return replans_discarded_; }
   std::int64_t total_pivots() const { return total_pivots_; }
 
   /// The effective configuration (after construction-time adjustments);
@@ -379,7 +388,8 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// does not count: a plan is not stale merely because time passed.
   std::uint64_t planner_epoch_ = 0;
   bool skew_checked_ = false;
-  int replans_ = 0;
+  int replans_ = 0;            // adopted plans only
+  int replans_discarded_ = 0;  // stale/preempted solves, never adopted
   std::int64_t total_pivots_ = 0;
   int decomposition_fallbacks_ = 0;
   int truncated_replans_ = 0;

@@ -56,7 +56,9 @@ struct RuntimeConfig {
   /// in-flight solve and adopts it before serving. Deterministic (same
   /// plans as the synchronous path) at the cost of blocking per slot.
   bool barrier_mode = false;
-  /// EventQueue bound; producers block (back-pressure) when it fills.
+  /// EventQueue bound; producers on other threads block (back-pressure)
+  /// when it fills. Pushes from the serving thread itself never block —
+  /// they exceed the bound instead (see EventQueue's deadlock guard).
   std::size_t queue_capacity = 4096;
   /// Solver pool width. One suffices for a single scheduler — the warm
   /// cache admits one solve at a time anyway.
@@ -111,6 +113,9 @@ class ConcurrentScheduler : public sim::Scheduler {
   std::int64_t preempted_solves() const { return preempted_solves_; }
   /// Solves submitted to the pool (async mode only).
   std::int64_t async_solves() const { return async_solves_; }
+  /// Serving-thread pushes that found the event queue full and grew past
+  /// its bound instead of self-deadlocking (EventQueue deadlock guard).
+  std::int64_t queue_overflows() const { return queue_.overflows(); }
 
   /// The wrapped scheduler, for stats (replans, pivots, replan_log) and
   /// deadline evaluation. Do not call mutating members while a run is in

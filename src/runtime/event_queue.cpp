@@ -3,14 +3,32 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace flowtime::runtime {
 
 bool EventQueue::push(sim::SchedulerEvent event) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    if (std::this_thread::get_id() == consumer_) {
+      // The consumer pushing into its own queue: waiting for a drain that
+      // only this thread can perform would deadlock, so exceed the bound
+      // instead (the very next drain takes everything anyway).
+      if (!closed_ && items_.size() >= capacity_) {
+        ++overflows_;
+        if (overflows_ == 1) {
+          FT_LOG(kWarn) << "EventQueue: consumer-thread push overflowed the "
+                           "capacity of " << capacity_
+                        << "; growing past the bound instead of blocking";
+        }
+        if (obs::enabled()) {
+          obs::registry().counter("runtime.queue_overflows").add();
+        }
+      }
+    } else {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+    }
     if (closed_) return false;
     items_.push_back(std::move(event));
     if (obs::enabled()) {
@@ -26,6 +44,7 @@ std::size_t EventQueue::drain(std::vector<sim::SchedulerEvent>& out) {
   std::deque<sim::SchedulerEvent> taken;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    consumer_ = std::this_thread::get_id();
     taken.swap(items_);
   }
   not_full_.notify_all();
@@ -39,6 +58,11 @@ std::size_t EventQueue::drain(std::vector<sim::SchedulerEvent>& out) {
 std::size_t EventQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.size();
+}
+
+std::int64_t EventQueue::overflows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflows_;
 }
 
 void EventQueue::close() {

@@ -119,6 +119,7 @@ std::vector<SchedulerOutcome> run_comparison(
     }
     if (flowtime != nullptr) {
       outcome.replans = flowtime->replans();
+      outcome.replans_discarded = flowtime->replans_discarded();
       outcome.pivots = flowtime->total_pivots();
     }
     outcomes.push_back(std::move(outcome));

@@ -25,7 +25,8 @@ struct SchedulerOutcome {
   sim::SimResult result;
   sim::DeadlineReport deadlines;
   sim::AdhocReport adhoc;
-  int replans = 0;                     // FlowTime only
+  int replans = 0;                     // FlowTime only (adopted plans)
+  int replans_discarded = 0;           // FlowTime only (stale, unadopted)
   std::int64_t pivots = 0;             // FlowTime only
   std::int64_t coalesced_events = 0;   // async runtime only
   std::int64_t stale_solves = 0;       // async runtime only

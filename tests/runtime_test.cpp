@@ -74,6 +74,40 @@ TEST(EventQueue, FullQueueBlocksUntilDrained) {
   EXPECT_DOUBLE_EQ(sim::event_time(out[1]), 1.0);
 }
 
+TEST(EventQueue, ConsumerThreadPushGrowsPastCapacityInsteadOfBlocking) {
+  // The standard single-threaded setup makes the simulator thread both
+  // sole producer and sole consumer; a blocking push from it could never
+  // be drained. The constructing thread counts as the consumer, so these
+  // pushes must exceed the bound rather than deadlock.
+  runtime::EventQueue queue(2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.push(adhoc(i, static_cast<double>(i))));
+  }
+  EXPECT_EQ(queue.depth(), 5u);
+  EXPECT_EQ(queue.overflows(), 3);
+
+  std::vector<sim::SchedulerEvent> out;
+  EXPECT_EQ(queue.drain(out), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(sim::event_time(out[static_cast<std::size_t>(i)]),
+                     static_cast<double>(i));
+  }
+  // Draining re-binds the consumer to the draining thread: a push from a
+  // different thread is back-pressured (blocks) once the queue refills.
+  std::atomic<bool> pushed{false};
+  ASSERT_TRUE(queue.push(adhoc(10, 10.0)));
+  ASSERT_TRUE(queue.push(adhoc(11, 11.0)));
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(adhoc(12, 12.0)));  // blocks until the drain
+    pushed.store(true);
+  });
+  out.clear();
+  while (out.size() < 3u) queue.drain(out);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.overflows(), 3) << "cross-thread pushes never overflow";
+}
+
 TEST(EventQueue, CloseUnblocksProducersAndRejectsPushes) {
   runtime::EventQueue queue(1);
   ASSERT_TRUE(queue.push(adhoc(0, 0.0)));
@@ -177,6 +211,7 @@ void expect_identical_runs(const sim::SimResult& a, const sim::SimResult& b,
     }
   }
   EXPECT_EQ(sched_a.replans(), sched_b.replans());
+  EXPECT_EQ(sched_a.replans_discarded(), sched_b.replans_discarded());
   EXPECT_EQ(sched_a.total_pivots(), sched_b.total_pivots());
   const auto& log_a = sched_a.replan_log();
   const auto& log_b = sched_b.replan_log();
@@ -424,6 +459,93 @@ TEST(ConcurrentScheduler, StaleSolveIsPreemptedDiscardedAndRebased) {
   // With the plan adopted, slot 2 serves actual allocations.
   state.slot = 2;
   state.now_s = 2 * slot_s;
+  EXPECT_FALSE(sched.allocate(state).empty());
+}
+
+TEST(ConcurrentScheduler, DiscardedSolveReassertsItsTrigger) {
+  // The staleness-inducing event here is an ON-TIME completion: it bumps
+  // the planner epoch (the planning set shrank) but marks nothing dirty.
+  // When the solve for workflow B's arrival is discarded as stale, the
+  // discard must put the arrival cause back and re-base a fresh solve —
+  // otherwise B has no plan rows, planned_last_slot stays -1, and neither
+  // kPlanExhausted nor kStalePlan can ever re-trigger: B starves.
+  const double slot_s = 10.0;
+  SolveGate gate;
+
+  runtime::RuntimeConfig rt;
+  rt.flowtime.cluster.capacity = ResourceVec{100.0, 200.0};
+  rt.flowtime.cluster.slot_seconds = slot_s;
+  // Every completion counts as on-time, so none marks kDeviation.
+  rt.flowtime.replan_deviation_slots = 1000;
+  rt.async_replan = true;
+  rt.solve_started_hook = [&gate](const core::PendingReplan&) {
+    gate.acquire();
+  };
+  runtime::ConcurrentScheduler sched(rt);
+
+  const workload::Workflow wf_a = single_job_workflow(0, 600.0);
+  const workload::Workflow wf_b = single_job_workflow(1, 900.0);
+  const auto alias = [](const workload::Workflow& w) {
+    return std::shared_ptr<const workload::Workflow>(
+        std::shared_ptr<const workload::Workflow>(), &w);
+  };
+
+  sim::ClusterState state;
+  state.slot = 0;
+  state.now_s = 0.0;
+  state.slot_seconds = slot_s;
+  state.capacity = workload::scale(ResourceVec{100.0, 200.0}, slot_s);
+
+  // Slot 0: workflow A arrives; its solve runs and is adopted.
+  sched.on_event(sim::WorkflowArrivalEvent{alias(wf_a), {0}, 0.0});
+  state.active = {view_for(wf_a, 0, slot_s)};
+  sched.allocate(state);
+  gate.release(1);
+  sched.quiesce(state);
+  ASSERT_EQ(sched.async_solves(), 1);
+  ASSERT_EQ(sched.stale_solves(), 0);
+
+  // Slot 1: workflow B arrives; its solve starts and is held at the gate.
+  sched.on_event(sim::WorkflowArrivalEvent{alias(wf_b), {1}, slot_s});
+  state.slot = 1;
+  state.now_s = slot_s;
+  state.active = {view_for(wf_a, 0, slot_s), view_for(wf_b, 1, slot_s)};
+  sched.allocate(state);
+  ASSERT_EQ(sched.async_solves(), 2);
+
+  // Slot 2: A completes on time while B's solve is in flight. The drain
+  // bumps the epoch without marking dirty, staling (and preempting) the
+  // held solve.
+  sched.on_event(sim::JobCompleteEvent{0, 2 * slot_s});
+  state.slot = 2;
+  state.now_s = 2 * slot_s;
+  state.active = {view_for(wf_b, 1, slot_s)};
+  sched.allocate(state);
+
+  // Release the doomed solve and the re-based one the discard must cause.
+  gate.release(2);
+  sched.quiesce(state);
+
+  EXPECT_EQ(sched.stale_solves(), 1);
+  EXPECT_EQ(sched.preempted_solves(), 1);
+  EXPECT_EQ(sched.async_solves(), 3)
+      << "discarding the stale solve must re-assert the arrival trigger";
+  EXPECT_FALSE(sched.inner().dirty());
+  EXPECT_EQ(sched.inner().replans(), 2) << "two adopted plans";
+  EXPECT_EQ(sched.inner().replans_discarded(), 1);
+  const auto& log = sched.inner().replan_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_FALSE(log[0].discarded);
+  EXPECT_TRUE(log[1].discarded);
+  EXPECT_FALSE(log[2].discarded);
+  EXPECT_TRUE(core::has_cause(log[2].causes,
+                              core::ReplanCause::kWorkflowArrival))
+      << "the re-based solve carries the discarded solve's causes";
+  EXPECT_EQ(log[2].planned_jobs, 1) << "only B is left to plan";
+
+  // With the re-based plan adopted, B is actually served.
+  state.slot = 3;
+  state.now_s = 3 * slot_s;
   EXPECT_FALSE(sched.allocate(state).empty());
 }
 
