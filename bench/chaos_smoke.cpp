@@ -9,8 +9,9 @@
 //     the task failure as one tagged task_failure,
 //   * the failed task is retried successfully (task_retry recorded),
 //   * every "fault" span pairs an injection with a recovery end,
-//   * the two traces are byte-identical once wall_s (the only wall-clock
-//     field) is stripped — the documented determinism guarantee.
+//   * the two traces are byte-identical once the wall-clock-derived fields
+//     (wall_s, stage latencies, solver phase timers) are stripped — the
+//     documented determinism guarantee.
 //
 // Flags: --trace-out PATH (default chaos_smoke.jsonl in the CWD; the
 // second run writes PATH.run2).
@@ -88,17 +89,25 @@ sim::SimResult run_traced(const std::string& path, bool* trace_ok,
   return result;
 }
 
-// Reads a trace back as parsed records with wall_s (wall-clock timing, the
-// one legitimately nondeterministic field) removed.
+// Reads a trace back as parsed records with every wall-clock-derived field
+// (the legitimately nondeterministic ones: wall_s, the causal-chain stage
+// latencies, the solve_profile phase timers) removed. Everything else —
+// pivot counts, levels, causes, ids — must match exactly between seeded
+// runs.
 bool load_stripped(const std::string& path,
                    std::vector<std::map<std::string, std::string>>* out) {
+  static const char* kWallDerived[] = {
+      "wall_s",         "queue_wait_ms",  "coalesce_ms",
+      "solve_ms",       "adoption_lag_ms", "total_ms",
+      "pricing_s",      "ratio_test_s",   "basis_update_s",
+      "refactor_s"};
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
   while (std::getline(in, line)) {
     std::map<std::string, std::string> record;
     if (!obs::parse_flat_json(line, &record)) return false;
-    record.erase("wall_s");
+    for (const char* key : kWallDerived) record.erase(key);
     out->push_back(std::move(record));
   }
   return true;

@@ -29,6 +29,8 @@
 //                        identical to the synchronous path)
 //   --runtime-threads N  solver threads for the concurrent runtime
 //                        (default 1)
+//   --stats-every N      print a metric-registry snapshot to stderr every
+//                        N simulated slots (implies metrics collection)
 //   --dump-example       print a commented example scenario and exit
 #include <cstdio>
 
@@ -84,13 +86,17 @@ int main(int argc, char** argv) {
   const bool async_barrier = flags.get_bool("async-barrier", false);
   const int runtime_threads =
       static_cast<int>(flags.get_double("runtime-threads", 1.0));
+  const int stats_every =
+      static_cast<int>(flags.get_double("stats-every", 0.0));
   for (const std::string& typo : flags.unqueried()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", typo.c_str());
   }
   if (!trace_out.empty() && !obs::open_trace_file(trace_out)) {
     return cli::fail(trace_out, "cannot open trace file");
   }
-  if (!prom_out.empty()) obs::set_enabled(true);  // metrics without a sink
+  if (!prom_out.empty() || stats_every > 0) {
+    obs::set_enabled(true);  // metrics without a sink
+  }
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: flowtime_sim --file scenario.scn "
@@ -118,6 +124,16 @@ int main(int argc, char** argv) {
   config.async_replan = async_replan;
   config.async_barrier = async_barrier;
   config.runtime_threads = runtime_threads;
+  if (stats_every > 0) {
+    // Periodic registry snapshots to stderr (stdout carries the report
+    // table). Counters are cumulative across the run — and across the
+    // schedulers of a comparison, since the registry is global.
+    config.sim.stats_every_slots = stats_every;
+    config.sim.stats_hook = [](int slot, double now_s) {
+      std::fprintf(stderr, "--- stats @ slot %d (t=%.0fs) ---\n%s", slot,
+                   now_s, obs::registry().render_text().c_str());
+    };
+  }
   for (const std::string& name : util::split(scheduler_list, ',')) {
     if (!name.empty()) config.schedulers.push_back(name);
   }

@@ -6,6 +6,11 @@
 // (flowtime_sim, the fig* benches) and prints:
 //   * per-workflow timelines rebuilt from the workflow/job lifecycle spans,
 //   * the re-plan cause breakdown and solver-latency percentiles,
+//   * the event latency decomposition (queue-wait / coalesce / solve /
+//     adoption-lag stages of every causal chain from the concurrent
+//     runtime, with a stages-sum-to-total consistency check),
+//   * the solver-phase profile table (pricing / ratio test / basis update /
+//     refactorize seconds aggregated from solve_profile events),
 //   * a deadline-risk summary (warn/breach transitions per workflow).
 // With --chrome-out it additionally converts the span stream to the Chrome
 // trace-event JSON that chrome://tracing and https://ui.perfetto.dev load.
@@ -193,12 +198,144 @@ int main(int argc, char** argv) {
       std::printf("  cause %-28s %d\n", cause.c_str(), count);
     }
     std::printf(
-        "  solver latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, "
+        "  solver latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, "
         "max %.3f ms\n",
         percentile(replan_wall_s, 0.5) * 1e3,
-        percentile(replan_wall_s, 0.9) * 1e3,
+        percentile(replan_wall_s, 0.95) * 1e3,
         percentile(replan_wall_s, 0.99) * 1e3,
         percentile(replan_wall_s, 1.0) * 1e3);
+  }
+
+  // --- event latency decomposition (concurrent runtime) ------------------
+  // Every plan_adopted / plan_discarded terminal carries the four causal
+  // stages; by construction they tile the replan's end-to-end wall latency,
+  // which the ±1 ms consistency check below re-verifies from the trace.
+  {
+    std::map<std::string, std::vector<double>> stages;  // key -> samples (ms)
+    static const char* kStages[] = {"queue_wait_ms", "coalesce_ms",
+                                    "solve_ms", "adoption_lag_ms",
+                                    "total_ms"};
+    int terminals = 0;
+    int adopted = 0;
+    int sum_mismatches = 0;
+    int trigger_enqueues = 0;
+    int chain_solve_begins = 0;
+    for (const TraceRecord& record : events) {
+      const std::string type = as_string(record, "type");
+      if (type == "event_enqueued") {
+        if (as_string(record, "trigger") == "true") ++trigger_enqueues;
+        continue;
+      }
+      if (type == "solve_begin") {
+        ++chain_solve_begins;
+        continue;
+      }
+      if (type != "plan_adopted" && type != "plan_discarded") continue;
+      ++terminals;
+      if (type == "plan_adopted") ++adopted;
+      double sum_ms = 0.0;
+      for (const char* key : kStages) {
+        const double value = as_double(record, key);
+        stages[key].push_back(value);
+        if (std::strcmp(key, "total_ms") == 0) {
+          if (std::fabs(sum_ms - value) > 1.0) ++sum_mismatches;
+        } else {
+          sum_ms += value;
+        }
+      }
+    }
+    if (terminals > 0) {
+      std::printf(
+          "\nEvent latency decomposition (%d replan chains: %d adopted, "
+          "%d discarded):\n",
+          terminals, adopted, terminals - adopted);
+      std::printf("  %-16s %10s %10s %10s %10s\n", "stage", "p50 ms",
+                  "p95 ms", "p99 ms", "max ms");
+      for (const char* key : kStages) {
+        const std::vector<double>& samples = stages[key];
+        std::printf("  %-16s %10.3f %10.3f %10.3f %10.3f\n", key,
+                    percentile(samples, 0.5), percentile(samples, 0.95),
+                    percentile(samples, 0.99), percentile(samples, 1.0));
+      }
+      if (sum_mismatches == 0) {
+        std::printf("  stages sum to total within 1 ms on every chain\n");
+      } else {
+        std::printf("  warning: %d chain(s) where stages do not sum to "
+                    "total within 1 ms\n",
+                    sum_mismatches);
+      }
+      std::printf("  chain balance: %d trigger enqueues, %d solve_begin, "
+                  "%d terminals%s\n",
+                  trigger_enqueues, chain_solve_begins, terminals,
+                  chain_solve_begins == terminals ? " (balanced)"
+                                                  : " (UNBALANCED)");
+    }
+  }
+
+  // --- solver-phase profile ---------------------------------------------
+  // Aggregates the per-solve lp::SolveProfile merge events: where the LP
+  // hot path spends its time, and the pivot-quality counters.
+  {
+    double pricing_s = 0.0;
+    double ratio_test_s = 0.0;
+    double basis_update_s = 0.0;
+    double refactor_s = 0.0;
+    std::int64_t solves = 0;
+    std::int64_t pivots = 0;
+    std::int64_t degenerate = 0;
+    std::int64_t bound_flips = 0;
+    std::int64_t refactorizations = 0;
+    std::int64_t basis_patches = 0;
+    std::int64_t lexmin_rounds = 0;
+    int profiles = 0;
+    for (const TraceRecord& record : events) {
+      if (as_string(record, "type") != "solve_profile") continue;
+      ++profiles;
+      pricing_s += as_double(record, "pricing_s");
+      ratio_test_s += as_double(record, "ratio_test_s");
+      basis_update_s += as_double(record, "basis_update_s");
+      refactor_s += as_double(record, "refactor_s");
+      solves += static_cast<std::int64_t>(as_double(record, "solves"));
+      pivots += static_cast<std::int64_t>(as_double(record, "pivots"));
+      degenerate +=
+          static_cast<std::int64_t>(as_double(record, "degenerate_pivots"));
+      bound_flips +=
+          static_cast<std::int64_t>(as_double(record, "bound_flips"));
+      refactorizations +=
+          static_cast<std::int64_t>(as_double(record, "refactorizations"));
+      basis_patches +=
+          static_cast<std::int64_t>(as_double(record, "basis_patches"));
+      lexmin_rounds +=
+          static_cast<std::int64_t>(as_double(record, "lexmin_rounds"));
+    }
+    if (profiles > 0) {
+      const double phase_total =
+          pricing_s + ratio_test_s + basis_update_s + refactor_s;
+      auto pct = [&](double value) {
+        return phase_total > 0.0 ? 100.0 * value / phase_total : 0.0;
+      };
+      std::printf("\nSolver phase profile (%d profiled solve scopes):\n",
+                  profiles);
+      std::printf("  %-16s %12s %8s\n", "phase", "seconds", "share");
+      std::printf("  %-16s %12.6f %7.1f%%\n", "pricing", pricing_s,
+                  pct(pricing_s));
+      std::printf("  %-16s %12.6f %7.1f%%\n", "ratio_test", ratio_test_s,
+                  pct(ratio_test_s));
+      std::printf("  %-16s %12.6f %7.1f%%\n", "basis_update", basis_update_s,
+                  pct(basis_update_s));
+      std::printf("  %-16s %12.6f %7.1f%%\n", "refactorize", refactor_s,
+                  pct(refactor_s));
+      std::printf(
+          "  %lld LP solves, %lld pivots (%lld degenerate, %lld bound "
+          "flips), %lld refactorizations, %lld basis patches, %lld lexmin "
+          "rounds\n",
+          static_cast<long long>(solves), static_cast<long long>(pivots),
+          static_cast<long long>(degenerate),
+          static_cast<long long>(bound_flips),
+          static_cast<long long>(refactorizations),
+          static_cast<long long>(basis_patches),
+          static_cast<long long>(lexmin_rounds));
+    }
   }
 
   // --- fault injection ---------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include "core/greedy_placement.h"
 #include "lp/solve_budget.h"
+#include "lp/solve_profile.h"
 #include "obs/deadline_monitor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -569,6 +570,13 @@ PlanSolveResult FlowTimeScheduler::solve_replan(const FlowTimeConfig& config,
   // snapshot in `pending` stays what begin_replan produced.
   std::vector<LpJob> lp_jobs = pending.lp_jobs;
   const int horizon_last_slot = pending.horizon_last_slot;
+
+  // Phase-level profile of every LP the escalation ladder runs below (all
+  // rungs, retries and lexmin probes included). Thread-local while open;
+  // merged into the registry and emitted as one `solve_profile` trace event
+  // when the scope closes, so the solver pool never contends on it.
+  std::optional<lp::ScopedSolveProfile> profile;
+  if (obs::enabled()) profile.emplace("replan", state.slot);
 
   const int num_slots = horizon_last_slot - state.slot + 1;
   // Plan-ahead coarsening: bucket `bucket` consecutive slots into one

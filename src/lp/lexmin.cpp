@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "lp/solve_profile.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -95,6 +96,27 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
   std::size_t num_fixed = 0;
   while (num_fixed < k_total && result.rounds < options_.max_rounds) {
     ++result.rounds;
+    // Per-round breakdown for the solver-phase profile: each round is one
+    // LP solve plus (under exact fixing) a probe per candidate, and the
+    // rounds-vs-pivots shape is what distinguishes "many cheap levels"
+    // from "one giant degenerate solve" in trace_report.
+    if (SolveProfile* profile = current_profile()) ++profile->lexmin_rounds;
+    const bool traced = obs::enabled();
+    const double round_wall0 = traced ? obs::wall_now_s() : 0.0;
+    const std::int64_t round_pivots0 = result.pivots;
+    const std::size_t round_fixed0 = num_fixed;
+    double round_level = 0.0;
+    const auto emit_round = [&] {
+      if (!traced) return;
+      obs::emit(obs::TraceEvent("lexmin_round")
+                    .field("round", result.rounds)
+                    .field("level", round_level)
+                    .field("pivots", result.pivots - round_pivots0)
+                    .field("fixed",
+                           static_cast<std::int64_t>(num_fixed - round_fixed0))
+                    .field("total_fixed", static_cast<std::int64_t>(num_fixed))
+                    .field("wall_s", obs::wall_now_s() - round_wall0));
+    };
     const Solution s = solver.solve(
         p, options_.warm_start && !basis.empty() ? &basis : nullptr);
     result.pivots += s.iterations;
@@ -110,13 +132,18 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
         if (!s.x.empty()) {
           result.x.assign(s.x.begin(), s.x.begin() + base.num_columns());
         }
-        if (!result.x.empty()) break;
+        if (!result.x.empty()) {
+          emit_round();
+          break;
+        }
       }
       result.status = s.status;
+      emit_round();
       return result;
     }
     if (options_.warm_start) basis = s.basis;
     const double level = s.x[static_cast<std::size_t>(u_column)];
+    round_level = level;
     result.x.assign(s.x.begin(), s.x.begin() + base.num_columns());
 
     // Candidates: free rows binding at this level.
@@ -139,6 +166,7 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
         }
       }
       result.levels.push_back(std::max(level, 0.0));
+      emit_round();
       break;
     }
 
@@ -191,7 +219,10 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
       }
     }
     if (to_fix.empty()) to_fix = candidates;  // stall guard
-    if (to_fix.empty()) break;                // numerically nothing binds
+    if (to_fix.empty()) {                     // numerically nothing binds
+      emit_round();
+      break;
+    }
 
     for (std::size_t k : to_fix) {
       fixed[k] = true;
@@ -202,6 +233,7 @@ LexMinMaxResult LexMinMaxSolver::solve_impl(
       p.set_row(row, RowSense::kLessEqual, level * loads[k].normalizer);
     }
     result.levels.push_back(level);
+    emit_round();
   }
 
   if (num_fixed < k_total) {

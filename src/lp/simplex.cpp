@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
+#include "lp/solve_profile.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -12,6 +14,16 @@
 namespace flowtime::lp {
 
 namespace {
+
+// Clock read for the profiled path only: the engine checks its cached
+// thread-local profile pointer first, so the unprofiled hot loop never
+// touches the clock.
+inline std::uint64_t prof_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Nonbasic rest position of a variable.
 enum class NonbasicState : std::uint8_t { kAtLower, kAtUpper, kFree };
@@ -324,6 +336,7 @@ class Engine {
   // are pinned at [0, 0]: any value the patched artificial has to carry
   // shows up as a bound violation for repair_primal_feasibility to clear.
   void patch_singular_basis() {
+    if (profile_ != nullptr) ++profile_->basis_patches;
     const int m = w_.m;
     std::vector<std::vector<double>> reduced;  // accepted columns, reduced
     std::vector<int> pivot_rows;
@@ -537,8 +550,19 @@ class Engine {
   }
 
   // Rebuilds binv_ and xb_ from the basis by Gauss-Jordan; returns false on a
-  // singular basis (numerical failure).
+  // singular basis (numerical failure). Timed as its own profile phase — it
+  // is the O(m^3) step the refactor_interval knob trades against update
+  // drift, and the number ROADMAP item 1 wants pinned.
   bool refactorize() {
+    if (profile_ == nullptr) return refactorize_impl();
+    const std::uint64_t t0 = prof_now_ns();
+    const bool ok = refactorize_impl();
+    ++profile_->refactorizations;
+    profile_->refactor_s += static_cast<double>(prof_now_ns() - t0) * 1e-9;
+    return ok;
+  }
+
+  bool refactorize_impl() {
     const int m = w_.m;
     // Dense B and identity side by side.
     std::vector<double> mat(static_cast<std::size_t>(m) * 2 * m, 0.0);
@@ -620,6 +644,10 @@ class Engine {
         return options_.budget->exhausted_status();
       }
 
+      // Phase attribution (profiled solves only): prof_t0 rolls forward at
+      // each phase boundary so the three windows tile the iteration.
+      std::uint64_t prof_t0 = profile_ != nullptr ? prof_now_ns() : 0;
+
       const std::vector<double> y = compute_duals(cost);
       const bool bland = degenerate_run > options_.degenerate_before_bland;
 
@@ -688,6 +716,11 @@ class Engine {
         }
       }
       if (!bland) pricing_cursor_ = j;
+      if (profile_ != nullptr) {
+        const std::uint64_t t1 = prof_now_ns();
+        profile_->pricing_s += static_cast<double>(t1 - prof_t0) * 1e-9;
+        prof_t0 = t1;
+      }
       if (entering < 0) return SolveStatus::kOptimal;
 
       ftran(entering, w);
@@ -743,6 +776,14 @@ class Engine {
         }
       }
 
+      if (profile_ != nullptr) {
+        const std::uint64_t t1 = prof_now_ns();
+        profile_->ratio_test_s += static_cast<double>(t1 - prof_t0) * 1e-9;
+        prof_t0 = t1;
+        if (std::isfinite(t_best) && t_best <= options_.feasibility_tol) {
+          ++profile_->degenerate_pivots;
+        }
+      }
       if (!std::isfinite(t_best)) return SolveStatus::kUnbounded;
 
       degenerate_run = t_best <= options_.feasibility_tol
@@ -762,6 +803,11 @@ class Engine {
                     NonbasicState::kAtLower
                 ? NonbasicState::kAtUpper
                 : NonbasicState::kAtLower;
+        if (profile_ != nullptr) {
+          ++profile_->bound_flips;
+          profile_->basis_update_s +=
+              static_cast<double>(prof_now_ns() - prof_t0) * 1e-9;
+        }
         continue;
       }
 
@@ -783,6 +829,10 @@ class Engine {
 
       const double pivot = w[static_cast<std::size_t>(leaving_row)];
       if (std::abs(pivot) <= options_.pivot_tol) {
+        if (profile_ != nullptr) {
+          profile_->basis_update_s +=
+              static_cast<double>(prof_now_ns() - prof_t0) * 1e-9;
+        }
         if (!refactorize()) return SolveStatus::kNumericalFailure;
         continue;
       }
@@ -796,6 +846,10 @@ class Engine {
           binv_at(i, k) -= f * binv_at(leaving_row, k);
         }
       }
+      if (profile_ != nullptr) {
+        profile_->basis_update_s +=
+            static_cast<double>(prof_now_ns() - prof_t0) * 1e-9;
+      }
 
       if (++since_refactor >= options_.refactor_interval) {
         since_refactor = 0;
@@ -806,6 +860,9 @@ class Engine {
 
   SimplexOptions options_;
   Working w_;
+  /// The thread's active profiling scope, cached once per engine so the
+  /// pivot loop pays a plain pointer test, not a thread_local lookup.
+  SolveProfile* profile_ = current_profile();
   int pricing_cursor_ = 0;             // partial-pricing scan position
   std::vector<int> basis_;             // column basic in each row
   std::vector<bool> in_basis_;         // per column
@@ -820,7 +877,14 @@ SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
 Solution SimplexSolver::solve(const LpProblem& problem,
                               const Basis* warm) const {
-  if (!obs::enabled()) return solve_impl(problem, warm);
+  if (!obs::enabled()) {
+    Solution result = solve_impl(problem, warm);
+    if (SolveProfile* profile = current_profile()) {
+      ++profile->solves;
+      profile->pivots += result.iterations;
+    }
+    return result;
+  }
 
   Solution result;
   {
@@ -830,6 +894,10 @@ Solution SimplexSolver::solve(const LpProblem& problem,
         &result.solve_seconds,
         &obs::registry().histogram("lp.simplex.solve_seconds"));
     result = solve_impl(problem, warm);
+  }
+  if (SolveProfile* profile = current_profile()) {
+    ++profile->solves;
+    profile->pivots += result.iterations;
   }
   obs::Registry& reg = obs::registry();
   reg.counter("lp.simplex.solves").add();

@@ -1,0 +1,75 @@
+#include "lp/solve_profile.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flowtime::lp {
+
+namespace {
+
+// The thread's active profile. Written only by ScopedSolveProfile on this
+// thread; read by the simplex/lexmin engines running on the same thread.
+thread_local SolveProfile* t_current = nullptr;
+
+}  // namespace
+
+void SolveProfile::add(const SolveProfile& other) {
+  pricing_s += other.pricing_s;
+  ratio_test_s += other.ratio_test_s;
+  basis_update_s += other.basis_update_s;
+  refactor_s += other.refactor_s;
+  solves += other.solves;
+  pivots += other.pivots;
+  degenerate_pivots += other.degenerate_pivots;
+  bound_flips += other.bound_flips;
+  refactorizations += other.refactorizations;
+  basis_patches += other.basis_patches;
+  lexmin_rounds += other.lexmin_rounds;
+}
+
+SolveProfile* current_profile() { return t_current; }
+
+ScopedSolveProfile::ScopedSolveProfile(std::string_view context, int slot)
+    : context_(context), slot_(slot), active_(t_current == nullptr) {
+  if (active_) t_current = &profile_;
+}
+
+ScopedSolveProfile::~ScopedSolveProfile() {
+  if (!active_) return;
+  t_current = nullptr;
+  if (!obs::enabled()) return;
+  // Nothing ran under the scope (e.g. an empty replan): skip the merge so
+  // zero-sample profiles do not dilute the histograms.
+  if (profile_.solves == 0 && profile_.pivots == 0 &&
+      profile_.lexmin_rounds == 0) {
+    return;
+  }
+  obs::Registry& reg = obs::registry();
+  reg.counter("lp.simplex.degenerate_pivots").add(profile_.degenerate_pivots);
+  reg.counter("lp.simplex.bound_flips").add(profile_.bound_flips);
+  reg.counter("lp.simplex.refactorizations").add(profile_.refactorizations);
+  reg.counter("lp.simplex.basis_patches").add(profile_.basis_patches);
+  reg.histogram("lp.profile.pricing_seconds").observe(profile_.pricing_s);
+  reg.histogram("lp.profile.ratio_test_seconds")
+      .observe(profile_.ratio_test_s);
+  reg.histogram("lp.profile.basis_update_seconds")
+      .observe(profile_.basis_update_s);
+  reg.histogram("lp.profile.refactor_seconds").observe(profile_.refactor_s);
+  obs::emit(obs::TraceEvent("solve_profile")
+                .field("context", context_)
+                .field("slot", slot_)
+                .field("solves", profile_.solves)
+                .field("pivots", profile_.pivots)
+                .field("degenerate_pivots", profile_.degenerate_pivots)
+                .field("bound_flips", profile_.bound_flips)
+                .field("refactorizations", profile_.refactorizations)
+                .field("basis_patches", profile_.basis_patches)
+                .field("lexmin_rounds", profile_.lexmin_rounds)
+                .field("pricing_s", profile_.pricing_s)
+                .field("ratio_test_s", profile_.ratio_test_s)
+                .field("basis_update_s", profile_.basis_update_s)
+                .field("refactor_s", profile_.refactor_s)
+                .field("wall_s", profile_.phase_total_s()));
+}
+
+}  // namespace flowtime::lp

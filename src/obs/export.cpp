@@ -105,9 +105,38 @@ bool is_instant_type(const std::string& type) {
 
 }  // namespace
 
+namespace {
+
+// Bookkeeping for the real-thread-id ("runtime threads") view rebuilt from
+// the concurrent runtime's causal-chain events. All stamps are wall-clock
+// seconds (obs::wall_now_s timebase).
+struct QueuedEventStamp {
+  double enqueue_wall_s = 0.0;
+  double dequeue_wall_s = -1.0;  // <0: never drained
+  int lane = 0;                  // producer lane
+  std::string event;             // sim event name
+  bool trigger = false;
+  std::int64_t batch = 0;        // 0: never drained
+};
+
+struct ReplanStamp {
+  double begin_wall_s = -1.0;
+  double done_wall_s = -1.0;
+  double end_wall_s = -1.0;
+  int serving_lane = 0;
+  int solver_lane = 0;
+  bool adopted = false;
+  TraceRecord terminal;  // stage decomposition, shown as slice args
+};
+
+}  // namespace
+
 std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
   std::map<std::int64_t, Span> spans;   // by span id, insertion = id order
   std::vector<const TraceRecord*> instants;
+  std::map<std::int64_t, QueuedEventStamp> chain_events;  // by event trace id
+  std::map<std::int64_t, std::int64_t> batch_replan;      // batch → replan
+  std::map<std::int64_t, ReplanStamp> replans;            // by replan trace id
   double latest_s = 0.0;
 
   for (const TraceRecord& record : events) {
@@ -115,6 +144,51 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
     const double sim_s = field_double(record, "sim_s",
                                       field_double(record, "now_s"));
     latest_s = std::max(latest_s, sim_s);
+    if (type == "event_enqueued") {
+      QueuedEventStamp& stamp =
+          chain_events[static_cast<std::int64_t>(field_double(record,
+                                                              "trace"))];
+      stamp.enqueue_wall_s = field_double(record, "wall_s");
+      stamp.lane = static_cast<int>(field_double(record, "lane"));
+      stamp.event = field_string(record, "event");
+      stamp.trigger = field_string(record, "trigger") == "true";
+      continue;
+    }
+    if (type == "event_dequeued") {
+      QueuedEventStamp& stamp =
+          chain_events[static_cast<std::int64_t>(field_double(record,
+                                                              "trace"))];
+      stamp.dequeue_wall_s = field_double(record, "wall_s");
+      stamp.batch = static_cast<std::int64_t>(field_double(record, "batch"));
+      continue;
+    }
+    if (type == "batch_planned") {
+      batch_replan[static_cast<std::int64_t>(field_double(record, "batch"))] =
+          static_cast<std::int64_t>(field_double(record, "replan"));
+      continue;
+    }
+    if (type == "solve_begin") {
+      ReplanStamp& stamp =
+          replans[static_cast<std::int64_t>(field_double(record, "replan"))];
+      stamp.begin_wall_s = field_double(record, "wall_s");
+      stamp.serving_lane = static_cast<int>(field_double(record, "lane"));
+      continue;
+    }
+    if (type == "solve_done") {
+      ReplanStamp& stamp =
+          replans[static_cast<std::int64_t>(field_double(record, "replan"))];
+      stamp.done_wall_s = field_double(record, "wall_s");
+      stamp.solver_lane = static_cast<int>(field_double(record, "lane"));
+      continue;
+    }
+    if (type == "plan_adopted" || type == "plan_discarded") {
+      ReplanStamp& stamp =
+          replans[static_cast<std::int64_t>(field_double(record, "replan"))];
+      stamp.end_wall_s = field_double(record, "wall_s");
+      stamp.adopted = type == "plan_adopted";
+      stamp.terminal = record;
+      continue;
+    }
     if (type == "span_begin") {
       Span span;
       span.id = static_cast<std::int64_t>(field_double(record, "span"));
@@ -223,6 +297,112 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
            ",\"pid\":0,\"tid\":" + std::to_string(instant_tids[type]) +
            ",\"args\":" + args_object(*record) + "}");
   }
+  // --- Real-thread ("runtime threads") view ------------------------------
+  // Rebuilt from the concurrent runtime's causal-chain events; timestamps
+  // here are wall-clock microseconds (obs::wall_now_s timebase), because
+  // the chain crosses threads and sim time cannot order it. Lanes are the
+  // obs::thread_lane ids the events were emitted from.
+  if (!chain_events.empty() || !replans.empty()) {
+    constexpr int kRuntimePid = 9000;
+    // Role per lane, highest wins: serving > solver > producer. The serving
+    // lane usually also produces events (single-threaded sim loop).
+    std::map<int, int> lane_role;  // 1 producer, 2 solver, 3 serving
+    auto raise_role = [&](int lane, int role) {
+      int& slot = lane_role[lane];
+      slot = std::max(slot, role);
+    };
+    for (const auto& [trace, stamp] : chain_events) {
+      (void)trace;
+      raise_role(stamp.lane, 1);
+    }
+    for (const auto& [id, stamp] : replans) {
+      (void)id;
+      if (stamp.begin_wall_s >= 0.0) raise_role(stamp.serving_lane, 3);
+      if (stamp.done_wall_s >= 0.0) raise_role(stamp.solver_lane, 2);
+    }
+    append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(kRuntimePid) +
+           ",\"tid\":0,\"args\":{\"name\":\"runtime threads (wall-clock "
+           "us)\"}}");
+    for (const auto& [lane, role] : lane_role) {
+      const char* kind = role == 3 ? "serving" : role == 2 ? "solver"
+                                                           : "producer";
+      append("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+             std::to_string(kRuntimePid) + ",\"tid\":" +
+             std::to_string(lane) + ",\"args\":{\"name\":\"lane " +
+             std::to_string(lane) + " (" + kind + ")\"}}");
+    }
+    // Queue-wait slices on the producing lane: enqueue → drain.
+    for (const auto& [trace, stamp] : chain_events) {
+      if (stamp.dequeue_wall_s < 0.0) continue;  // never drained
+      append("{\"ph\":\"X\",\"name\":" + escaped("queue:" + stamp.event) +
+             ",\"cat\":\"queue_wait\",\"ts\":" +
+             number(stamp.enqueue_wall_s * 1e6) + ",\"dur\":" +
+             number(std::max(stamp.dequeue_wall_s - stamp.enqueue_wall_s,
+                             0.0) * 1e6) +
+             ",\"pid\":" + std::to_string(kRuntimePid) +
+             ",\"tid\":" + std::to_string(stamp.lane) +
+             ",\"args\":{\"trace\":" + escaped(std::to_string(trace)) +
+             ",\"trigger\":" + escaped(stamp.trigger ? "true" : "false") +
+             ",\"batch\":" + escaped(std::to_string(stamp.batch)) + "}}");
+    }
+    // Solve slices on the solver lane (submission → solver done; includes
+    // pool dispatch wait) and adoption slices on the serving lane (solver
+    // done → harvest).
+    for (const auto& [id, stamp] : replans) {
+      if (stamp.begin_wall_s >= 0.0 && stamp.done_wall_s >= 0.0) {
+        append("{\"ph\":\"X\",\"name\":" +
+               escaped("solve#" + std::to_string(id)) +
+               ",\"cat\":\"solve\",\"ts\":" +
+               number(stamp.begin_wall_s * 1e6) + ",\"dur\":" +
+               number(std::max(stamp.done_wall_s - stamp.begin_wall_s, 0.0) *
+                      1e6) +
+               ",\"pid\":" + std::to_string(kRuntimePid) +
+               ",\"tid\":" + std::to_string(stamp.solver_lane) +
+               ",\"args\":{\"replan\":" + escaped(std::to_string(id)) +
+               "}}");
+      }
+      if (stamp.done_wall_s >= 0.0 && stamp.end_wall_s >= 0.0) {
+        append("{\"ph\":\"X\",\"name\":" +
+               escaped((stamp.adopted ? "adopt#" : "discard#") +
+                       std::to_string(id)) +
+               ",\"cat\":\"adoption\",\"ts\":" +
+               number(stamp.done_wall_s * 1e6) + ",\"dur\":" +
+               number(std::max(stamp.end_wall_s - stamp.done_wall_s, 0.0) *
+                      1e6) +
+               ",\"pid\":" + std::to_string(kRuntimePid) +
+               ",\"tid\":" + std::to_string(stamp.serving_lane) +
+               ",\"args\":" + args_object(stamp.terminal) + "}");
+      }
+    }
+    // Flow arrows along each trigger event's causal chain: queue slice →
+    // solve slice → adoption slice, id = the event's trace id.
+    for (const auto& [trace, stamp] : chain_events) {
+      if (!stamp.trigger || stamp.dequeue_wall_s < 0.0) continue;
+      const auto replan_it = batch_replan.find(stamp.batch);
+      if (replan_it == batch_replan.end()) continue;
+      const auto stamp_it = replans.find(replan_it->second);
+      if (stamp_it == replans.end()) continue;
+      const ReplanStamp& replan = stamp_it->second;
+      if (replan.begin_wall_s < 0.0 || replan.done_wall_s < 0.0 ||
+          replan.end_wall_s < 0.0) {
+        continue;
+      }
+      const std::string common =
+          ",\"id\":" + std::to_string(trace) +
+          ",\"name\":\"chain\",\"cat\":\"chain\",\"pid\":" +
+          std::to_string(kRuntimePid);
+      append("{\"ph\":\"s\"" + common +
+             ",\"ts\":" + number(stamp.enqueue_wall_s * 1e6) +
+             ",\"tid\":" + std::to_string(stamp.lane) + "}");
+      append("{\"ph\":\"t\"" + common +
+             ",\"ts\":" + number(replan.begin_wall_s * 1e6) +
+             ",\"tid\":" + std::to_string(replan.solver_lane) + "}");
+      append("{\"ph\":\"f\",\"bp\":\"e\"" + common +
+             ",\"ts\":" + number(replan.done_wall_s * 1e6) +
+             ",\"tid\":" + std::to_string(replan.serving_lane) + "}");
+    }
+  }
   out += "\n]}\n";
   return out;
 }
@@ -254,6 +434,7 @@ std::string render_prometheus(const MetricSnapshot& snapshot,
     out += "# TYPE " + metric + " summary\n";
     out += metric + "{quantile=\"0.5\"} " + number(stats.p50) + "\n";
     out += metric + "{quantile=\"0.9\"} " + number(stats.p90) + "\n";
+    out += metric + "{quantile=\"0.95\"} " + number(stats.p95) + "\n";
     out += metric + "{quantile=\"0.99\"} " + number(stats.p99) + "\n";
     out += metric + "_sum " + number(stats.sum) + "\n";
     out += metric + "_count " + std::to_string(stats.count) + "\n";

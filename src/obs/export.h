@@ -34,6 +34,18 @@ using TraceRecord = std::map<std::string, std::string>;
 ///   * replan, deadline_risk, workflow_arrival, admission and config_skew
 ///     events become instant events ("ph":"i") on the matching track.
 ///   * process_name/thread_name metadata events label every track.
+///   * Causal-chain events from the concurrent runtime (`event_enqueued` /
+///     `event_dequeued` / `solve_begin` / `solve_done` /
+///     `plan_adopted|plan_discarded`) additionally build a real-thread
+///     view: one extra process ("runtime threads") whose tids are the
+///     obs::thread_lane ids the events were emitted from — producer lanes
+///     show per-event queue-wait slices, solver-pool lanes show solve
+///     slices, the serving lane shows adoption slices — and each trigger
+///     event's chain is drawn as Chrome flow arrows ("ph":"s"/"t"/"f")
+///     from its queue slice through the solve to the adoption. This
+///     process uses wall-clock microseconds (the chain crosses threads, so
+///     sim time cannot order it); the sim-time projection above is
+///     unchanged alongside.
 ///
 /// Unpaired span_begins are closed at the latest timestamp seen (the
 /// simulator's end_open_spans makes this a no-op for well-formed traces).
@@ -43,7 +55,7 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events);
 /// (version 0.0.4). Dots in metric names become underscores and everything
 /// is prefixed (`core.replans` → `flowtime_core_replans_total`); counters
 /// get the `_total` suffix and `# TYPE counter`, gauges `# TYPE gauge`, and
-/// histograms are exported as summaries with exact p50/p90/p99 quantiles
+/// histograms are exported as summaries with exact p50/p90/p95/p99 quantiles
 /// plus `_sum`/`_count`.
 std::string render_prometheus(const MetricSnapshot& snapshot,
                               const std::string& prefix = "flowtime");

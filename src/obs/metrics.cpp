@@ -109,6 +109,7 @@ std::string Registry::render_text() const {
     out << name << " count=" << histogram->count()
         << " mean=" << histogram->mean()
         << " p50=" << histogram->percentile(0.5)
+        << " p95=" << histogram->percentile(0.95)
         << " p99=" << histogram->percentile(0.99)
         << " max=" << histogram->max() << "\n";
   }
@@ -136,6 +137,7 @@ MetricSnapshot Registry::snapshot() const {
     stats.max = histogram->max();
     stats.p50 = histogram->percentile(0.5);
     stats.p90 = histogram->percentile(0.9);
+    stats.p95 = histogram->percentile(0.95);
     stats.p99 = histogram->percentile(0.99);
     snap.histograms.push_back(std::move(stats));
   }

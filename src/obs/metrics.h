@@ -101,6 +101,7 @@ struct MetricSnapshot {
     double max = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
   };
   std::vector<std::pair<std::string, std::int64_t>> counters;  // sorted
@@ -116,12 +117,12 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// All metrics as sorted "name value" / "name count mean p50 p99 max"
+  /// All metrics as sorted "name value" / "name count mean p50 p95 p99 max"
   /// lines, for dumping at the end of a bench run.
   std::string render_text() const;
 
   /// Copies every metric's current value (histograms reduced to count/sum/
-  /// min/max and exact p50/p90/p99).
+  /// min/max and exact p50/p90/p95/p99).
   MetricSnapshot snapshot() const;
 
   /// Zeroes every existing metric (handles stay valid). Tests use this

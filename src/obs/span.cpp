@@ -1,7 +1,6 @@
 #include "obs/span.h"
 
 #include <atomic>
-#include <chrono>
 #include <map>
 #include <mutex>
 #include <string>
@@ -26,15 +25,6 @@ std::map<SpanId, OpenSpan>& open_spans() {
   return *spans;
 }
 std::atomic<std::int64_t> g_next_id{1};
-
-// Wall clock relative to the first span of the process: keeps the numbers
-// small and readable, and steady_clock makes them monotonic.
-double wall_now_s() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       epoch)
-      .count();
-}
 
 void emit_end(SpanId span, const OpenSpan& info, double sim_s) {
   TraceEvent event("span_end");

@@ -30,6 +30,7 @@ class ScopedRegistryReset {
     set_enabled(false);
     registry().reset();
     reset_spans_for_testing();
+    reset_trace_ids_for_testing();
     deadline_monitor().reset();
   }
 };

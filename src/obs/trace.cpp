@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -239,7 +240,30 @@ bool parse_scalar(const std::string& s, std::size_t* i, std::string* out) {
   return end != nullptr && *end == '\0';
 }
 
+std::atomic<std::int64_t> g_next_trace_id{1};
+std::atomic<int> g_next_lane{0};
+
 }  // namespace
+
+std::int64_t next_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+int thread_lane() {
+  thread_local int lane = g_next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+double wall_now_s() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void reset_trace_ids_for_testing() {
+  g_next_trace_id.store(1, std::memory_order_relaxed);
+}
 
 bool parse_flat_json(const std::string& line,
                      std::map<std::string, std::string>* out) {

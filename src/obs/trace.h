@@ -17,6 +17,7 @@
 // trace consumers.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -108,6 +109,29 @@ void emit(const TraceEvent& event);
 /// JsonlFileSink at `path` and enables the layer. Returns false (and
 /// installs nothing) when the file cannot be opened.
 bool open_trace_file(const std::string& path);
+
+/// Process-wide monotonically increasing causality id (starts at 1). The
+/// concurrent runtime stamps one on every queued SchedulerEvent and on every
+/// replan attempt so the `event_enqueued → batch_formed → solve_* →
+/// plan_adopted|plan_discarded` chain can be re-joined from the flat JSONL
+/// stream. Thread-safe; cheap enough to call on the enabled path only.
+std::int64_t next_trace_id();
+
+/// Small dense per-thread lane id (0, 1, 2, ... in first-call order). Causal
+/// trace events carry it as "lane" so the Chrome-trace exporter can rebuild a
+/// real-thread view (serving lane, solver-pool lanes, producer lanes) without
+/// leaking raw OS thread ids into the trace. Stable for the thread's life.
+int thread_lane();
+
+/// Wall clock in seconds since the first obs timestamp of the process
+/// (steady_clock, so monotonic). Shared by spans and causal events — one
+/// timebase means per-stage latencies subtract exactly.
+double wall_now_s();
+
+/// Restarts trace ids from 1. Test isolation only
+/// (obs::testing::ScopedRegistryReset); never call mid-run. Thread lanes are
+/// deliberately NOT reset: they are thread_local and outlive tests.
+void reset_trace_ids_for_testing();
 
 /// Parses one flat JSON object line as produced by TraceEvent. On success
 /// fills `out` with key -> raw value (strings unescaped and unquoted,

@@ -39,6 +39,13 @@ ConcurrentScheduler::~ConcurrentScheduler() {
     // discarded attempt rather than losing them.
     std::unique_ptr<InFlight> fin = std::move(inflight_);
     inner_.abandon_replan(fin->pending, fin->result);
+    if (obs::enabled()) {
+      // Close the chain even on teardown: every solve_begin must reach a
+      // terminal for the trace to balance.
+      obs::end_span(fin->span, fin->pending.state.now_s);
+      emit_terminal(*fin, /*adopted=*/false, /*stale=*/true,
+                    obs::wall_now_s());
+    }
   }
 }
 
@@ -96,10 +103,41 @@ void ConcurrentScheduler::apply_queued_events() {
   batch_.clear();
   queue_.drain(batch_);
   if (batch_.empty()) return;
+  const bool traced = obs::enabled();
+  const double drain_wall_s = traced ? obs::wall_now_s() : 0.0;
+  const std::int64_t batch_trace = traced ? obs::next_trace_id() : 0;
+  double first_trigger_enqueue_wall_s = 0.0;
   int triggers = 0;
-  for (const sim::SchedulerEvent& event : batch_) {
-    if (sim::is_replan_trigger(event)) ++triggers;
-    inner_.on_event(event);
+  for (const StampedEvent& item : batch_) {
+    const bool trigger = sim::is_replan_trigger(item.event);
+    if (trigger && triggers++ == 0) {
+      first_trigger_enqueue_wall_s = item.enqueue_wall_s;
+    }
+    if (traced && item.trace_id != 0) {
+      const double wait_ms = (drain_wall_s - item.enqueue_wall_s) * 1e3;
+      obs::registry().histogram("runtime.queue_wait_ms").observe(wait_ms);
+      obs::emit(obs::TraceEvent("event_dequeued")
+                    .field("trace", item.trace_id)
+                    .field("batch", batch_trace)
+                    .field("queue_wait_ms", wait_ms)
+                    .field("wall_s", drain_wall_s));
+    }
+    inner_.on_event(item.event);
+  }
+  if (traced) {
+    obs::emit(obs::TraceEvent("batch_formed")
+                  .field("batch", batch_trace)
+                  .field("events", batch_.size())
+                  .field("triggers", triggers)
+                  .field("lane", obs::thread_lane())
+                  .field("wall_s", drain_wall_s));
+    if (triggers > 0) {
+      // Only trigger-bearing batches feed a replan; trigger-free ones end
+      // their chain at batch_formed.
+      pending_batches_.push_back(
+          PendingBatch{batch_trace, first_trigger_enqueue_wall_s,
+                       drain_wall_s});
+    }
   }
   if (triggers > 1) {
     // All the triggers of this batch share the single re-plan the batch
@@ -122,7 +160,9 @@ void ConcurrentScheduler::harvest(double now_s) {
   if (!inflight_ || !inflight_->done.load(std::memory_order_acquire)) return;
   std::unique_ptr<InFlight> fin = std::move(inflight_);
   const bool stale = fin->pending.epoch != inner_.planner_epoch();
-  if (stale || fin->result.preempted) {
+  const bool adopted = !stale && !fin->result.preempted;
+  const std::int64_t pivots = fin->result.pivots;
+  if (!adopted) {
     ++stale_solves_;
     if (fin->result.preempted) ++preempted_solves_;
     if (obs::enabled()) {
@@ -135,7 +175,47 @@ void ConcurrentScheduler::harvest(double now_s) {
   } else {
     inner_.finish_replan(fin->pending, std::move(fin->result), now_s);
   }
-  if (obs::enabled()) obs::end_span(fin->span, now_s);
+  if (obs::enabled()) {
+    obs::end_span(fin->span, now_s);
+    fin->result.pivots = pivots;  // finish_replan moved the result out
+    emit_terminal(*fin, adopted, stale, obs::wall_now_s());
+  }
+}
+
+void ConcurrentScheduler::emit_terminal(const InFlight& fin, bool adopted,
+                                        bool stale, double harvest_wall_s) {
+  if (fin.replan_trace == 0) return;  // obs was off when this solve started
+  if (fin.done_wall_s == 0.0) return;  // obs turned off mid-flight
+  // The four stages tile [first_enqueue, harvest] exactly, so the
+  // decomposition always sums to the observed end-to-end latency:
+  //   queue_wait : oldest trigger enqueued -> its batch drained
+  //   coalesce   : batch drained -> solve submitted (includes time spent
+  //                waiting behind an earlier in-flight solve)
+  //   solve      : submitted -> solver thread finished
+  //   adoption   : finished -> serving thread adopted/discarded
+  const double queue_wait_ms =
+      (fin.first_dequeue_wall_s - fin.first_enqueue_wall_s) * 1e3;
+  const double coalesce_ms =
+      (fin.submit_wall_s - fin.first_dequeue_wall_s) * 1e3;
+  const double solve_ms = (fin.done_wall_s - fin.submit_wall_s) * 1e3;
+  const double adoption_lag_ms = (harvest_wall_s - fin.done_wall_s) * 1e3;
+  obs::registry().histogram("runtime.adoption_lag_ms").observe(
+      adoption_lag_ms);
+  obs::emit(obs::TraceEvent(adopted ? "plan_adopted" : "plan_discarded")
+                .field("replan", fin.replan_trace)
+                .field("slot", fin.pending.record.slot)
+                .field("epoch", static_cast<std::int64_t>(fin.pending.epoch))
+                .field("pivots", fin.result.pivots)
+                .field("stale", stale)
+                .field("preempted", fin.result.preempted)
+                .field("queue_wait_ms", queue_wait_ms)
+                .field("coalesce_ms", coalesce_ms)
+                .field("solve_ms", solve_ms)
+                .field("adoption_lag_ms", adoption_lag_ms)
+                .field("total_ms",
+                       (harvest_wall_s - fin.first_enqueue_wall_s) * 1e3)
+                .field("lane", obs::thread_lane())
+                .field("wall_s", harvest_wall_s));
 }
 
 void ConcurrentScheduler::maybe_submit(const sim::ClusterState& state) {
@@ -148,7 +228,40 @@ void ConcurrentScheduler::maybe_submit(const sim::ClusterState& state) {
         "async_replan", "async_replan@slot" + std::to_string(state.slot),
         obs::kNoSpan, state.now_s);
     obs::registry().counter("runtime.async_solves").add();
+    // Chain link: this attempt absorbs every trigger batch drained since
+    // the last submission. The oldest trigger's stamps anchor the latency
+    // decomposition; an internally-triggered replan (plan exhaustion, no
+    // queued trigger) anchors at the submission itself.
+    fly->replan_trace = obs::next_trace_id();
+    const double submit_wall_s = obs::wall_now_s();
+    fly->submit_wall_s = submit_wall_s;
+    fly->first_enqueue_wall_s = submit_wall_s;
+    fly->first_dequeue_wall_s = submit_wall_s;
+    for (const PendingBatch& batch : pending_batches_) {
+      obs::emit(obs::TraceEvent("batch_planned")
+                    .field("batch", batch.batch_trace)
+                    .field("replan", fly->replan_trace));
+      if (batch.first_trigger_enqueue_wall_s < fly->first_enqueue_wall_s) {
+        fly->first_enqueue_wall_s = batch.first_trigger_enqueue_wall_s;
+      }
+      if (batch.dequeue_wall_s < fly->first_dequeue_wall_s) {
+        fly->first_dequeue_wall_s = batch.dequeue_wall_s;
+      }
+    }
+    const double coalesce_ms =
+        (submit_wall_s - fly->first_dequeue_wall_s) * 1e3;
+    obs::registry().histogram("runtime.coalesce_window_ms")
+        .observe(coalesce_ms);
+    obs::emit(obs::TraceEvent("solve_begin")
+                  .field("replan", fly->replan_trace)
+                  .field("slot", state.slot)
+                  .field("epoch", static_cast<std::int64_t>(fly->pending.epoch))
+                  .field("batches", pending_batches_.size())
+                  .field("coalesce_ms", coalesce_ms)
+                  .field("lane", obs::thread_lane())
+                  .field("wall_s", submit_wall_s));
   }
+  pending_batches_.clear();
   InFlight* job = fly.get();
   inflight_ = std::move(fly);
   ++async_solves_;
@@ -159,6 +272,18 @@ void ConcurrentScheduler::maybe_submit(const sim::ClusterState& state) {
       if (obs::enabled()) timer.emplace(&job->pending.record.wall_s);
       job->result = core::FlowTimeScheduler::solve_replan(
           inner_.config(), &warm_cache_, job->pending);
+    }
+    if (job->replan_trace != 0 && obs::enabled()) {
+      job->done_wall_s = obs::wall_now_s();
+      const double solve_ms = (job->done_wall_s - job->submit_wall_s) * 1e3;
+      obs::registry().histogram("runtime.solve_ms").observe(solve_ms);
+      obs::emit(obs::TraceEvent("solve_done")
+                    .field("replan", job->replan_trace)
+                    .field("pivots", job->result.pivots)
+                    .field("preempted", job->result.preempted)
+                    .field("solve_ms", solve_ms)
+                    .field("lane", obs::thread_lane())
+                    .field("wall_s", job->done_wall_s));
     }
     {
       // The store pairs with harvest's acquire load; taking the mutex

@@ -28,6 +28,14 @@
 // run plan-for-plan with the synchronous path while still exercising the
 // full queue/snapshot/solver-thread machinery — the property the
 // determinism tests pin.
+//
+// Causal tracing (obs enabled, DESIGN.md §8): every queued event carries a
+// trace id stamped at enqueue; the serving thread links events to their
+// drained batch (`event_dequeued` / `batch_formed`), batches to the replan
+// attempt that absorbs them (`batch_planned` / `solve_begin`), and every
+// attempt to exactly one terminal — `plan_adopted` or `plan_discarded` —
+// whose queue-wait + coalesce + solve + adoption-lag stages sum to the
+// replan's end-to-end wall latency by construction.
 #pragma once
 
 #include <atomic>
@@ -135,6 +143,29 @@ class ConcurrentScheduler : public sim::Scheduler {
     std::atomic<bool> done{false};
     std::atomic<bool> cancel{false};
     obs::SpanId span = obs::kNoSpan;
+    // --- causal-chain stamps (obs enabled only; 0 otherwise) --------------
+    /// Trace id of this replan attempt; links batch_planned / solve_begin /
+    /// solve_done / plan_adopted|plan_discarded.
+    std::int64_t replan_trace = 0;
+    /// Enqueue wall time of the oldest trigger event this replan absorbs
+    /// (submit time when the trigger was internal, e.g. plan exhaustion).
+    double first_enqueue_wall_s = 0.0;
+    /// Drain wall time of that trigger's batch.
+    double first_dequeue_wall_s = 0.0;
+    /// Serving thread, at pool submission.
+    double submit_wall_s = 0.0;
+    /// Solver thread, right after the solve; written before the `done`
+    /// release-store, so the serving thread's acquire-load covers it.
+    double done_wall_s = 0.0;
+  };
+
+  /// One drained batch containing at least one replan trigger, not yet
+  /// absorbed by a replan. Serving thread only; populated only when obs is
+  /// enabled (causal bookkeeping, no scheduling effect).
+  struct PendingBatch {
+    std::int64_t batch_trace = 0;
+    double first_trigger_enqueue_wall_s = 0.0;
+    double dequeue_wall_s = 0.0;
   };
 
   /// Drains the queue and applies events to the inner scheduler; counts
@@ -146,6 +177,10 @@ class ConcurrentScheduler : public sim::Scheduler {
   void maybe_submit(const sim::ClusterState& state);
   /// Blocks until the in-flight solve (if any) reports done.
   void wait_for_solve();
+  /// Emits the chain terminal (`plan_adopted` / `plan_discarded`) with the
+  /// per-stage latency decomposition, and observes the stage histograms.
+  void emit_terminal(const InFlight& fin, bool adopted, bool stale,
+                     double harvest_wall_s);
 
   RuntimeConfig config_;
   core::FlowTimeScheduler inner_;
@@ -158,7 +193,8 @@ class ConcurrentScheduler : public sim::Scheduler {
   std::unique_ptr<InFlight> inflight_;
   std::mutex done_mu_;
   std::condition_variable done_cv_;
-  std::vector<sim::SchedulerEvent> batch_;  // drain scratch, reused
+  std::vector<StampedEvent> batch_;  // drain scratch, reused
+  std::vector<PendingBatch> pending_batches_;  // trigger batches awaiting a replan
   std::int64_t coalesced_events_ = 0;
   std::int64_t stale_solves_ = 0;
   std::int64_t preempted_solves_ = 0;

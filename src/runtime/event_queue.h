@@ -33,6 +33,18 @@
 
 namespace flowtime::runtime {
 
+/// One queued event plus its causal trace stamp. With obs enabled the queue
+/// stamps every accepted event with a process-wide trace id and its enqueue
+/// wall time (obs::wall_now_s) and emits an `event_enqueued` trace event —
+/// the root of the `event_enqueued → batch_formed → solve_* →
+/// plan_adopted|plan_discarded` chain the concurrent runtime completes.
+/// With obs disabled both stamps stay zero and nothing is emitted.
+struct StampedEvent {
+  sim::SchedulerEvent event;
+  std::int64_t trace_id = 0;
+  double enqueue_wall_s = 0.0;
+};
+
 class EventQueue {
  public:
   explicit EventQueue(std::size_t capacity)
@@ -50,6 +62,10 @@ class EventQueue {
   /// calling thread becomes the consumer for the deadlock guard.
   std::size_t drain(std::vector<sim::SchedulerEvent>& out);
 
+  /// Same, but keeps the causal trace stamps — the overload the concurrent
+  /// runtime uses to thread trace ids into batch/replan events.
+  std::size_t drain(std::vector<StampedEvent>& out);
+
   /// Events currently queued (snapshot; racy by nature).
   std::size_t depth() const;
 
@@ -65,7 +81,7 @@ class EventQueue {
  private:
   mutable std::mutex mu_;
   std::condition_variable not_full_;
-  std::deque<sim::SchedulerEvent> items_;
+  std::deque<StampedEvent> items_;
   const std::size_t capacity_;
   std::thread::id consumer_;  // guarded by mu_
   std::int64_t overflows_ = 0;

@@ -583,6 +583,11 @@ SimResult Simulator::run(const workload::Scenario& scenario,
       scheduler.on_event(
           JobCompleteEvent{uid, now + config_.cluster.slot_seconds});
     }
+
+    if (config_.stats_every_slots > 0 && config_.stats_hook &&
+        (slot + 1) % config_.stats_every_slots == 0) {
+      config_.stats_hook(slot, now + config_.cluster.slot_seconds);
+    }
   }
 
   // Horizon expiry can leave spans open (unfinished jobs, the scheduler's

@@ -17,6 +17,7 @@
 // resource-seconds as well, so "capacity per slot" = capacity * slot_seconds.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,12 @@ struct SimConfig {
   /// and runs are byte-identical to pre-fault builds. All fault randomness
   /// derives from `fault_plan.seed`, so one seed fixes the whole run.
   fault::FaultPlan fault_plan;
+  /// Periodic observability hook: when > 0, `stats_hook` fires at the end
+  /// of every Nth simulated slot with the slot index and the slot's end
+  /// time. The library never writes to stdout/stderr itself —
+  /// flowtime_sim --stats-every=N wires this to a metric-registry printer.
+  int stats_every_slots = 0;
+  std::function<void(int slot, double now_s)> stats_hook;
 };
 
 /// Outcome of one job.
