@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
     }
     ModeRow row;
     row.mode = spec.name;
-    row.median_wall_ms = util::percentile(walls, 50.0);
+    row.median_wall_ms = util::quantile(walls, 0.50);
     row.replans = last.replans;
     row.pivots = last.pivots;
     row.all_completed = last.all_completed;

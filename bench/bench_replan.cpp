@@ -60,8 +60,8 @@ ModeStats collect(const std::string& mode,
     wall_ms.push_back(record.wall_s * 1e3);
   }
   if (!wall_ms.empty()) {
-    stats.wall_p50_ms = util::percentile(wall_ms, 50.0);
-    stats.wall_p99_ms = util::percentile(wall_ms, 99.0);
+    stats.wall_p50_ms = util::quantile(wall_ms, 0.50);
+    stats.wall_p99_ms = util::quantile(wall_ms, 0.99);
     stats.wall_max_ms = util::max_of(wall_ms);
   }
   return stats;

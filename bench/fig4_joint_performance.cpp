@@ -120,10 +120,10 @@ int main(int argc, char** argv) {
     const auto deltas = outcome.deadlines.job_deltas();
     deltas_table.begin_row()
         .add(outcome.name)
-        .add(util::percentile(deltas, 10), 1)
-        .add(util::percentile(deltas, 50), 1)
-        .add(util::percentile(deltas, 90), 1)
-        .add(util::percentile(deltas, 100), 1);
+        .add(util::quantile(deltas, 0.10), 1)
+        .add(util::quantile(deltas, 0.50), 1)
+        .add(util::quantile(deltas, 0.90), 1)
+        .add(util::quantile(deltas, 1.00), 1);
   }
   std::printf("Fig. 4(a) delta distribution (completion - deadline):\n%s\n",
               deltas_table.to_string().c_str());

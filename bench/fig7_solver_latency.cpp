@@ -12,6 +12,7 @@
 #include "bench_trace.h"
 #include "core/flow_placement.h"
 #include "core/lp_formulation.h"
+#include "lp/simplex.h"
 #include "util/rng.h"
 
 namespace {
@@ -87,13 +88,15 @@ std::vector<core::LpJob> jobs_at_step(const std::vector<core::LpJob>& jobs,
   return out;
 }
 
-void run_replan_sequence(benchmark::State& state, bool warm) {
+void run_replan_sequence(benchmark::State& state, bool warm,
+                         lp::SimplexEngine engine) {
   const int n = static_cast<int>(state.range(0));
   const std::vector<core::LpJob> jobs = make_jobs(n);
   const std::vector<ResourceVec> caps(kSlots, ResourceVec{kCpuCap, kMemCap});
   core::LpScheduleOptions options;
   options.lexmin.max_rounds = 6;
   options.lexmin.warm_start = warm;
+  options.lexmin.lp_options.engine = engine;
   std::int64_t pivots = 0;
   for (auto _ : state) {
     core::PlacementWarmCache cache;
@@ -111,11 +114,23 @@ void run_replan_sequence(benchmark::State& state, bool warm) {
 }
 
 void BM_LpReplanSequenceWarm(benchmark::State& state) {
-  run_replan_sequence(state, /*warm=*/true);
+  run_replan_sequence(state, /*warm=*/true, lp::SimplexEngine::kSparseLu);
 }
 
 void BM_LpReplanSequenceCold(benchmark::State& state) {
-  run_replan_sequence(state, /*warm=*/false);
+  run_replan_sequence(state, /*warm=*/false, lp::SimplexEngine::kSparseLu);
+}
+
+// Dense-inverse columns of the same sequences: the retained reference
+// engine, for direct sparse-vs-dense comparison at equal pivot sequences'
+// cost model (see also bench_lp_sparse for the committed JSON numbers).
+void BM_LpReplanSequenceWarmDense(benchmark::State& state) {
+  run_replan_sequence(state, /*warm=*/true, lp::SimplexEngine::kDenseInverse);
+}
+
+void BM_LpReplanSequenceColdDense(benchmark::State& state) {
+  run_replan_sequence(state, /*warm=*/false,
+                      lp::SimplexEngine::kDenseInverse);
 }
 
 BENCHMARK(BM_LpReplanSequenceWarm)
@@ -125,6 +140,18 @@ BENCHMARK(BM_LpReplanSequenceWarm)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_LpReplanSequenceCold)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_LpReplanSequenceWarmDense)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_LpReplanSequenceColdDense)
     ->Arg(10)
     ->Arg(40)
     ->Arg(80)

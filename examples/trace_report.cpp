@@ -29,6 +29,7 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/flags.h"
+#include "util/stats.h"
 
 using namespace flowtime;
 using obs::TraceRecord;
@@ -46,15 +47,6 @@ std::string as_string(const TraceRecord& record, const char* key,
                       const std::string& fallback = "") {
   const auto it = record.find(key);
   return it == record.end() ? fallback : it->second;
-}
-
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = std::ceil(q * static_cast<double>(values.size()));
-  const std::size_t index =
-      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
-  return values[std::min(index, values.size() - 1)];
 }
 
 struct SpanRow {
@@ -200,10 +192,10 @@ int main(int argc, char** argv) {
     std::printf(
         "  solver latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, "
         "max %.3f ms\n",
-        percentile(replan_wall_s, 0.5) * 1e3,
-        percentile(replan_wall_s, 0.95) * 1e3,
-        percentile(replan_wall_s, 0.99) * 1e3,
-        percentile(replan_wall_s, 1.0) * 1e3);
+        util::quantile(replan_wall_s, 0.5) * 1e3,
+        util::quantile(replan_wall_s, 0.95) * 1e3,
+        util::quantile(replan_wall_s, 0.99) * 1e3,
+        util::quantile(replan_wall_s, 1.0) * 1e3);
   }
 
   // --- event latency decomposition (concurrent runtime) ------------------
@@ -254,8 +246,8 @@ int main(int argc, char** argv) {
       for (const char* key : kStages) {
         const std::vector<double>& samples = stages[key];
         std::printf("  %-16s %10.3f %10.3f %10.3f %10.3f\n", key,
-                    percentile(samples, 0.5), percentile(samples, 0.95),
-                    percentile(samples, 0.99), percentile(samples, 1.0));
+                    util::quantile(samples, 0.5), util::quantile(samples, 0.95),
+                    util::quantile(samples, 0.99), util::quantile(samples, 1.0));
       }
       if (sum_mismatches == 0) {
         std::printf("  stages sum to total within 1 ms on every chain\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "lp/maxflow.h"
 #include "util/logging.h"
@@ -28,97 +29,127 @@ struct ResourceNetwork {
 
 }  // namespace
 
+ResourceFlowLevel solve_resource_flow_level(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, int resource, const FlowPlacementOptions& options) {
+  const int r = resource;
+  const int num_slots = static_cast<int>(capacity_per_slot.size());
+  const int last_slot = first_slot + num_slots - 1;
+  ResourceFlowLevel result;
+  result.allocation.assign(
+      jobs.size(), std::vector<double>(static_cast<std::size_t>(num_slots)));
+
+  // Node layout: 0 = source, 1..J = jobs, J+1..J+T = slots, J+T+1 = sink.
+  const int job_base = 1;
+  const int slot_base = job_base + static_cast<int>(jobs.size());
+  const int sink = slot_base + num_slots;
+  ResourceNetwork net(sink + 1);
+  net.sink = sink;
+  net.job_slot_edges.resize(jobs.size());
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const LpJob& job = jobs[j];
+    if (job.demand[r] <= kTol) continue;
+    const int begin = std::max(job.release_slot, first_slot);
+    const int end = std::min(job.deadline_slot, last_slot);
+    if (begin > end) {
+      result.any_demand = true;
+      result.level = std::numeric_limits<double>::infinity();
+      return result;  // empty window: unplaceable
+    }
+    result.any_demand = true;
+    net.total_demand += job.demand[r];
+    net.network.add_edge(net.source, job_base + static_cast<int>(j),
+                         job.demand[r]);
+    for (int t = begin; t <= end; ++t) {
+      const int edge = net.network.add_edge(
+          job_base + static_cast<int>(j), slot_base + (t - first_slot),
+          job.width[r]);
+      net.job_slot_edges[j].emplace_back(t - first_slot, edge);
+    }
+  }
+  if (!result.any_demand) {
+    result.placeable = true;
+    return result;
+  }
+  for (int t = 0; t < num_slots; ++t) {
+    net.slot_edges.push_back(net.network.add_edge(
+        slot_base + t, sink,
+        capacity_per_slot[static_cast<std::size_t>(t)][r]));
+  }
+
+  // Upper bound for u: level at which each slot could hold the entire
+  // demand (always enough if widths permit any placement at all).
+  double lo = 0.0;
+  double hi = 1.0;
+  auto feasible_at = [&](double u) {
+    for (int t = 0; t < num_slots; ++t) {
+      net.network.set_capacity(
+          net.slot_edges[static_cast<std::size_t>(t)],
+          u * capacity_per_slot[static_cast<std::size_t>(t)][r]);
+    }
+    const double flow = net.network.max_flow(net.source, net.sink);
+    return flow >= net.total_demand - 1e-6;
+  };
+  // Grow hi until feasible (or give up: width-limited infeasibility).
+  int growth = 0;
+  while (!feasible_at(hi)) {
+    hi *= 2.0;
+    if (++growth > 24) {
+      result.level = std::numeric_limits<double>::infinity();
+      return result;
+    }
+  }
+  for (int i = 0; i < options.max_iterations &&
+                  hi - lo > options.level_tolerance;
+       ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Final solve at the found level to read the allocation off the edges.
+  feasible_at(hi);
+  result.placeable = true;
+  result.level = hi;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const auto& [slot_index, edge] : net.job_slot_edges[j]) {
+      result.allocation[j][static_cast<std::size_t>(slot_index)] =
+          net.network.flow(edge);
+    }
+  }
+  return result;
+}
+
 FlowPlacementResult solve_flow_placement(
     const std::vector<LpJob>& jobs,
     const std::vector<workload::ResourceVec>& capacity_per_slot,
     int first_slot, const FlowPlacementOptions& options) {
   FlowPlacementResult result;
   const int num_slots = static_cast<int>(capacity_per_slot.size());
-  const int last_slot = first_slot + num_slots - 1;
   result.allocation.assign(
       jobs.size(),
       std::vector<workload::ResourceVec>(static_cast<std::size_t>(num_slots)));
   result.feasible = true;
 
   for (int r = 0; r < workload::kNumResources; ++r) {
-    // Node layout: 0 = source, 1..J = jobs, J+1..J+T = slots, J+T+1 = sink.
-    const int job_base = 1;
-    const int slot_base = job_base + static_cast<int>(jobs.size());
-    const int sink = slot_base + num_slots;
-    ResourceNetwork net(sink + 1);
-    net.sink = sink;
-    net.job_slot_edges.resize(jobs.size());
-
-    bool any_demand = false;
+    const ResourceFlowLevel level = solve_resource_flow_level(
+        jobs, capacity_per_slot, first_slot, r, options);
+    if (!level.any_demand) continue;
+    if (!level.placeable) {
+      result.feasible = false;
+      result.min_max_level = std::numeric_limits<double>::infinity();
+      return result;
+    }
+    result.min_max_level = std::max(result.min_max_level, level.level);
+    if (level.level > 1.0 + options.level_tolerance) result.feasible = false;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const LpJob& job = jobs[j];
-      if (job.demand[r] <= kTol) continue;
-      const int begin = std::max(job.release_slot, first_slot);
-      const int end = std::min(job.deadline_slot, last_slot);
-      if (begin > end) {
-        result.feasible = false;
-        result.min_max_level =
-            std::numeric_limits<double>::infinity();
-        return result;
-      }
-      any_demand = true;
-      net.total_demand += job.demand[r];
-      net.network.add_edge(net.source, job_base + static_cast<int>(j),
-                           job.demand[r]);
-      for (int t = begin; t <= end; ++t) {
-        const int edge = net.network.add_edge(
-            job_base + static_cast<int>(j), slot_base + (t - first_slot),
-            job.width[r]);
-        net.job_slot_edges[j].emplace_back(t - first_slot, edge);
-      }
-    }
-    if (!any_demand) continue;
-    for (int t = 0; t < num_slots; ++t) {
-      net.slot_edges.push_back(net.network.add_edge(
-          slot_base + t, sink,
-          capacity_per_slot[static_cast<std::size_t>(t)][r]));
-    }
-
-    // Upper bound for u: level at which each slot could hold the entire
-    // demand (always enough if widths permit any placement at all).
-    double lo = 0.0;
-    double hi = 1.0;
-    auto feasible_at = [&](double u) {
       for (int t = 0; t < num_slots; ++t) {
-        net.network.set_capacity(
-            net.slot_edges[static_cast<std::size_t>(t)],
-            u * capacity_per_slot[static_cast<std::size_t>(t)][r]);
-      }
-      const double flow = net.network.max_flow(net.source, net.sink);
-      return flow >= net.total_demand - 1e-6;
-    };
-    // Grow hi until feasible (or give up: width-limited infeasibility).
-    int growth = 0;
-    while (!feasible_at(hi)) {
-      hi *= 2.0;
-      if (++growth > 24) {
-        result.feasible = false;
-        result.min_max_level = std::numeric_limits<double>::infinity();
-        return result;
-      }
-    }
-    for (int i = 0; i < options.max_iterations && hi - lo >
-                    options.level_tolerance; ++i) {
-      const double mid = 0.5 * (lo + hi);
-      if (feasible_at(mid)) {
-        hi = mid;
-      } else {
-        lo = mid;
-      }
-    }
-    // Final solve at the found level to read the allocation off the edges.
-    feasible_at(hi);
-    result.min_max_level = std::max(result.min_max_level, hi);
-    if (hi > 1.0 + options.level_tolerance) result.feasible = false;
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      for (const auto& [slot_index, edge] : net.job_slot_edges[j]) {
-        result.allocation[j][static_cast<std::size_t>(slot_index)][r] =
-            net.network.flow(edge);
+        result.allocation[j][static_cast<std::size_t>(t)][r] =
+            level.allocation[j][static_cast<std::size_t>(t)];
       }
     }
   }

@@ -36,6 +36,30 @@ struct FlowPlacementOptions {
   int max_iterations = 60;
 };
 
+/// One resource's first-level solve, shared by solve_flow_placement and
+/// solve_placement's TU fast path (lp/unimodular.h flow_representable gates
+/// the latter).
+struct ResourceFlowLevel {
+  /// False when some demand cannot be routed at any finite level (empty
+  /// window, or width-limited). Callers fall back to the LP path for the
+  /// authoritative infeasibility diagnosis.
+  bool placeable = false;
+  /// True when at least one job demands this resource; when false, `level`
+  /// and `allocation` are trivially zero.
+  bool any_demand = false;
+  double level = 0.0;  // min uniform normalized load u for this resource
+  /// allocation[j][t] in resource-seconds, t relative to first_slot; rows
+  /// are sized num_slots for every job (zero where nothing was placed).
+  std::vector<std::vector<double>> allocation;
+};
+
+/// Minimizes the uniform load bound u for a single resource by binary
+/// search over parametric max-flows and returns the achieving allocation.
+ResourceFlowLevel solve_resource_flow_level(
+    const std::vector<LpJob>& jobs,
+    const std::vector<workload::ResourceVec>& capacity_per_slot,
+    int first_slot, int resource, const FlowPlacementOptions& options = {});
+
 /// Solves the first-level placement by parametric max-flow. Inputs match
 /// solve_placement: windows are clipped to
 /// [first_slot, first_slot + capacity_per_slot.size()).

@@ -523,6 +523,7 @@ void FlowTimeScheduler::finish_replan(const PendingReplan& pending,
                   .field("degrade_rung", record.degrade_rung)
                   .field("degrade_reason", to_string(record.degrade_reason))
                   .field("budget_exhausted", record.budget_exhausted)
+                  .field("flow_fast_path", record.flow_fast_path)
                   .field("degraded_mode", degraded_mode_));
   }
 }
@@ -739,6 +740,7 @@ PlanSolveResult FlowTimeScheduler::solve_replan(const FlowTimeConfig& config,
   record.capacity_exceeded = schedule.capacity_exceeded;
   record.lexmin_truncated = schedule.lexmin_truncated;
   record.max_normalized_load = schedule.max_normalized_load;
+  record.flow_fast_path = schedule.flow_fast_path;
   for (std::size_t j = 0; j < lp_jobs.size(); ++j) {
     auto& row = out.rows[pending.lp_uids[j]];
     if (bucket > 1) {

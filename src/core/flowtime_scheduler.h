@@ -155,6 +155,10 @@ struct ReplanRecord {
   DegradeReason degrade_reason = DegradeReason::kNone;
   /// The re-plan's shared SolveBudget ran out at some point of the ladder.
   bool budget_exhausted = false;
+  /// At least one resource of the placement was answered by the TU/max-flow
+  /// fast path instead of simplex (first-level-only solves that pass the
+  /// lp/unimodular flow_representable gate; see LpScheduleOptions).
+  bool flow_fast_path = false;
   /// The solve finished (or was preempted) but was never adopted: its
   /// inputs went stale while it ran and the concurrent runtime discarded
   /// it. Synchronous runs never set this.

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/flow_placement.h"
 #include "lp/simplex.h"
+#include "lp/unimodular.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace flowtime::core {
@@ -153,6 +156,47 @@ LpSchedule solve_placement(
         loads[static_cast<std::size_t>(t)].entries.push_back(
             lp::RowEntry{cols.first_column + (t - cols.begin), 1.0});
       }
+    }
+
+    // --- TU/max-flow fast path: a first-level-only solve of a
+    //     flow-representable system is a parametric max flow, not an LP.
+    //     The gate is structural (O(nnz)) and conservative: any deviation
+    //     from the transportation shape falls through to simplex. ---
+    if (options.flow_fast_path && options.lexmin.max_rounds == 1 &&
+        !options.integral_extraction && lp::flow_representable(base, loads)) {
+      FlowPlacementOptions flow_options;
+      flow_options.level_tolerance = options.lexmin.level_tol;
+      const ResourceFlowLevel flow = solve_resource_flow_level(
+          jobs, capacity_per_slot, first_slot, r, flow_options);
+      if (flow.placeable) {
+        schedule.flow_fast_path = true;
+        schedule.lexmin_rounds = std::max(schedule.lexmin_rounds, 1);
+        schedule.max_normalized_load =
+            std::max(schedule.max_normalized_load, flow.level);
+        if (flow.level > 1.0 + 1e-6) schedule.capacity_exceeded = true;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          const auto& cols = map.jobs[j];
+          if (cols.first_column < 0) continue;
+          for (int t = cols.begin; t <= cols.end; ++t) {
+            schedule.allocation[j][static_cast<std::size_t>(t)][r] =
+                flow.allocation[j][static_cast<std::size_t>(t)];
+          }
+        }
+        for (int t = 0; t < schedule.num_slots; ++t) {
+          double used = 0.0;
+          for (std::size_t j = 0; j < jobs.size(); ++j) {
+            used += flow.allocation[j][static_cast<std::size_t>(t)];
+          }
+          schedule.normalized_load[static_cast<std::size_t>(t)][r] =
+              used / loads[static_cast<std::size_t>(t)].normalizer;
+        }
+        if (obs::enabled()) {
+          obs::registry().counter("lp.flow_fast_path.solves").add();
+        }
+        continue;
+      }
+      // Not placeable at any finite level: let simplex diagnose it
+      // authoritatively (infeasible vs. capacity_exceeded).
     }
 
     lp::LexMinMaxSolver lexmin(options.lexmin);

@@ -86,6 +86,15 @@ struct LpScheduleOptions {
   /// integral demands/widths to be meaningful; off by default because the
   /// simulator's demands are fractional resource-seconds.
   bool integral_extraction = false;
+  /// TU/max-flow fast path: when a solve only needs the first lexmin level
+  /// (lexmin.max_rounds == 1) and the per-resource system passes the
+  /// lp/unimodular flow_representable gate, answer it by parametric max
+  /// flow (Dinic + binary search on the uniform level) instead of simplex.
+  /// Asymptotically faster and allocation-equivalent at the first level;
+  /// solves that refine deeper levels, the coupled formulation, and
+  /// integral extraction always take the simplex path. On by default — the
+  /// gate makes it a no-op wherever its answer could differ.
+  bool flow_fast_path = true;
 };
 
 /// The planned allocation: x[job_index][slot - first_slot] per resource.
@@ -115,6 +124,10 @@ struct LpSchedule {
   /// feasible point — but the caller's escalation ladder should know the
   /// budget, not the model, bounded its quality.
   bool budget_exhausted = false;
+  /// True when at least one resource was answered by the TU/max-flow fast
+  /// path instead of simplex (see LpScheduleOptions::flow_fast_path);
+  /// `pivots` then excludes those resources by construction.
+  bool flow_fast_path = false;
 
   bool ok() const { return status == lp::SolveStatus::kOptimal; }
 };

@@ -1,6 +1,7 @@
 #include "lp/maxflow.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <queue>
 
@@ -22,8 +23,21 @@ int FlowNetwork::add_edge(int from, int to, double capacity) {
   return id;
 }
 
-void FlowNetwork::set_capacity(int edge_id, double capacity) {
+bool FlowNetwork::set_capacity(int edge_id, double capacity) {
+  // Odd ids are the internal reverse edges: max_flow's reset loop zeroes
+  // their residuals regardless of stored capacity, so accepting a write
+  // here would silently discard it mid-parametric-search.
+  assert(edge_id >= 0 && edge_id < static_cast<int>(edges_.size()) &&
+         "set_capacity: edge id out of range");
+  assert(edge_id % 2 == 0 &&
+         "set_capacity: reverse-edge id (ids from add_edge are even)");
+  assert(capacity >= 0.0 && "set_capacity: negative capacity");
+  if (edge_id < 0 || edge_id >= static_cast<int>(edges_.size()) ||
+      edge_id % 2 != 0 || !(capacity >= 0.0)) {
+    return false;
+  }
   edges_[static_cast<std::size_t>(edge_id)].capacity = capacity;
+  return true;
 }
 
 double FlowNetwork::flow(int edge_id) const {

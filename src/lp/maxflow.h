@@ -29,8 +29,14 @@ class FlowNetwork {
   /// Flow routed on edge `edge_id` by the last max_flow call.
   double flow(int edge_id) const;
 
-  /// Rewrites one edge's capacity (used by parametric searches).
-  void set_capacity(int edge_id, double capacity);
+  /// Rewrites one FORWARD edge's capacity (used by parametric searches).
+  /// `edge_id` must be an id returned by add_edge — ids are even; the odd
+  /// companion ids address the internal reverse edges, whose residuals
+  /// max_flow resets unconditionally, so a capacity written there would be
+  /// silently discarded. Returns false and leaves the network unchanged for
+  /// a reverse/out-of-range id or a negative capacity (and asserts in debug
+  /// builds); returns true on success.
+  bool set_capacity(int edge_id, double capacity);
 
  private:
   struct Edge {

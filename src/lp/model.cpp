@@ -29,6 +29,7 @@ int LpProblem::add_column(double objective, double lower, double upper,
                           std::string name) {
   assert(lower <= upper && "variable bounds crossed");
   columns_.push_back(Column{objective, lower, upper, std::move(name)});
+  col_entries_.emplace_back();
   return num_columns() - 1;
 }
 
@@ -44,6 +45,12 @@ int LpProblem::add_row(RowSense sense, double rhs,
   clean.reserve(merged.size());
   for (const auto& [column, coeff] : merged) {
     if (coeff != 0.0) clean.push_back(RowEntry{column, coeff});
+  }
+  const int row = num_rows();
+  // Rows only ever grow, so appending keeps each column's entries sorted.
+  for (const RowEntry& e : clean) {
+    col_entries_[static_cast<std::size_t>(e.column)].push_back(
+        ColEntry{row, e.coeff});
   }
   rows_.push_back(Row{sense, rhs, std::move(clean), std::move(name)});
   return num_rows() - 1;
@@ -76,9 +83,30 @@ void LpProblem::set_row_coeff(int row, int column, double coeff) {
     } else {
       it->coeff = coeff;
     }
+    set_col_coeff(column, row, coeff);
     return;
   }
-  if (coeff != 0.0) entries.push_back(RowEntry{column, coeff});
+  if (coeff != 0.0) {
+    entries.push_back(RowEntry{column, coeff});
+    set_col_coeff(column, row, coeff);
+  }
+}
+
+void LpProblem::set_col_coeff(int column, int row, double coeff) {
+  auto& entries = col_entries_[static_cast<std::size_t>(column)];
+  // Keep row order so iteration order stays independent of mutation history.
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), row,
+      [](const ColEntry& e, int r) { return e.row < r; });
+  if (it != entries.end() && it->row == row) {
+    if (coeff == 0.0) {
+      entries.erase(it);
+    } else {
+      it->coeff = coeff;
+    }
+  } else if (coeff != 0.0) {
+    entries.insert(it, ColEntry{row, coeff});
+  }
 }
 
 double LpProblem::row_value(int row, const std::vector<double>& x) const {

@@ -30,6 +30,13 @@ struct RowEntry {
   double coeff = 0.0;
 };
 
+/// One nonzero coefficient of a column (the CSC-style view the revised
+/// simplex prices and factorizes from).
+struct ColEntry {
+  int row = 0;
+  double coeff = 0.0;
+};
+
 /// Solver termination status.
 enum class SolveStatus {
   kOptimal,
@@ -98,8 +105,10 @@ struct Solution {
 ///               lb <= x <= ub
 ///
 /// Columns and rows are added incrementally; the solvers treat the problem
-/// as immutable input. Coefficients are stored per row; solvers build the
-/// column-wise view they need.
+/// as immutable input. Coefficients are stored both row-wise (for row
+/// evaluation and the mutation API) and column-wise (column_entries, the
+/// view the revised simplex consumes); the two views are kept in sync by
+/// every mutator.
 class LpProblem {
  public:
   /// Adds a variable, returns its column index.
@@ -135,6 +144,14 @@ class LpProblem {
   }
   const std::vector<RowEntry>& row_entries(int row) const {
     return rows_[static_cast<std::size_t>(row)].entries;
+  }
+  /// Column-wise (CSC-style) view of the constraint matrix, maintained
+  /// incrementally by add_row / set_row_coeff. Entries are sorted by row
+  /// index and never carry explicit zeros. The revised simplex prices and
+  /// factorizes straight from this view, so re-solves of a mutated problem
+  /// (the lexmin driver's freeze-and-resolve loop) pay no column rebuild.
+  const std::vector<ColEntry>& column_entries(int column) const {
+    return col_entries_[static_cast<std::size_t>(column)];
   }
   const std::string& row_name(int row) const {
     return rows_[static_cast<std::size_t>(row)].name;
@@ -174,8 +191,12 @@ class LpProblem {
     std::string name;
   };
 
+  void set_col_coeff(int column, int row, double coeff);
+
   std::vector<Column> columns_;
   std::vector<Row> rows_;
+  // CSC mirror of rows_[*].entries, one row-sorted entry vector per column.
+  std::vector<std::vector<ColEntry>> col_entries_;
 };
 
 }  // namespace flowtime::lp

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <memory>
+#include <numeric>
 #include <vector>
 
 #include "lp/solve_profile.h"
@@ -28,32 +30,437 @@ inline std::uint64_t prof_now_ns() {
 // Nonbasic rest position of a variable.
 enum class NonbasicState : std::uint8_t { kAtLower, kAtUpper, kFree };
 
-// Internal working problem: min c.x  s.t.  A x = b,  lb <= x <= ub, where
-// columns [0, n_struct) are structural, [n_struct, n_struct+m) slacks and
-// [n_struct+m, n_struct+2m) artificials.
-struct ColEntry {
-  int row = 0;
-  double coeff = 0.0;
+// Borrowed view of one sparse column (entries sorted by row).
+struct ColSpan {
+  const ColEntry* data = nullptr;
+  std::size_t size = 0;
+  const ColEntry* begin() const { return data; }
+  const ColEntry* end() const { return data + size; }
 };
 
+// Column provider for refactorization: the engine hands the basis
+// representation its columns without exposing the rest of the working state.
+class ColumnSource {
+ public:
+  virtual ColSpan col(int j) const = 0;
+
+ protected:
+  ~ColumnSource() = default;
+};
+
+// Basis representation behind the revised simplex. Index conventions:
+// "row" means constraint row, "position" means basis slot (both range over
+// [0, m) and coincide in the pivot loop — basic variable of slot i leaves on
+// constraint row i). ftran/solve_dense map row-indexed inputs to
+// position-indexed outputs; btran maps position-indexed costs to row-indexed
+// duals. `update` is called only with |w[leaving_row]| > pivot_tol.
+class BasisRep {
+ public:
+  virtual ~BasisRep() = default;
+
+  /// Installs B = diag(signs) (the all-artificial start basis) and clears
+  /// any update history.
+  virtual void install_diagonal(const std::vector<double>& signs) = 0;
+
+  /// Rebuilds the representation from the current basis columns.
+  /// Returns false when the basis is (numerically) singular.
+  virtual bool refactorize(const ColumnSource& cols,
+                           const std::vector<int>& basis) = 0;
+
+  /// out = B^{-1} a for a sparse column a.
+  virtual void ftran(ColSpan a, std::vector<double>& out) const = 0;
+
+  /// out = B^{-1} rhs for a dense row-indexed rhs (basic-value recompute).
+  virtual void solve_dense(const std::vector<double>& rhs,
+                           std::vector<double>& out) const = 0;
+
+  /// y^T = cb^T B^{-1} for the dense basic-cost vector cb (one per slot).
+  virtual void btran(const std::vector<double>& cb,
+                     std::vector<double>& y) const = 0;
+
+  /// Absorbs a pivot: the column in slot `leaving_row` was replaced by the
+  /// entering column whose ftran image is `w`.
+  virtual void update(int leaving_row, const std::vector<double>& w) = 0;
+};
+
+// Reference engine: explicitly maintained dense m x m inverse, dense
+// Gauss-Jordan refactorization. Kept operation-for-operation identical to
+// the solver's historical dense path so differential tests pin the sparse
+// engine against it.
+class DenseBasis final : public BasisRep {
+ public:
+  DenseBasis(int m, double pivot_tol) : m_(m), pivot_tol_(pivot_tol) {}
+
+  void install_diagonal(const std::vector<double>& signs) override {
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) at(i, i) = signs[static_cast<std::size_t>(i)];
+  }
+
+  bool refactorize(const ColumnSource& cols,
+                   const std::vector<int>& basis) override {
+    const int m = m_;
+    // Dense B and identity side by side.
+    std::vector<double> mat(static_cast<std::size_t>(m) * 2 * m, 0.0);
+    auto aug = [&](int i, int k) -> double& {
+      return mat[static_cast<std::size_t>(i) * 2 * m + k];
+    };
+    for (int i = 0; i < m; ++i) {
+      for (const ColEntry& e : cols.col(basis[static_cast<std::size_t>(i)])) {
+        aug(e.row, i) = e.coeff;
+      }
+      aug(i, m + i) = 1.0;
+    }
+    for (int col = 0; col < m; ++col) {
+      int pivot = -1;
+      double best = pivot_tol_;
+      for (int i = col; i < m; ++i) {
+        if (std::abs(aug(i, col)) > best) {
+          best = std::abs(aug(i, col));
+          pivot = i;
+        }
+      }
+      if (pivot < 0) return false;
+      if (pivot != col) {
+        // Row swaps are internal to the elimination (they left-multiply by a
+        // permutation, which the resulting inverse absorbs); the basis
+        // bookkeeping must not be permuted.
+        for (int k = 0; k < 2 * m; ++k) std::swap(aug(pivot, k), aug(col, k));
+      }
+      const double inv = 1.0 / aug(col, col);
+      for (int k = 0; k < 2 * m; ++k) aug(col, k) *= inv;
+      for (int i = 0; i < m; ++i) {
+        if (i == col) continue;
+        const double f = aug(i, col);
+        if (f == 0.0) continue;
+        for (int k = 0; k < 2 * m; ++k) aug(i, k) -= f * aug(col, k);
+      }
+    }
+    if (binv_.size() != static_cast<std::size_t>(m) * m) {
+      binv_.resize(static_cast<std::size_t>(m) * m);
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int k = 0; k < m; ++k) at(i, k) = aug(i, m + k);
+    }
+    return true;
+  }
+
+  void ftran(ColSpan a, std::vector<double>& out) const override {
+    out.assign(static_cast<std::size_t>(m_), 0.0);
+    for (const ColEntry& e : a) {
+      const double v = e.coeff;
+      const int k = e.row;
+      for (int i = 0; i < m_; ++i) {
+        out[static_cast<std::size_t>(i)] += at(i, k) * v;
+      }
+    }
+  }
+
+  void solve_dense(const std::vector<double>& rhs,
+                   std::vector<double>& out) const override {
+    out.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      double v = 0.0;
+      for (int k = 0; k < m_; ++k) {
+        v += at(i, k) * rhs[static_cast<std::size_t>(k)];
+      }
+      out[static_cast<std::size_t>(i)] = v;
+    }
+  }
+
+  void btran(const std::vector<double>& cb,
+             std::vector<double>& y) const override {
+    y.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double c = cb[static_cast<std::size_t>(i)];
+      if (c == 0.0) continue;
+      for (int k = 0; k < m_; ++k) {
+        y[static_cast<std::size_t>(k)] += c * at(i, k);
+      }
+    }
+  }
+
+  void update(int leaving_row, const std::vector<double>& w) override {
+    const double inv_pivot = 1.0 / w[static_cast<std::size_t>(leaving_row)];
+    for (int k = 0; k < m_; ++k) at(leaving_row, k) *= inv_pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving_row) continue;
+      const double f = w[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      for (int k = 0; k < m_; ++k) {
+        at(i, k) -= f * at(leaving_row, k);
+      }
+    }
+  }
+
+ private:
+  double& at(int i, int k) { return binv_[static_cast<std::size_t>(i) * m_ + k]; }
+  double at(int i, int k) const {
+    return binv_[static_cast<std::size_t>(i) * m_ + k];
+  }
+
+  int m_ = 0;
+  double pivot_tol_ = 0.0;
+  std::vector<double> binv_;
+};
+
+// Sparse engine: left-looking LU factorization of the basis (threshold-free
+// partial pivoting — on the scheduler's totally unimodular bases every pivot
+// is ±1, so magnitude-greedy selection is already exact) plus a product-form
+// eta file absorbing pivots between refactorizations. The eta file is
+// bounded by SimplexOptions::refactor_interval, after which the engine
+// refactorizes and the file resets.
+//
+// Factoring B with columns taken in a fill-reducing order cperm (ascending
+// column nonzero count) and pivot rows rperm gives, with C[:,k] =
+// B[:, cperm[k]]:   (P_r C) = L U,  L unit lower triangular, both in step
+// space. ftran solves L, then U, then scatters v into position space via
+// cperm and replays etas oldest-to-newest; btran applies eta transposes
+// newest-to-oldest, gathers through cperm, solves U^T then L^T, and scatters
+// through rperm back to constraint-row space.
+class SparseLuBasis final : public BasisRep {
+ public:
+  SparseLuBasis(int m, double pivot_tol) : m_(m), pivot_tol_(pivot_tol) {}
+
+  void install_diagonal(const std::vector<double>& signs) override {
+    lcols_.assign(static_cast<std::size_t>(m_), {});
+    ucols_.assign(static_cast<std::size_t>(m_), {});
+    udiag_ = signs;
+    rperm_.resize(static_cast<std::size_t>(m_));
+    cperm_.resize(static_cast<std::size_t>(m_));
+    rowstep_.resize(static_cast<std::size_t>(m_));
+    std::iota(rperm_.begin(), rperm_.end(), 0);
+    std::iota(cperm_.begin(), cperm_.end(), 0);
+    std::iota(rowstep_.begin(), rowstep_.end(), 0);
+    etas_.clear();
+  }
+
+  bool refactorize(const ColumnSource& cols,
+                   const std::vector<int>& basis) override {
+    const int m = m_;
+    // Ascending-nonzero column order: singleton columns (slacks, pinned
+    // artificials) pivot first and generate no fill.
+    cperm_.resize(static_cast<std::size_t>(m));
+    std::iota(cperm_.begin(), cperm_.end(), 0);
+    std::stable_sort(cperm_.begin(), cperm_.end(), [&](int a, int b) {
+      return cols.col(basis[static_cast<std::size_t>(a)]).size <
+             cols.col(basis[static_cast<std::size_t>(b)]).size;
+    });
+    lcols_.assign(static_cast<std::size_t>(m), {});
+    ucols_.assign(static_cast<std::size_t>(m), {});
+    udiag_.assign(static_cast<std::size_t>(m), 0.0);
+    rperm_.assign(static_cast<std::size_t>(m), -1);
+    rowstep_.assign(static_cast<std::size_t>(m), -1);
+    etas_.clear();
+    work_.assign(static_cast<std::size_t>(m), 0.0);
+
+    for (int k = 0; k < m; ++k) {
+      std::fill(work_.begin(), work_.end(), 0.0);
+      const int j = basis[static_cast<std::size_t>(cperm_[static_cast<std::size_t>(k)])];
+      for (const ColEntry& e : cols.col(j)) {
+        work_[static_cast<std::size_t>(e.row)] = e.coeff;
+      }
+      // Left-looking elimination: apply every earlier L column; the value
+      // sitting on an earlier pivot row at its turn is U(s, k).
+      for (int s = 0; s < k; ++s) {
+        const double u = work_[static_cast<std::size_t>(
+            rperm_[static_cast<std::size_t>(s)])];
+        if (u == 0.0) continue;
+        ucols_[static_cast<std::size_t>(k)].push_back(Entry{s, u});
+        for (const Entry& e : lcols_[static_cast<std::size_t>(s)]) {
+          work_[static_cast<std::size_t>(e.index)] -= e.value * u;
+        }
+      }
+      int prow = -1;
+      double best = pivot_tol_;
+      for (int row = 0; row < m; ++row) {
+        if (rowstep_[static_cast<std::size_t>(row)] >= 0) continue;
+        const double mag = std::abs(work_[static_cast<std::size_t>(row)]);
+        if (mag > best) {
+          best = mag;
+          prow = row;
+        }
+      }
+      if (prow < 0) return false;  // structurally or numerically singular
+      rperm_[static_cast<std::size_t>(k)] = prow;
+      rowstep_[static_cast<std::size_t>(prow)] = k;
+      const double diag = work_[static_cast<std::size_t>(prow)];
+      udiag_[static_cast<std::size_t>(k)] = diag;
+      for (int row = 0; row < m; ++row) {
+        if (rowstep_[static_cast<std::size_t>(row)] >= 0) continue;
+        const double v = work_[static_cast<std::size_t>(row)];
+        if (v != 0.0) {
+          lcols_[static_cast<std::size_t>(k)].push_back(Entry{row, v / diag});
+        }
+      }
+    }
+    return true;
+  }
+
+  void ftran(ColSpan a, std::vector<double>& out) const override {
+    work_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (const ColEntry& e : a) {
+      work_[static_cast<std::size_t>(e.row)] = e.coeff;
+    }
+    factor_solve(out);
+    apply_etas_forward(out);
+  }
+
+  void solve_dense(const std::vector<double>& rhs,
+                   std::vector<double>& out) const override {
+    work_ = rhs;
+    factor_solve(out);
+    apply_etas_forward(out);
+  }
+
+  void btran(const std::vector<double>& cb,
+             std::vector<double>& y) const override {
+    // g = (E_1^T ... E_k^T applied newest-to-oldest) cb, in position space.
+    g_ = cb;
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double acc = g_[static_cast<std::size_t>(it->pos)];
+      for (const Entry& e : it->w) {
+        acc -= e.value * g_[static_cast<std::size_t>(e.index)];
+      }
+      g_[static_cast<std::size_t>(it->pos)] = acc / it->wp;
+    }
+    // Solve U^T t = P^T g (forward, using U's columns), then L^T s = t
+    // (backward), and scatter through the row permutation.
+    z_.resize(static_cast<std::size_t>(m_));
+    for (int k = 0; k < m_; ++k) {
+      double acc = g_[static_cast<std::size_t>(cperm_[static_cast<std::size_t>(k)])];
+      for (const Entry& e : ucols_[static_cast<std::size_t>(k)]) {
+        acc -= e.value * z_[static_cast<std::size_t>(e.index)];
+      }
+      z_[static_cast<std::size_t>(k)] = acc / udiag_[static_cast<std::size_t>(k)];
+    }
+    y.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = m_ - 1; k >= 0; --k) {
+      double acc = z_[static_cast<std::size_t>(k)];
+      for (const Entry& e : lcols_[static_cast<std::size_t>(k)]) {
+        // e.index is a constraint row pivoted at a later step; its solved
+        // value is already scattered into y.
+        acc -= e.value * y[static_cast<std::size_t>(e.index)];
+      }
+      y[static_cast<std::size_t>(rperm_[static_cast<std::size_t>(k)])] = acc;
+    }
+  }
+
+  void update(int leaving_row, const std::vector<double>& w) override {
+    Eta eta;
+    eta.pos = leaving_row;
+    eta.wp = w[static_cast<std::size_t>(leaving_row)];
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving_row) continue;
+      const double v = w[static_cast<std::size_t>(i)];
+      if (v != 0.0) eta.w.push_back(Entry{i, v});
+    }
+    etas_.push_back(std::move(eta));
+  }
+
+ private:
+  struct Entry {
+    int index = 0;  // L: constraint row; U: earlier step; eta: position
+    double value = 0.0;
+  };
+  struct Eta {
+    int pos = 0;
+    double wp = 0.0;         // pivot element w[pos]
+    std::vector<Entry> w;    // off-pivot nonzeros of the ftran image
+  };
+
+  // Solves (factor only, no etas) B0 x = work_ (row-indexed) into `out`
+  // (position-indexed). Consumes work_.
+  void factor_solve(std::vector<double>& out) const {
+    z_.resize(static_cast<std::size_t>(m_));
+    for (int s = 0; s < m_; ++s) {
+      const double zs =
+          work_[static_cast<std::size_t>(rperm_[static_cast<std::size_t>(s)])];
+      z_[static_cast<std::size_t>(s)] = zs;
+      if (zs == 0.0) continue;
+      for (const Entry& e : lcols_[static_cast<std::size_t>(s)]) {
+        work_[static_cast<std::size_t>(e.index)] -= e.value * zs;
+      }
+    }
+    for (int k = m_ - 1; k >= 0; --k) {
+      const double vk =
+          z_[static_cast<std::size_t>(k)] / udiag_[static_cast<std::size_t>(k)];
+      z_[static_cast<std::size_t>(k)] = vk;
+      if (vk == 0.0) continue;
+      for (const Entry& e : ucols_[static_cast<std::size_t>(k)]) {
+        z_[static_cast<std::size_t>(e.index)] -= e.value * vk;
+      }
+    }
+    out.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      out[static_cast<std::size_t>(cperm_[static_cast<std::size_t>(k)])] =
+          z_[static_cast<std::size_t>(k)];
+    }
+  }
+
+  void apply_etas_forward(std::vector<double>& x) const {
+    for (const Eta& eta : etas_) {
+      const double xp = x[static_cast<std::size_t>(eta.pos)];
+      if (xp == 0.0) continue;
+      const double t = xp / eta.wp;
+      x[static_cast<std::size_t>(eta.pos)] = t;
+      for (const Entry& e : eta.w) {
+        x[static_cast<std::size_t>(e.index)] -= e.value * t;
+      }
+    }
+  }
+
+  int m_ = 0;
+  double pivot_tol_ = 0.0;
+  std::vector<std::vector<Entry>> lcols_;  // per step: (row, multiplier)
+  std::vector<std::vector<Entry>> ucols_;  // per step k: (s < k, U(s,k))
+  std::vector<double> udiag_;              // per step: U(k,k)
+  std::vector<int> rperm_;                 // step -> pivot constraint row
+  std::vector<int> rowstep_;               // constraint row -> step
+  std::vector<int> cperm_;                 // step -> basis position
+  std::vector<Eta> etas_;
+  mutable std::vector<double> work_;  // row-indexed scratch
+  mutable std::vector<double> z_;     // step-indexed scratch
+  mutable std::vector<double> g_;     // position-indexed scratch
+};
+
+// Internal working problem: min c.x  s.t.  A x = b,  lb <= x <= ub, where
+// columns [0, n_struct) are structural, [n_struct, n_struct+m) slacks and
+// [n_struct+m, n_struct+2m) artificials. Structural columns are read
+// straight from the LpProblem's CSC view; only slack/artificial columns are
+// materialized here.
 struct Working {
   int m = 0;        // rows
   int n_total = 0;  // all columns including slacks and artificials
   int n_struct = 0;
-  std::vector<std::vector<ColEntry>> cols;  // column-wise A
+  std::vector<std::vector<ColEntry>> extra_cols;  // slacks then artificials
   std::vector<double> lb, ub;
   std::vector<double> cost;  // phase-2 objective
   std::vector<double> b;
 };
 
-class Engine {
+class Engine final : public ColumnSource {
  public:
   Engine(const LpProblem& problem, const SimplexOptions& options)
       : options_(options) {
     build(problem);
+    if (options_.engine == SimplexEngine::kDenseInverse) {
+      rep_ = std::make_unique<DenseBasis>(w_.m, options_.pivot_tol);
+    } else {
+      rep_ = std::make_unique<SparseLuBasis>(w_.m, options_.pivot_tol);
+    }
   }
 
-  Solution run(const LpProblem& problem, const Basis* warm) {
+  ColSpan col(int j) const override {
+    if (j < w_.n_struct) {
+      const std::vector<ColEntry>& c = problem_->column_entries(j);
+      return ColSpan{c.data(), c.size()};
+    }
+    const std::vector<ColEntry>& c =
+        w_.extra_cols[static_cast<std::size_t>(j - w_.n_struct)];
+    return ColSpan{c.data(), c.size()};
+  }
+
+  Solution run(const Basis* warm) {
     Solution result;
     const std::int64_t limit =
         options_.max_iterations > 0
@@ -131,8 +538,8 @@ class Engine {
           w_.b[static_cast<std::size_t>(i)] -
           full[static_cast<std::size_t>(slack)];
     }
-    result.duals = compute_duals(w_.cost);
-    (void)problem;
+    compute_duals(w_.cost, y_);
+    result.duals = y_;
     return result;
   }
 
@@ -140,11 +547,16 @@ class Engine {
   int slack_begin() const { return w_.n_struct; }
   int artificial_begin() const { return w_.n_struct + w_.m; }
 
+  std::vector<ColEntry>& extra(int j) {
+    return w_.extra_cols[static_cast<std::size_t>(j - w_.n_struct)];
+  }
+
   void build(const LpProblem& p) {
+    problem_ = &p;
     w_.m = p.num_rows();
     w_.n_struct = p.num_columns();
     w_.n_total = w_.n_struct + 2 * w_.m;
-    w_.cols.resize(static_cast<std::size_t>(w_.n_total));
+    w_.extra_cols.resize(static_cast<std::size_t>(2 * w_.m));
     w_.lb.assign(static_cast<std::size_t>(w_.n_total), 0.0);
     w_.ub.assign(static_cast<std::size_t>(w_.n_total), kInfinity);
     w_.cost.assign(static_cast<std::size_t>(w_.n_total), 0.0);
@@ -156,13 +568,9 @@ class Engine {
       w_.cost[static_cast<std::size_t>(j)] = p.objective_coeff(j);
     }
     for (int i = 0; i < w_.m; ++i) {
-      for (const RowEntry& e : p.row_entries(i)) {
-        w_.cols[static_cast<std::size_t>(e.column)].push_back(
-            ColEntry{i, e.coeff});
-      }
       w_.b[static_cast<std::size_t>(i)] = p.row_rhs(i);
       const int slack = slack_begin() + i;
-      w_.cols[static_cast<std::size_t>(slack)].push_back(ColEntry{i, 1.0});
+      extra(slack).push_back(ColEntry{i, 1.0});
       switch (p.row_sense(i)) {
         case RowSense::kLessEqual:
           w_.lb[static_cast<std::size_t>(slack)] = 0.0;
@@ -220,12 +628,12 @@ class Engine {
     for (int j = 0; j < artificial_begin(); ++j) {
       const double v = nonbasic_value(j);
       if (v == 0.0) continue;
-      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+      for (const ColEntry& e : col(j)) {
         residual[static_cast<std::size_t>(e.row)] -= e.coeff * v;
       }
     }
-    binv_.assign(static_cast<std::size_t>(w_.m) * w_.m, 0.0);
     xb_.resize(static_cast<std::size_t>(w_.m));
+    std::vector<double> signs(static_cast<std::size_t>(w_.m));
     for (int i = 0; i < w_.m; ++i) {
       const double r = residual[static_cast<std::size_t>(i)];
       const double sign = r < 0.0 ? -1.0 : 1.0;
@@ -234,13 +642,14 @@ class Engine {
       // phase 1 needs their full range back.
       w_.lb[static_cast<std::size_t>(art)] = 0.0;
       w_.ub[static_cast<std::size_t>(art)] = kInfinity;
-      w_.cols[static_cast<std::size_t>(art)].clear();
-      w_.cols[static_cast<std::size_t>(art)].push_back(ColEntry{i, sign});
+      extra(art).clear();
+      extra(art).push_back(ColEntry{i, sign});
       basis_[static_cast<std::size_t>(i)] = art;
       in_basis_[static_cast<std::size_t>(art)] = true;
-      binv_at(i, i) = sign;  // B = diag(sign) => B^{-1} = diag(sign)
+      signs[static_cast<std::size_t>(i)] = sign;  // B = diag(sign)
       xb_[static_cast<std::size_t>(i)] = std::abs(r);
     }
+    rep_->install_diagonal(signs);
   }
 
   // Phase-1 residual above which the problem is declared infeasible,
@@ -287,8 +696,8 @@ class Engine {
     // keeps its fixed [0,0] range and the repair pass handles the rest).
     for (int i = 0; i < w_.m; ++i) {
       const int art = artificial_begin() + i;
-      w_.cols[static_cast<std::size_t>(art)].clear();
-      w_.cols[static_cast<std::size_t>(art)].push_back(ColEntry{i, 1.0});
+      extra(art).clear();
+      extra(art).push_back(ColEntry{i, 1.0});
       w_.lb[static_cast<std::size_t>(art)] = 0.0;
       w_.ub[static_cast<std::size_t>(art)] = 0.0;
     }
@@ -316,7 +725,6 @@ class Engine {
         state_[static_cast<std::size_t>(j)] = s;
       }
     }
-    binv_.assign(static_cast<std::size_t>(w_.m) * w_.m, 0.0);
     xb_.resize(static_cast<std::size_t>(w_.m));
     if (!refactorize()) {
       // A stale hint can be singular against the current matrix (e.g. a
@@ -345,7 +753,7 @@ class Engine {
     for (int p = 0; p < m; ++p) {
       std::vector<double> v(static_cast<std::size_t>(m), 0.0);
       const int j = basis_[static_cast<std::size_t>(p)];
-      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+      for (const ColEntry& e : col(j)) {
         v[static_cast<std::size_t>(e.row)] = e.coeff;
       }
       for (std::size_t k = 0; k < reduced.size(); ++k) {
@@ -485,43 +893,21 @@ class Engine {
     return true;
   }
 
-  double& binv_at(int i, int k) {
-    return binv_[static_cast<std::size_t>(i) * w_.m + k];
-  }
-  double binv_at(int i, int k) const {
-    return binv_[static_cast<std::size_t>(i) * w_.m + k];
-  }
-
-  // w = B^{-1} a_j using the sparse column.
-  void ftran(int j, std::vector<double>& out) const {
-    out.assign(static_cast<std::size_t>(w_.m), 0.0);
-    for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
-      const double a = e.coeff;
-      const int k = e.row;
-      for (int i = 0; i < w_.m; ++i) {
-        out[static_cast<std::size_t>(i)] += binv_at(i, k) * a;
-      }
-    }
-  }
-
-  // y = c_B^T B^{-1}.
-  std::vector<double> compute_duals(const std::vector<double>& cost) const {
-    std::vector<double> y(static_cast<std::size_t>(w_.m), 0.0);
+  // y = c_B^T B^{-1}, via the representation's btran.
+  void compute_duals(const std::vector<double>& cost,
+                     std::vector<double>& y) {
+    cb_.resize(static_cast<std::size_t>(w_.m));
     for (int i = 0; i < w_.m; ++i) {
-      const double cb = cost[static_cast<std::size_t>(
+      cb_[static_cast<std::size_t>(i)] = cost[static_cast<std::size_t>(
           basis_[static_cast<std::size_t>(i)])];
-      if (cb == 0.0) continue;
-      for (int k = 0; k < w_.m; ++k) {
-        y[static_cast<std::size_t>(k)] += cb * binv_at(i, k);
-      }
     }
-    return y;
+    rep_->btran(cb_, y);
   }
 
   double reduced_cost(int j, const std::vector<double>& cost,
                       const std::vector<double>& y) const {
     double d = cost[static_cast<std::size_t>(j)];
-    for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+    for (const ColEntry& e : col(j)) {
       d -= y[static_cast<std::size_t>(e.row)] * e.coeff;
     }
     return d;
@@ -549,10 +935,10 @@ class Engine {
     return x;
   }
 
-  // Rebuilds binv_ and xb_ from the basis by Gauss-Jordan; returns false on a
-  // singular basis (numerical failure). Timed as its own profile phase — it
-  // is the O(m^3) step the refactor_interval knob trades against update
-  // drift, and the number ROADMAP item 1 wants pinned.
+  // Rebuilds the basis representation and xb_; returns false on a singular
+  // basis (numerical failure). Timed as its own profile phase — it is the
+  // expensive step the refactor_interval knob trades against update drift,
+  // and the number ROADMAP item 1 wants pinned.
   bool refactorize() {
     if (profile_ == nullptr) return refactorize_impl();
     const std::uint64_t t0 = prof_now_ns();
@@ -563,47 +949,7 @@ class Engine {
   }
 
   bool refactorize_impl() {
-    const int m = w_.m;
-    // Dense B and identity side by side.
-    std::vector<double> mat(static_cast<std::size_t>(m) * 2 * m, 0.0);
-    auto at = [&](int i, int k) -> double& {
-      return mat[static_cast<std::size_t>(i) * 2 * m + k];
-    };
-    for (int i = 0; i < m; ++i) {
-      const int j = basis_[static_cast<std::size_t>(i)];
-      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
-        at(e.row, i) = e.coeff;
-      }
-      at(i, m + i) = 1.0;
-    }
-    for (int col = 0; col < m; ++col) {
-      int pivot = -1;
-      double best = options_.pivot_tol;
-      for (int i = col; i < m; ++i) {
-        if (std::abs(at(i, col)) > best) {
-          best = std::abs(at(i, col));
-          pivot = i;
-        }
-      }
-      if (pivot < 0) return false;
-      if (pivot != col) {
-        // Row swaps are internal to the elimination (they left-multiply by a
-        // permutation, which the resulting inverse absorbs); the basis
-        // bookkeeping must not be permuted.
-        for (int k = 0; k < 2 * m; ++k) std::swap(at(pivot, k), at(col, k));
-      }
-      const double inv = 1.0 / at(col, col);
-      for (int k = 0; k < 2 * m; ++k) at(col, k) *= inv;
-      for (int i = 0; i < m; ++i) {
-        if (i == col) continue;
-        const double f = at(i, col);
-        if (f == 0.0) continue;
-        for (int k = 0; k < 2 * m; ++k) at(i, k) -= f * at(col, k);
-      }
-    }
-    for (int i = 0; i < m; ++i) {
-      for (int k = 0; k < m; ++k) binv_at(i, k) = at(i, m + k);
-    }
+    if (!rep_->refactorize(*this, basis_)) return false;
     recompute_basic_values();
     return true;
   }
@@ -614,17 +960,11 @@ class Engine {
       if (in_basis_[static_cast<std::size_t>(j)]) continue;
       const double v = nonbasic_value(j);
       if (v == 0.0) continue;
-      for (const ColEntry& e : w_.cols[static_cast<std::size_t>(j)]) {
+      for (const ColEntry& e : col(j)) {
         residual[static_cast<std::size_t>(e.row)] -= e.coeff * v;
       }
     }
-    for (int i = 0; i < w_.m; ++i) {
-      double v = 0.0;
-      for (int k = 0; k < w_.m; ++k) {
-        v += binv_at(i, k) * residual[static_cast<std::size_t>(k)];
-      }
-      xb_[static_cast<std::size_t>(i)] = v;
-    }
+    rep_->solve_dense(residual, xb_);
   }
 
   // Core primal iteration loop for a given cost vector; assumes the current
@@ -648,7 +988,8 @@ class Engine {
       // each phase boundary so the three windows tile the iteration.
       std::uint64_t prof_t0 = profile_ != nullptr ? prof_now_ns() : 0;
 
-      const std::vector<double> y = compute_duals(cost);
+      compute_duals(cost, y_);
+      const std::vector<double>& y = y_;
       const bool bland = degenerate_run > options_.degenerate_before_bland;
 
       // Pricing. Reduced costs are evaluated lazily: columns are scanned in
@@ -723,7 +1064,7 @@ class Engine {
       }
       if (entering < 0) return SolveStatus::kOptimal;
 
-      ftran(entering, w);
+      rep_->ftran(col(entering), w);
 
       // Ratio test. The entering variable moves by t >= 0 in `direction`;
       // basic variable i moves at rate -direction * w_i.
@@ -811,7 +1152,7 @@ class Engine {
         continue;
       }
 
-      // Pivot: update values, basis bookkeeping and the inverse.
+      // Pivot: update values, basis bookkeeping and the representation.
       const double entering_value = nonbasic_value(entering) +
                                     direction * t_best;
       for (int i = 0; i < w_.m; ++i) {
@@ -836,16 +1177,7 @@ class Engine {
         if (!refactorize()) return SolveStatus::kNumericalFailure;
         continue;
       }
-      const double inv_pivot = 1.0 / pivot;
-      for (int k = 0; k < w_.m; ++k) binv_at(leaving_row, k) *= inv_pivot;
-      for (int i = 0; i < w_.m; ++i) {
-        if (i == leaving_row) continue;
-        const double f = w[static_cast<std::size_t>(i)];
-        if (f == 0.0) continue;
-        for (int k = 0; k < w_.m; ++k) {
-          binv_at(i, k) -= f * binv_at(leaving_row, k);
-        }
-      }
+      rep_->update(leaving_row, w);
       if (profile_ != nullptr) {
         profile_->basis_update_s +=
             static_cast<double>(prof_now_ns() - prof_t0) * 1e-9;
@@ -859,7 +1191,9 @@ class Engine {
   }
 
   SimplexOptions options_;
+  const LpProblem* problem_ = nullptr;
   Working w_;
+  std::unique_ptr<BasisRep> rep_;
   /// The thread's active profiling scope, cached once per engine so the
   /// pivot loop pays a plain pointer test, not a thread_local lookup.
   SolveProfile* profile_ = current_profile();
@@ -867,8 +1201,9 @@ class Engine {
   std::vector<int> basis_;             // column basic in each row
   std::vector<bool> in_basis_;         // per column
   std::vector<NonbasicState> state_;   // per column, meaningful if nonbasic
-  std::vector<double> binv_;           // dense m x m basis inverse
   std::vector<double> xb_;             // values of basic variables
+  std::vector<double> cb_;             // btran input scratch
+  std::vector<double> y_;              // dual scratch, reused per pivot
 };
 
 }  // namespace
@@ -958,7 +1293,7 @@ Solution SimplexSolver::solve_impl(const LpProblem& problem,
     return result;
   }
   Engine engine(problem, options_);
-  return engine.run(problem, warm);
+  return engine.run(warm);
 }
 
 }  // namespace flowtime::lp

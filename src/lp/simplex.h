@@ -7,9 +7,12 @@
 //   2. Robustness on the scheduler's problem family: totally unimodular
 //      constraint matrices with small integer data, up to a few hundred rows
 //      and tens of thousands of columns.
-//   3. Simplicity over raw speed: revised simplex with an explicitly
-//      maintained dense basis inverse, refactorized periodically. Columns of
-//      the scheduling LPs carry 2-3 nonzeros, so pricing is cheap.
+//   3. Exploit sparsity: revised simplex over the model's CSC column view
+//      with a sparse LU basis factorization plus product-form eta updates,
+//      refactorized periodically (SimplexEngine::kSparseLu). Columns of the
+//      scheduling LPs carry 2-3 nonzeros, so pricing, ftran and btran are
+//      all O(nnz)-ish. A dense maintained-inverse engine
+//      (SimplexEngine::kDenseInverse) is retained for differential checks.
 //
 // Implementation notes:
 //   * Rows are converted to equalities with bounded slacks
@@ -38,6 +41,19 @@
 
 namespace flowtime::lp {
 
+/// Basis representation used by the revised simplex.
+enum class SimplexEngine {
+  /// Sparse LU factorization of the basis (left-looking, threshold
+  /// pivoting) with product-form eta updates per pivot, refactorized every
+  /// `refactor_interval` pivots. O(nnz)-ish per pivot; the default.
+  kSparseLu,
+  /// Dense maintained basis inverse with dense Gauss-Jordan
+  /// refactorization. O(m^2) per pivot, O(m^3) per refactorization. Kept as
+  /// the reference engine for differential testing and as a fallback while
+  /// the sparse path matures.
+  kDenseInverse,
+};
+
 /// Solver tuning knobs. Defaults are appropriate for the scheduling LPs.
 struct SimplexOptions {
   double feasibility_tol = 1e-7;   // bound/row violation considered zero
@@ -57,6 +73,14 @@ struct SimplexOptions {
   /// solve path identical to a build without budgets. See
   /// lp/solve_budget.h for the sharing and determinism contract.
   SolveBudget* budget = nullptr;
+  /// Basis representation. Both engines walk the same pricing / ratio-test /
+  /// bound-flip rules, but they round the solved directions differently in
+  /// the last ULP (dense inverse-multiply vs sparse LU + eta solves), so on
+  /// degenerate problems ties can resolve to different — equally optimal —
+  /// vertices. The guaranteed contract, pinned by the lp_sparse
+  /// differential tests: identical statuses and infeasibility diagnoses,
+  /// the same optimum level to ~1e-9, and feasible equivalent plans.
+  SimplexEngine engine = SimplexEngine::kSparseLu;
 };
 
 /// Solves `problem` (minimization). The returned Solution carries primal

@@ -230,4 +230,38 @@ bool is_bipartite_incidence_like(const IntMatrix& m) {
   return true;
 }
 
+bool flow_representable(const LpProblem& base,
+                        const std::vector<LoadRow>& loads) {
+  const int n = base.num_columns();
+  if (n == 0) return false;
+  std::vector<int> base_count(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < base.num_rows(); ++i) {
+    if (base.row_sense(i) != RowSense::kEqual) return false;
+    if (!(base.row_rhs(i) >= 0.0)) return false;
+    for (const RowEntry& e : base.row_entries(i)) {
+      if (e.coeff != 1.0) return false;
+      if (++base_count[static_cast<std::size_t>(e.column)] > 1) return false;
+    }
+  }
+  std::vector<int> load_count(static_cast<std::size_t>(n), 0);
+  for (const LoadRow& load : loads) {
+    if (!(load.normalizer > 0.0)) return false;
+    for (const RowEntry& e : load.entries) {
+      if (e.coeff != 1.0) return false;
+      if (++load_count[static_cast<std::size_t>(e.column)] > 1) return false;
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    // Exactly one supply (job) row and one consumption (slot) row per
+    // column, variable in [0, finite width]: the job->slot edge of a
+    // transportation network, nothing else.
+    if (base_count[static_cast<std::size_t>(j)] != 1) return false;
+    if (load_count[static_cast<std::size_t>(j)] != 1) return false;
+    if (base.lower_bound(j) != 0.0) return false;
+    const double ub = base.upper_bound(j);
+    if (!std::isfinite(ub) || ub < 0.0) return false;
+  }
+  return true;
+}
+
 }  // namespace flowtime::lp

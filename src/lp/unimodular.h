@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "lp/lexmin.h"
 #include "lp/model.h"
 
 namespace flowtime::lp {
@@ -66,5 +67,18 @@ bool is_network_matrix(const IntMatrix& m);
 /// scheduling matrix — one demand row + one load row per column — passes
 /// with the trivial colouring {demand rows | load rows}).
 bool is_bipartite_incidence_like(const IntMatrix& m);
+
+/// Structural gate for the max-flow fast path: true when the lexmin system
+/// (base rows + load rows) is exactly the bipartite transportation
+/// structure a parametric max flow solves — every base row an equality with
+/// nonnegative rhs and all-(+1) coefficients, every column in [0, finite
+/// ub] appearing in exactly one base row and exactly one load row with
+/// coefficient +1, and every load normalizer positive. Such a system is TU
+/// (each column is a bipartite incidence column), and its first lexmin
+/// level equals the minimal uniform capacity scaling of the corresponding
+/// flow network. O(nnz) — evaluated per replan round, unlike the
+/// exponential certificates above, which exist for tests.
+bool flow_representable(const LpProblem& base,
+                        const std::vector<LoadRow>& loads);
 
 }  // namespace flowtime::lp

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/stats.h"
+
 namespace flowtime::obs {
 
 namespace detail {
@@ -51,13 +53,20 @@ double Histogram::mean() const {
 
 double Histogram::percentile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
+  return util::quantile(samples_, q);
+}
+
+std::vector<double> Histogram::quantiles(const std::vector<double>& qs) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
   std::sort(sorted.begin(), sorted.end());
-  const double clamped = std::clamp(q, 0.0, 1.0);
-  const double rank = std::ceil(clamped * static_cast<double>(sorted.size()));
-  const std::size_t index = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
-  return sorted[std::min(index, sorted.size() - 1)];
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(util::sorted_quantile(sorted, q));
+  return out;
 }
 
 std::vector<double> Histogram::samples() const {
@@ -106,11 +115,12 @@ std::string Registry::render_text() const {
     out << name << " " << gauge->value() << "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
+    const std::vector<double> qs = histogram->quantiles({0.5, 0.95, 0.99});
     out << name << " count=" << histogram->count()
         << " mean=" << histogram->mean()
-        << " p50=" << histogram->percentile(0.5)
-        << " p95=" << histogram->percentile(0.95)
-        << " p99=" << histogram->percentile(0.99)
+        << " p50=" << qs[0]
+        << " p95=" << qs[1]
+        << " p99=" << qs[2]
         << " max=" << histogram->max() << "\n";
   }
   return out.str();
@@ -135,10 +145,12 @@ MetricSnapshot Registry::snapshot() const {
     stats.sum = histogram->sum();
     stats.min = histogram->min();
     stats.max = histogram->max();
-    stats.p50 = histogram->percentile(0.5);
-    stats.p90 = histogram->percentile(0.9);
-    stats.p95 = histogram->percentile(0.95);
-    stats.p99 = histogram->percentile(0.99);
+    const std::vector<double> qs =
+        histogram->quantiles({0.5, 0.9, 0.95, 0.99});
+    stats.p50 = qs[0];
+    stats.p90 = qs[1];
+    stats.p95 = qs[2];
+    stats.p99 = qs[3];
     snap.histograms.push_back(std::move(stats));
   }
   return snap;

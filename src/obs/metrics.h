@@ -76,8 +76,15 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;  // 0 when empty
   double mean() const; // 0 when empty
-  /// Exact percentile over all samples, q in [0, 1]. 0 when empty.
+  /// Exact nearest-rank quantile over all samples, q in [0, 1]; 0 when
+  /// empty. Delegates to util::quantile — one convention codebase-wide.
+  /// Copies and sorts per call; use quantiles() to read several at once.
   double percentile(double q) const;
+  /// All requested quantiles from a single copy + sort of the samples.
+  /// Returns one value per entry of `qs` (each in [0, 1], clamped).
+  /// Registry::snapshot and render_text use this so a snapshot costs one
+  /// sort per histogram instead of one per quantile.
+  std::vector<double> quantiles(const std::vector<double>& qs) const;
   std::vector<double> samples() const;
   /// Text rendering via util::render_histogram.
   std::string render(const util::HistogramOptions& options = {}) const;

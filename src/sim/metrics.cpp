@@ -81,8 +81,8 @@ AdhocReport evaluate_adhoc(const SimResult& result) {
     report.turnarounds_s.push_back(job.turnaround_s());
   }
   report.mean_turnaround_s = util::mean(report.turnarounds_s);
-  report.p50_turnaround_s = util::percentile(report.turnarounds_s, 50);
-  report.p95_turnaround_s = util::percentile(report.turnarounds_s, 95);
+  report.p50_turnaround_s = util::quantile(report.turnarounds_s, 0.50);
+  report.p95_turnaround_s = util::quantile(report.turnarounds_s, 0.95);
   report.max_turnaround_s = util::max_of(report.turnarounds_s);
   return report;
 }

@@ -20,14 +20,18 @@ double stddev(const std::vector<double>& values) {
   return std::sqrt(acc / static_cast<double>(values.size()));
 }
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
+double quantile(std::vector<double> values, double q) {
   std::sort(values.begin(), values.end());
+  return sorted_quantile(values, q);
+}
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+      std::ceil(q * static_cast<double>(sorted.size())));
   const std::size_t index = rank == 0 ? 0 : rank - 1;
-  return values[std::min(index, values.size() - 1)];
+  return sorted[std::min(index, sorted.size() - 1)];
 }
 
 double min_of(const std::vector<double>& values) {

@@ -40,7 +40,7 @@ int apply_history_estimates(const RunHistory& history, int template_id,
     if (static_cast<int>(observed.size()) < config.min_runs) continue;
     JobSpec& job = instance.jobs[static_cast<std::size_t>(v)];
     const double actual = job.task.runtime_s * job.actual_runtime_factor;
-    const double estimate = util::percentile(observed, config.percentile);
+    const double estimate = util::quantile(observed, config.quantile);
     if (estimate <= 0.0) continue;
     job.task.runtime_s = estimate;
     job.actual_runtime_factor = actual / estimate;

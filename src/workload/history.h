@@ -38,9 +38,10 @@ class RunHistory {
 };
 
 struct HistoryEstimatorConfig {
-  /// Estimate = this percentile of the observed runtimes. High percentiles
-  /// buy safety (fewer under-estimates) at the cost of reserving more.
-  double percentile = 90.0;
+  /// Estimate = this quantile of the observed runtimes, in [0, 1] (the
+  /// codebase-wide util::quantile convention). High quantiles buy safety
+  /// (fewer under-estimates) at the cost of reserving more.
+  double quantile = 0.90;
   /// With fewer observations than this, fall back to the provided prior.
   int min_runs = 2;
 };

@@ -27,13 +27,24 @@ TEST(Stats, StddevPopulation) {
   EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
 }
 
-TEST(Stats, PercentileNearestRank) {
+TEST(Stats, QuantileNearestRank) {
   std::vector<double> v{10, 20, 30, 40, 50};
-  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
-  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
-  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
-  EXPECT_DOUBLE_EQ(percentile(v, 90), 50.0);
-  EXPECT_DOUBLE_EQ(percentile(v, 20), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.9), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.2), 10.0);
+  // Out-of-range q clamps; empty input yields 0.
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Stats, SortedQuantileMatchesQuantile) {
+  std::vector<double> sorted{1, 2, 3, 4};
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(sorted_quantile(sorted, q), quantile(sorted, q));
+  }
 }
 
 TEST(Stats, MinMaxSum) {
