@@ -29,6 +29,13 @@
 //                        identical to the synchronous path)
 //   --runtime-threads N  solver threads for the concurrent runtime
 //                        (default 1)
+//   --cells N            shard the cluster into N cells and run the
+//                        FlowTime variants federated: per-cell lexmin
+//                        plans, greedy cross-cell routing and hotspot
+//                        migration (DESIGN.md §13). With --async-replan
+//                        the per-cell solves run concurrently.
+//   --cell-policy P      partition policy for --cells > 1: "balanced"
+//                        (default) or "round_robin"
 //   --stats-every N      print a metric-registry snapshot to stderr every
 //                        N simulated slots (implies metrics collection)
 //   --dump-example       print a commented example scenario and exit
@@ -86,6 +93,8 @@ int main(int argc, char** argv) {
   const bool async_barrier = flags.get_bool("async-barrier", false);
   const int runtime_threads =
       static_cast<int>(flags.get_double("runtime-threads", 1.0));
+  const int cells = static_cast<int>(flags.get_double("cells", 1.0));
+  const std::string cell_policy = flags.get_string("cell-policy", "balanced");
   const int stats_every =
       static_cast<int>(flags.get_double("stats-every", 0.0));
   for (const std::string& typo : flags.unqueried()) {
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
   config.async_replan = async_replan;
   config.async_barrier = async_barrier;
   config.runtime_threads = runtime_threads;
+  config.cells = cells;
+  config.cell_policy = cell_policy;
   if (stats_every > 0) {
     // Periodic registry snapshots to stderr (stdout carries the report
     // table). Counters are cumulative across the run — and across the
@@ -167,6 +178,16 @@ int main(int argc, char** argv) {
         .add(std::string(outcome.result.all_completed ? "all" : "PARTIAL"));
   }
   std::printf("%s", table.to_string().c_str());
+  if (cells > 1) {
+    std::printf("\nFederation (%d cells, policy %s):\n", cells,
+                cell_policy.c_str());
+    for (const auto& outcome : outcomes) {
+      if (outcome.replans == 0) continue;  // baselines are not federated
+      std::printf("  %-12s replans %d, migrations %d, cell overloads %d\n",
+                  outcome.name.c_str(), outcome.replans, outcome.migrations,
+                  outcome.cell_overload_events);
+    }
+  }
   if (!config.sim.fault_plan.empty()) {
     std::printf("\nFault injection (seed %llu):\n",
                 static_cast<unsigned long long>(config.sim.fault_plan.seed));

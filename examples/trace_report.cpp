@@ -136,6 +136,22 @@ int main(int argc, char** argv) {
                 unmatched_ends);
   }
 
+  // Owning cell per workflow, from the (possibly repeated) workflow_arrival
+  // events of a federated run. Last arrival wins: a migration re-delivers
+  // the arrival on the target cell, so the final stamp is the final owner.
+  std::map<int, int> cell_of_workflow;
+  std::map<int, int> migrations_of_workflow;
+  for (const TraceRecord& record : events) {
+    const std::string type = as_string(record, "type");
+    if (type == "workflow_arrival" && record.count("cell")) {
+      cell_of_workflow[static_cast<int>(as_double(record, "workflow"))] =
+          static_cast<int>(as_double(record, "cell"));
+    } else if (type == "migration") {
+      ++migrations_of_workflow[static_cast<int>(
+          as_double(record, "workflow"))];
+    }
+  }
+
   // Per-workflow timelines: each workflow span plus the job spans whose
   // parent ref points at it. Workflow ids may repeat (one span per
   // scheduler in a comparison run); parent refs keep the runs separate.
@@ -146,10 +162,22 @@ int main(int argc, char** argv) {
       std::printf("\nWorkflow timelines (sim seconds):\n");
       printed_header = true;
     }
-    std::printf("  workflow %d %s: [%.0f, %s]\n", span.workflow,
+    std::string cell_note;
+    if (cell_of_workflow.count(span.workflow)) {
+      cell_note = " [cell " +
+                  std::to_string(cell_of_workflow[span.workflow]);
+      if (migrations_of_workflow.count(span.workflow)) {
+        cell_note += ", " +
+                     std::to_string(migrations_of_workflow[span.workflow]) +
+                     " migration(s)";
+      }
+      cell_note += "]";
+    }
+    std::printf("  workflow %d %s: [%.0f, %s]%s\n", span.workflow,
                 span.name.c_str(), span.begin_s,
                 span.end_s < 0 ? "unfinished"
-                               : std::to_string(span.end_s).c_str());
+                               : std::to_string(span.end_s).c_str(),
+                cell_note.c_str());
     std::vector<const SpanRow*> job_rows;
     for (const auto& [jid, job] : spans) {
       (void)jid;
@@ -173,14 +201,28 @@ int main(int argc, char** argv) {
   }
 
   // --- re-plan causes and solver latency -------------------------------
+  // Grouped by federation cell (cell -1 = a plain unsharded scheduler);
+  // the overall numbers aggregate every cell, like before.
   std::map<std::string, int> causes;
   std::vector<double> replan_wall_s;
   std::int64_t total_pivots = 0;
+  std::map<int, std::map<std::string, int>> causes_by_cell;
+  std::map<int, std::vector<double>> wall_by_cell;
+  std::map<int, std::int64_t> pivots_by_cell;
   for (const TraceRecord& record : events) {
     if (as_string(record, "type") != "replan") continue;
-    ++causes[as_string(record, "cause", "none")];
-    replan_wall_s.push_back(as_double(record, "wall_s"));
-    total_pivots += static_cast<std::int64_t>(as_double(record, "pivots"));
+    const std::string cause = as_string(record, "cause", "none");
+    const double wall = as_double(record, "wall_s");
+    const auto pivots = static_cast<std::int64_t>(as_double(record, "pivots"));
+    ++causes[cause];
+    replan_wall_s.push_back(wall);
+    total_pivots += pivots;
+    if (record.count("cell")) {
+      const int cell = static_cast<int>(as_double(record, "cell"));
+      ++causes_by_cell[cell][cause];
+      wall_by_cell[cell].push_back(wall);
+      pivots_by_cell[cell] += pivots;
+    }
   }
   if (!replan_wall_s.empty()) {
     std::printf("\nRe-plans: %zu (%lld simplex pivots total)\n",
@@ -196,6 +238,53 @@ int main(int argc, char** argv) {
         util::quantile(replan_wall_s, 0.95) * 1e3,
         util::quantile(replan_wall_s, 0.99) * 1e3,
         util::quantile(replan_wall_s, 1.0) * 1e3);
+  }
+  if (!wall_by_cell.empty()) {
+    std::printf("\nPer-cell re-plans:\n");
+    for (const auto& [cell, walls] : wall_by_cell) {
+      std::printf(
+          "  cell %-3d %4zu re-plan(s), %8lld pivots, wall p50 %.3f ms, "
+          "p99 %.3f ms\n",
+          cell, walls.size(), static_cast<long long>(pivots_by_cell[cell]),
+          util::quantile(walls, 0.5) * 1e3,
+          util::quantile(walls, 0.99) * 1e3);
+      for (const auto& [cause, count] : causes_by_cell[cell]) {
+        std::printf("    cause %-26s %d\n", cause.c_str(), count);
+      }
+    }
+  }
+
+  // --- federation activity ----------------------------------------------
+  {
+    std::map<std::string, int> moves;  // "from->to" -> count
+    int migrations = 0;
+    int overloads = 0;
+    int deferrals = 0;
+    int infeasible_routes = 0;
+    for (const TraceRecord& record : events) {
+      const std::string type = as_string(record, "type");
+      if (type == "migration") {
+        ++migrations;
+        ++moves[as_string(record, "from_cell", "?") + "->" +
+                as_string(record, "to_cell", "?")];
+      } else if (type == "cell_overload") {
+        ++overloads;
+      } else if (type == "quota_deferral") {
+        ++deferrals;
+      } else if (type == "route_infeasible") {
+        ++infeasible_routes;
+      }
+    }
+    if (migrations + overloads + deferrals + infeasible_routes > 0) {
+      std::printf("\nFederation:\n");
+      std::printf("  cell overload events  %d\n", overloads);
+      std::printf("  migrations            %d\n", migrations);
+      for (const auto& [move, count] : moves) {
+        std::printf("    %-18s %d\n", move.c_str(), count);
+      }
+      std::printf("  quota deferrals       %d\n", deferrals);
+      std::printf("  infeasible routings   %d\n", infeasible_routes);
+    }
   }
 
   // --- event latency decomposition (concurrent runtime) ------------------

@@ -1,0 +1,568 @@
+#include "cluster/federated_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flowtime::cluster {
+
+namespace {
+
+core::AdmissionConfig admission_config_for(
+    const CellSpec& spec, const core::FlowTimeConfig& flowtime) {
+  core::AdmissionConfig config;
+  config.cluster = spec.cluster;
+  config.deadline_cap_fraction = flowtime.deadline_cap_fraction;
+  config.decomposition_mode = flowtime.decomposition_mode;
+  return config;
+}
+
+}  // namespace
+
+CellScheduler::CellScheduler(CellSpec spec, core::FlowTimeConfig config)
+    : spec_(spec),
+      scheduler_(std::move(config)),
+      admission_(admission_config_for(spec, scheduler_.config())) {}
+
+double CellScheduler::last_peak_load() const {
+  const auto& log = scheduler_.replan_log();
+  return log.empty() ? 0.0 : log.back().max_normalized_load;
+}
+
+bool CellScheduler::overloaded(double threshold) const {
+  if (scheduler_.degraded_mode()) return true;
+  const auto& log = scheduler_.replan_log();
+  if (log.empty()) return false;
+  return log.back().max_normalized_load > threshold ||
+         log.back().late_extensions > 0;
+}
+
+bool CellScheduler::latch_overload(bool now_overloaded) {
+  const bool transition = now_overloaded && !was_overloaded_;
+  was_overloaded_ = now_overloaded;
+  return transition;
+}
+
+FederatedScheduler::FederatedScheduler(FederatedConfig config)
+    : config_(std::move(config)) {
+  config_.partition.cells = std::max(config_.partition.cells, 1);
+  const CellPartitioner partitioner(config_.partition);
+  const auto specs = partitioner.partition(config_.flowtime.cluster);
+  const int n = static_cast<int>(specs.size());
+  cells_.reserve(specs.size());
+  for (const CellSpec& spec : specs) {
+    core::FlowTimeConfig cell_config = config_.flowtime;
+    cell_config.cluster = spec.cluster;
+    // Invisible at cells = 1: no cell stamps on traces/counters, so the
+    // single-cell federation is byte-for-byte a plain FlowTimeScheduler.
+    cell_config.cell_id = n > 1 ? spec.id : -1;
+    cell_config.external_replan_driver = true;
+    // Each cell gets a 1/N slice of the solver allowance so the federation
+    // spends the same aggregate budget as one whole-cluster scheduler.
+    if (cell_config.solver_budget_ms > 0.0) cell_config.solver_budget_ms /= n;
+    if (cell_config.solver_pivot_budget > 0) {
+      cell_config.solver_pivot_budget =
+          std::max<std::int64_t>(1, cell_config.solver_pivot_budget / n);
+    }
+    cells_.push_back(std::make_unique<CellScheduler>(spec, cell_config));
+  }
+  if (config_.parallel_solve) {
+    const int threads = config_.solver_threads > 0 ? config_.solver_threads
+                                                   : std::min(n, 16);
+    pool_ = std::make_unique<runtime::SolverPool>(threads);
+  }
+}
+
+FederatedScheduler::~FederatedScheduler() = default;
+
+int FederatedScheduler::cell_of_workflow(int workflow_id) const {
+  const auto it = workflows_.find(workflow_id);
+  return it == workflows_.end() ? -1 : it->second.cell;
+}
+
+int FederatedScheduler::replans() const {
+  int total = 0;
+  for (const auto& cell : cells_) total += cell->scheduler().replans();
+  return total;
+}
+
+std::int64_t FederatedScheduler::total_pivots() const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell->scheduler().total_pivots();
+  return total;
+}
+
+bool FederatedScheduler::degraded_mode() const {
+  for (const auto& cell : cells_) {
+    if (cell->scheduler().degraded_mode()) return true;
+  }
+  return false;
+}
+
+int FederatedScheduler::degraded_replans() const {
+  int total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->scheduler().degraded_replans();
+  }
+  return total;
+}
+
+int FederatedScheduler::truncated_replans() const {
+  int total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->scheduler().truncated_replans();
+  }
+  return total;
+}
+
+int FederatedScheduler::decomposition_fallbacks() const {
+  int total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->scheduler().decomposition_fallbacks();
+  }
+  return total;
+}
+
+double FederatedScheduler::tenant_usage(int tenant) const {
+  const auto it = tenant_usage_.find(tenant);
+  return it == tenant_usage_.end() ? 0.0 : it->second;
+}
+
+double FederatedScheduler::quota_share(
+    const workload::Workflow& workflow) const {
+  // A workflow's claim on its tenant's quota: the fraction of the whole
+  // cluster its total demand occupies when spread evenly over its
+  // start-to-deadline window — the same "average load" yardstick the
+  // decomposer flattens toward.
+  const workload::ClusterSpec& total = config_.flowtime.cluster;
+  const double window_s =
+      std::max(workflow.deadline_s - workflow.start_s, total.slot_seconds);
+  const workload::ResourceVec demand = workflow.total_demand();
+  double share = 0.0;
+  for (int r = 0; r < workload::kNumResources; ++r) {
+    const double cap = total.capacity[r] * window_s;
+    if (cap > 1e-12) share = std::max(share, demand[r] / cap);
+  }
+  return share;
+}
+
+void FederatedScheduler::on_event(const sim::SchedulerEvent& event) {
+  if (const auto* arrival = std::get_if<sim::WorkflowArrivalEvent>(&event)) {
+    handle_workflow_arrival(*arrival);
+    return;
+  }
+  if (const auto* adhoc = std::get_if<sim::AdhocArrivalEvent>(&event)) {
+    // Least ad-hoc pressure wins (live ad-hoc jobs per unit of cell
+    // capacity); ties go to the lowest cell id, so routing is deterministic.
+    int best = 0;
+    double best_pressure = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < num_cells(); ++i) {
+      const double pressure = static_cast<double>(cells_[i]->adhoc_active()) /
+                              std::max(cells_[i]->spec().fraction, 1e-12);
+      if (pressure < best_pressure - 1e-12) {
+        best = i;
+        best_pressure = pressure;
+      }
+    }
+    cell_of_uid_[adhoc->uid] = best;
+    cells_[best]->adhoc_arrived();
+    cells_[best]->scheduler().on_event(event);
+    return;
+  }
+  if (const auto* complete = std::get_if<sim::JobCompleteEvent>(&event)) {
+    handle_job_complete(*complete);
+    return;
+  }
+  if (const auto* change = std::get_if<sim::CapacityChangeEvent>(&event)) {
+    for (auto& cell : cells_) {
+      const double fraction = cell->spec().fraction;
+      sim::CapacityChangeEvent scaled = *change;
+      scaled.capacity = workload::scale(change->capacity, fraction);
+      cell->scheduler().on_event(sim::SchedulerEvent{scaled});
+      // The event carries per-slot resource-seconds; the admission layer
+      // models capacity in resource units.
+      const double slot_seconds = cell->spec().cluster.slot_seconds;
+      cell->admission().on_capacity_change(
+          workload::scale(change->capacity, fraction / slot_seconds),
+          change->now_s);
+    }
+    return;
+  }
+  if (const auto* failure = std::get_if<sim::TaskFailureEvent>(&event)) {
+    const auto it = cell_of_uid_.find(failure->uid);
+    if (it != cell_of_uid_.end()) {
+      cells_[it->second]->scheduler().on_event(event);
+    }
+    return;
+  }
+  // Solver sabotage re-parametrizes every cell's solver.
+  for (auto& cell : cells_) cell->scheduler().on_event(event);
+}
+
+void FederatedScheduler::handle_workflow_arrival(
+    const sim::WorkflowArrivalEvent& arrival) {
+  const workload::Workflow& workflow = *arrival.workflow;
+  WorkflowInfo info;
+  info.workflow = arrival.workflow;
+  info.node_uids = arrival.node_uids;
+  info.complete.assign(arrival.node_uids.size(), false);
+  info.incomplete_jobs = static_cast<int>(arrival.node_uids.size());
+  info.quota_share = quota_share(workflow);
+  workflows_[workflow.id] = std::move(info);
+  tenant_of_workflow_[workflow.id] = workflow.tenant;
+  for (const sim::JobUid uid : arrival.node_uids) {
+    workflow_of_uid_[uid] = workflow.id;
+  }
+
+  if (config_.tenant_quota_fraction < 1.0) {
+    const double usage = tenant_usage(workflow.tenant);
+    const double share = workflows_[workflow.id].quota_share;
+    if (usage + share > config_.tenant_quota_fraction + 1e-12) {
+      deferred_.push_back(workflow.id);
+      ++quota_deferrals_;
+      if (obs::enabled()) {
+        obs::registry().counter("cluster.quota_deferrals").add();
+        obs::emit(obs::TraceEvent("quota_deferral")
+                      .field("workflow", workflow.id)
+                      .field("tenant", workflow.tenant)
+                      .field("share", share)
+                      .field("tenant_usage", usage));
+      }
+      return;
+    }
+  }
+  const int cell = route_workflow(workflow, arrival.now_s);
+  tenant_usage_[workflow.tenant] += workflows_[workflow.id].quota_share;
+  place_workflow(workflow.id, cell, arrival.now_s, /*forced=*/false);
+}
+
+int FederatedScheduler::route_workflow(const workload::Workflow& workflow,
+                                       double now_s) {
+  if (num_cells() == 1) return 0;
+  int best = -1;
+  double best_peak = std::numeric_limits<double>::infinity();
+  int fallback = 0;
+  double fallback_peak = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < num_cells(); ++i) {
+    if (!config_.admission_aware_routing) {
+      const double load = cells_[i]->last_peak_load();
+      if (load < fallback_peak - 1e-12) {
+        fallback = i;
+        fallback_peak = load;
+      }
+      continue;
+    }
+    // Projected peak load with the candidate added — the bin-pack key.
+    // Infeasible cells (deadline cannot be met next to their admitted
+    // work) are pruned first, DCoflow-style.
+    const core::AdmissionDecision decision =
+        cells_[i]->admission().evaluate(workflow, now_s);
+    if (decision.admitted && decision.peak_load < best_peak - 1e-12) {
+      best = i;
+      best_peak = decision.peak_load;
+    }
+    if (decision.peak_load < fallback_peak - 1e-12) {
+      fallback = i;
+      fallback_peak = decision.peak_load;
+    }
+  }
+  if (best >= 0) return best;
+  // Every cell rejected (or routing is load-only): take the least-loaded
+  // cell anyway — the cell scheduler extends windows rather than failing,
+  // and the miss stays visible in the metrics.
+  if (config_.admission_aware_routing) {
+    ++infeasible_routes_;
+    if (obs::enabled()) {
+      obs::registry().counter("cluster.route_infeasible").add();
+      obs::emit(obs::TraceEvent("route_infeasible")
+                    .field("workflow", workflow.id)
+                    .field("cell", fallback)
+                    .field("peak_load", fallback_peak));
+    }
+  }
+  return fallback;
+}
+
+void FederatedScheduler::place_workflow(int workflow_id, int cell,
+                                        double now_s, bool forced) {
+  WorkflowInfo& info = workflows_.at(workflow_id);
+  info.cell = cell;
+  CellScheduler& target = *cells_[cell];
+  target.scheduler().on_event(sim::SchedulerEvent{
+      sim::WorkflowArrivalEvent{info.workflow, info.node_uids, now_s}});
+  for (std::size_t node = 0; node < info.node_uids.size(); ++node) {
+    if (info.complete[node]) {
+      // Re-deliver completions so a migrated-in workflow's finished jobs
+      // are not re-planned.
+      target.scheduler().on_event(sim::SchedulerEvent{
+          sim::JobCompleteEvent{info.node_uids[node], now_s}});
+    } else {
+      cell_of_uid_[info.node_uids[node]] = cell;
+    }
+  }
+  // Commit the demand to the cell's admission view even when the placement
+  // was forced past the feasibility gate — the routing oracle must keep
+  // seeing it.
+  (void)forced;
+  target.admission().force_admit(*info.workflow, now_s);
+}
+
+void FederatedScheduler::handle_job_complete(
+    const sim::JobCompleteEvent& event) {
+  const auto cell_it = cell_of_uid_.find(event.uid);
+  if (cell_it == cell_of_uid_.end()) return;
+  const int cell = cell_it->second;
+  cells_[cell]->scheduler().on_event(sim::SchedulerEvent{event});
+  cell_of_uid_.erase(cell_it);
+
+  const auto wf_it = workflow_of_uid_.find(event.uid);
+  if (wf_it == workflow_of_uid_.end()) {
+    // Ad-hoc job: just drop the routing pressure.
+    cells_[cell]->adhoc_finished();
+    return;
+  }
+  const int workflow_id = wf_it->second;
+  workflow_of_uid_.erase(wf_it);
+  auto info_it = workflows_.find(workflow_id);
+  if (info_it == workflows_.end()) return;
+  WorkflowInfo& info = info_it->second;
+  for (std::size_t node = 0; node < info.node_uids.size(); ++node) {
+    if (info.node_uids[node] != event.uid) continue;
+    if (!info.complete[node]) {
+      info.complete[node] = true;
+      --info.incomplete_jobs;
+      cells_[cell]->admission().complete_job(
+          workflow_id, static_cast<dag::NodeId>(node), event.now_s);
+    }
+    break;
+  }
+  if (info.incomplete_jobs <= 0) {
+    cells_[cell]->admission().forget_workflow(workflow_id, event.now_s);
+    const int tenant = tenant_of_workflow_[workflow_id];
+    tenant_usage_[tenant] =
+        std::max(tenant_usage_[tenant] - info.quota_share, 0.0);
+    tenant_of_workflow_.erase(workflow_id);
+    workflows_.erase(info_it);
+  }
+}
+
+void FederatedScheduler::route_deferred(double now_s) {
+  if (deferred_.empty()) return;
+  std::vector<int> still_deferred;
+  for (const int workflow_id : deferred_) {
+    const auto it = workflows_.find(workflow_id);
+    if (it == workflows_.end()) continue;  // completed while deferred: gone
+    const int tenant = tenant_of_workflow_[workflow_id];
+    if (tenant_usage(tenant) + it->second.quota_share >
+        config_.tenant_quota_fraction + 1e-12) {
+      still_deferred.push_back(workflow_id);
+      continue;
+    }
+    const int cell = route_workflow(*it->second.workflow, now_s);
+    tenant_usage_[tenant] += it->second.quota_share;
+    place_workflow(workflow_id, cell, now_s, /*forced=*/true);
+  }
+  deferred_ = std::move(still_deferred);
+}
+
+void FederatedScheduler::run_migrations(const sim::ClusterState& state) {
+  if (!config_.enable_migration || num_cells() <= 1) return;
+  // Overload detection runs every slot; the counter fires on transitions.
+  std::vector<int> hot;
+  for (int i = 0; i < num_cells(); ++i) {
+    const bool overloaded = cells_[i]->overloaded(config_.overload_threshold);
+    if (overloaded) hot.push_back(i);
+    if (cells_[i]->latch_overload(overloaded)) {
+      ++overload_events_;
+      if (obs::enabled()) {
+        obs::registry().counter("cluster.cell_overload_events").add();
+        obs::emit(obs::TraceEvent("cell_overload")
+                      .field("cell", i)
+                      .field("peak_load", cells_[i]->last_peak_load())
+                      .field("degraded",
+                             cells_[i]->scheduler().degraded_mode()));
+      }
+    }
+  }
+  if (hot.empty()) return;
+
+  // Remaining demand per workflow, from the authoritative views.
+  std::map<int, double> remaining_by_workflow;
+  for (const sim::JobView& view : state.active) {
+    if (view.kind != sim::JobKind::kDeadline) continue;
+    double worst = 0.0;
+    for (int r = 0; r < workload::kNumResources; ++r) {
+      worst = std::max(worst, view.remaining_estimate[r]);
+    }
+    remaining_by_workflow[view.workflow_id] += worst;
+  }
+
+  int budget = config_.max_migrations_per_slot;
+  for (const int from : hot) {
+    if (budget <= 0) break;
+    // Candidate: the cell's heaviest incomplete workflow not in cooldown.
+    int candidate = -1;
+    double candidate_remaining = 0.0;
+    for (const auto& [workflow_id, info] : workflows_) {
+      if (info.cell != from || info.incomplete_jobs <= 0) continue;
+      if (state.slot - info.last_migration_slot <
+          config_.migration_cooldown_slots) {
+        continue;
+      }
+      const auto it = remaining_by_workflow.find(workflow_id);
+      const double remaining = it == remaining_by_workflow.end()
+                                   ? 0.0
+                                   : it->second;
+      if (remaining > candidate_remaining + 1e-9) {
+        candidate = workflow_id;
+        candidate_remaining = remaining;
+      }
+    }
+    if (candidate < 0) continue;
+    // Target: the least-loaded non-hot cell that admits the workflow
+    // (forced placement onto the least-loaded one if none admits — moving
+    // to a cooler cell still beats staying on the hotspot — but never onto
+    // another hotspot: in that state migration only reshuffles pain).
+    const workload::Workflow& workflow = *workflows_.at(candidate).workflow;
+    int to = -1;
+    double to_peak = std::numeric_limits<double>::infinity();
+    int cool = -1;
+    double cool_peak = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < num_cells(); ++i) {
+      if (i == from || cells_[i]->overloaded(config_.overload_threshold)) {
+        continue;
+      }
+      const core::AdmissionDecision decision =
+          cells_[i]->admission().evaluate(workflow, state.now_s);
+      if (decision.admitted && decision.peak_load < to_peak - 1e-12) {
+        to = i;
+        to_peak = decision.peak_load;
+      }
+      if (decision.peak_load < cool_peak - 1e-12) {
+        cool = i;
+        cool_peak = decision.peak_load;
+      }
+    }
+    if (to < 0) to = cool;
+    if (to < 0) continue;
+    migrate_workflow(candidate, from, to, state.now_s, state.slot);
+    --budget;
+  }
+}
+
+void FederatedScheduler::migrate_workflow(int workflow_id, int from, int to,
+                                          double now_s, int slot) {
+  const int dropped =
+      cells_[from]->scheduler().forget_workflow(workflow_id);
+  cells_[from]->admission().forget_workflow(workflow_id, now_s);
+  place_workflow(workflow_id, to, now_s, /*forced=*/true);
+  WorkflowInfo& info = workflows_.at(workflow_id);
+  info.last_migration_slot = slot;
+  ++migrations_;
+  if (obs::enabled()) {
+    obs::registry().counter("cluster.migrations").add();
+    obs::emit(obs::TraceEvent("migration")
+                  .field("workflow", workflow_id)
+                  .field("from_cell", from)
+                  .field("to_cell", to)
+                  .field("jobs_moved", dropped)
+                  .field("sim_s", now_s));
+  }
+}
+
+std::vector<sim::ClusterState> FederatedScheduler::split_state(
+    const sim::ClusterState& state) const {
+  std::vector<sim::ClusterState> cell_states(cells_.size());
+  for (int i = 0; i < num_cells(); ++i) {
+    sim::ClusterState& cs = cell_states[static_cast<std::size_t>(i)];
+    cs.slot = state.slot;
+    cs.now_s = state.now_s;
+    cs.slot_seconds = state.slot_seconds;
+    cs.capacity = workload::scale(state.capacity, cells_[i]->spec().fraction);
+  }
+  for (const sim::JobView& view : state.active) {
+    const auto it = cell_of_uid_.find(view.uid);
+    if (it == cell_of_uid_.end()) continue;  // quota-deferred: no cell serves
+    cell_states[static_cast<std::size_t>(it->second)].active.push_back(view);
+  }
+  return cell_states;
+}
+
+void FederatedScheduler::replan_dirty_cells(
+    const std::vector<sim::ClusterState>& cell_states, double now_s) {
+  struct SolveJob {
+    int cell = 0;
+    core::PendingReplan pending;
+    core::PlanSolveResult solved;
+  };
+  std::vector<SolveJob> jobs;
+  for (int i = 0; i < num_cells(); ++i) {
+    if (!cells_[i]->scheduler().dirty()) continue;
+    SolveJob job;
+    job.cell = i;
+    job.pending = cells_[i]->scheduler().begin_replan(
+        cell_states[static_cast<std::size_t>(i)]);
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return;
+
+  auto solve_one = [this](SolveJob& job) {
+    CellScheduler& cell = *cells_[job.cell];
+    std::optional<obs::ScopedTimer> timer;
+    if (obs::enabled()) timer.emplace(&job.pending.record.wall_s);
+    job.solved = core::FlowTimeScheduler::solve_replan(
+        cell.scheduler().config(), &cell.warm_cache(), job.pending);
+  };
+
+  if (pool_) {
+    runtime::WaitGroup barrier;
+    barrier.add(static_cast<int>(jobs.size()));
+    for (SolveJob& job : jobs) {
+      pool_->submit([&solve_one, &job, &barrier] {
+        solve_one(job);
+        barrier.done();
+      });
+    }
+    barrier.wait();
+  } else {
+    for (SolveJob& job : jobs) solve_one(job);
+  }
+
+  // Adoption always happens on the serving thread, in cell order, so runs
+  // are deterministic regardless of solver-thread interleaving.
+  double round_wall = 0.0;
+  for (SolveJob& job : jobs) {
+    cells_[job.cell]->scheduler().finish_replan(
+        job.pending, std::move(job.solved), now_s);
+    const double wall = job.pending.record.wall_s;
+    round_wall = pool_ ? std::max(round_wall, wall) : round_wall + wall;
+  }
+  replan_round_wall_s_.push_back(round_wall);
+}
+
+std::vector<sim::Allocation> FederatedScheduler::allocate(
+    const sim::ClusterState& state) {
+  route_deferred(state.now_s);
+  run_migrations(state);
+  const std::vector<sim::ClusterState> cell_states = split_state(state);
+  for (int i = 0; i < num_cells(); ++i) {
+    cells_[i]->scheduler().sync_views(
+        cell_states[static_cast<std::size_t>(i)]);
+  }
+  replan_dirty_cells(cell_states, state.now_s);
+  std::vector<sim::Allocation> merged;
+  for (int i = 0; i < num_cells(); ++i) {
+    std::vector<sim::Allocation> cell_allocs = cells_[i]->scheduler().serve(
+        cell_states[static_cast<std::size_t>(i)]);
+    merged.insert(merged.end(), cell_allocs.begin(), cell_allocs.end());
+  }
+  return merged;
+}
+
+}  // namespace flowtime::cluster

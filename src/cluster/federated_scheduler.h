@@ -1,0 +1,209 @@
+// Federated FlowTime: cluster sharding with a cross-cell placement
+// coordinator (DESIGN.md §13).
+//
+// The Stage-2 lexmin LP solves over the whole cluster, so its cost grows
+// superlinearly with machine count. Federation partitions the cluster into
+// N cells (cluster/partition.h), runs one full FlowTimeScheduler per cell —
+// lexmin *within* a cell — and adds a greedy coordinator *across* cells:
+// workflow arrivals are bin-packed onto the cell with the lowest residual
+// normalized load among those whose admission check accepts the deadline
+// (prune-infeasible-first), ad-hoc jobs go to the cell with the least ad-hoc
+// pressure, and workflows migrate off a cell whose degradation ladder
+// engages or whose plan overloads/extends deadlines. Per-cell replans are
+// independent, so they run concurrently on a runtime::SolverPool; each cell
+// has its own warm cache and a 1/N slice of the solver budget.
+//
+// Invariant: with cells = 1 the coordinator is a pass-through — same event
+// order, same replan sequence, same serve calls — so the federated plan is
+// byte-identical to a plain FlowTimeScheduler's. Tests pin this.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/partition.h"
+#include "core/admission.h"
+#include "core/flowtime_scheduler.h"
+#include "runtime/solver_pool.h"
+#include "sim/scheduler.h"
+
+namespace flowtime::cluster {
+
+struct FederatedConfig {
+  /// Per-cell scheduler template. `flowtime.cluster` is the TOTAL cluster;
+  /// the partitioner derives each cell's slice, and solver budgets
+  /// (`solver_budget_ms`, `solver_pivot_budget`) are divided evenly across
+  /// cells so the federation spends the same solve allowance in aggregate.
+  core::FlowTimeConfig flowtime;
+  PartitionConfig partition;
+  /// Largest fraction of the whole cluster one tenant's in-flight deadline
+  /// workflows may claim (demand averaged over each workflow's window).
+  /// Arrivals over quota are deferred — routed to no cell — until earlier
+  /// work of the same tenant completes. >= 1 disables quotas.
+  double tenant_quota_fraction = 1.0;
+  /// Solve dirty cells concurrently on a SolverPool instead of one after
+  /// another. Plans are unchanged either way (each cell's solve reads only
+  /// its own inputs); only wall clock differs. Adoption stays in cell order
+  /// on the serving thread.
+  bool parallel_solve = false;
+  /// Worker threads for parallel_solve; 0 = one per cell, capped at 16.
+  int solver_threads = 0;
+  /// Move workflows off overloaded cells (no effect with one cell).
+  bool enable_migration = true;
+  /// A cell whose last adopted plan exceeded this peak normalized load is
+  /// considered a hotspot (1.0 = exactly full).
+  double overload_threshold = 1.2;
+  int max_migrations_per_slot = 1;
+  /// A migrated workflow is pinned to its new cell for this many slots, so
+  /// load oscillations do not bounce it between cells.
+  int migration_cooldown_slots = 30;
+  /// Route new workflows only to cells whose admission check accepts the
+  /// deadline; fall back to the least-loaded cell (and count it) when every
+  /// cell rejects. Off = pure least-load routing.
+  bool admission_aware_routing = true;
+};
+
+/// One cell: a FlowTimeScheduler scoped to the cell's capacity slice, the
+/// cell's admission controller (the routing oracle), and the solver-side
+/// state an external replan driver needs (warm cache, pending solve).
+class CellScheduler {
+ public:
+  CellScheduler(CellSpec spec, core::FlowTimeConfig config);
+
+  const CellSpec& spec() const { return spec_; }
+  core::FlowTimeScheduler& scheduler() { return scheduler_; }
+  const core::FlowTimeScheduler& scheduler() const { return scheduler_; }
+  core::AdmissionController& admission() { return admission_; }
+  core::PlacementWarmCache& warm_cache() { return warm_cache_; }
+
+  /// Peak normalized load of the cell's last adopted plan (0 before any).
+  double last_peak_load() const;
+  /// Hotspot test: degradation ladder engaged, last plan's peak above the
+  /// threshold, or the last plan had to extend deadline windows (projected
+  /// breach).
+  bool overloaded(double threshold) const;
+
+  /// Ad-hoc pressure bookkeeping for routing (count of live ad-hoc jobs).
+  void adhoc_arrived() { ++adhoc_active_; }
+  void adhoc_finished() { adhoc_active_ = std::max(adhoc_active_ - 1, 0); }
+  int adhoc_active() const { return adhoc_active_; }
+
+  /// Overload-transition latch, so `cluster.cell_overload_events` counts
+  /// transitions into overload rather than every overloaded slot.
+  bool latch_overload(bool now_overloaded);
+
+ private:
+  CellSpec spec_;
+  core::FlowTimeScheduler scheduler_;
+  core::AdmissionController admission_;
+  core::PlacementWarmCache warm_cache_;
+  int adhoc_active_ = 0;
+  bool was_overloaded_ = false;
+};
+
+/// The coordinator. Implements the plain sim::Scheduler typed-event
+/// interface, so the simulator (and the concurrent runtime) drive it like
+/// any single scheduler; internally it routes events to cells, drives the
+/// per-cell begin/solve/finish replan cycle (serially or on a SolverPool),
+/// and merges the per-cell allocations into one vector.
+class FederatedScheduler : public sim::Scheduler {
+ public:
+  explicit FederatedScheduler(FederatedConfig config = {});
+  ~FederatedScheduler() override;
+
+  std::string name() const override { return "FlowTime"; }
+  const workload::ClusterSpec* cluster_spec() const override {
+    return &config_.flowtime.cluster;
+  }
+
+  void on_event(const sim::SchedulerEvent& event) override;
+  std::vector<sim::Allocation> allocate(
+      const sim::ClusterState& state) override;
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  const CellScheduler& cell(int i) const { return *cells_[i]; }
+  /// Cell currently owning a workflow, or -1 (unknown / quota-deferred).
+  int cell_of_workflow(int workflow_id) const;
+
+  // Aggregate statistics across cells (comparable to the accessors of a
+  // single FlowTimeScheduler).
+  int replans() const;
+  std::int64_t total_pivots() const;
+  bool degraded_mode() const;
+  int degraded_replans() const;
+  int truncated_replans() const;
+  int decomposition_fallbacks() const;
+
+  int migrations() const { return migrations_; }
+  int overload_events() const { return overload_events_; }
+  int quota_deferrals() const { return quota_deferrals_; }
+  int infeasible_routes() const { return infeasible_routes_; }
+
+  /// Wall seconds of each replan *round* (one allocate() that solved at
+  /// least one cell): max over concurrently solved cells under
+  /// parallel_solve, sum under serial. Zeros when obs is disabled. The
+  /// sharding bench derives its p50/p99 from this.
+  const std::vector<double>& replan_round_wall_s() const {
+    return replan_round_wall_s_;
+  }
+
+ private:
+  struct WorkflowInfo {
+    std::shared_ptr<const workload::Workflow> workflow;
+    std::vector<sim::JobUid> node_uids;
+    std::vector<bool> complete;  // per DAG node
+    int cell = -1;               // -1 = quota-deferred, owned by no cell
+    int incomplete_jobs = 0;
+    double quota_share = 0.0;  // this workflow's claim on its tenant quota
+    int last_migration_slot = -1000000;
+  };
+
+  void handle_workflow_arrival(const sim::WorkflowArrivalEvent& arrival);
+  /// Places a known workflow on a cell: delivers the arrival (and any
+  /// already-complete jobs), registers uids, commits admission. `forced`
+  /// bypasses the feasibility gate (migration / deferred re-route).
+  void place_workflow(int workflow_id, int cell, double now_s, bool forced);
+  /// Bin-pack routing: least projected peak load among admitting cells,
+  /// falling back to least-loaded when all reject. Returns the cell id.
+  int route_workflow(const workload::Workflow& workflow, double now_s);
+  void handle_job_complete(const sim::JobCompleteEvent& event);
+  /// Re-routes quota-deferred workflows whose tenant dropped under quota.
+  void route_deferred(double now_s);
+  /// One migration round (allocate-time): move up to
+  /// `max_migrations_per_slot` workflows off overloaded cells.
+  void run_migrations(const sim::ClusterState& state);
+  void migrate_workflow(int workflow_id, int from, int to, double now_s,
+                        int slot);
+  /// Splits the global snapshot into per-cell snapshots (views of jobs the
+  /// cell owns, capacity scaled by the cell's fraction), preserving view
+  /// order. Views of deferred workflows are dropped — they get nothing.
+  std::vector<sim::ClusterState> split_state(
+      const sim::ClusterState& state) const;
+  /// Runs the begin/solve/finish cycle for every dirty cell (serially or on
+  /// the pool) and records the round's wall time.
+  void replan_dirty_cells(const std::vector<sim::ClusterState>& cell_states,
+                          double now_s);
+  double tenant_usage(int tenant) const;
+  double quota_share(const workload::Workflow& workflow) const;
+
+  FederatedConfig config_;
+  std::vector<std::unique_ptr<CellScheduler>> cells_;
+  std::unique_ptr<runtime::SolverPool> pool_;
+
+  std::map<sim::JobUid, int> cell_of_uid_;
+  std::map<sim::JobUid, int> workflow_of_uid_;   // deadline uids only
+  std::map<int, WorkflowInfo> workflows_;        // by workflow id
+  std::map<int, int> tenant_of_workflow_;        // workflow id -> tenant
+  std::map<int, double> tenant_usage_;           // tenant -> summed shares
+  std::vector<int> deferred_;                    // workflow ids, FIFO
+
+  int migrations_ = 0;
+  int overload_events_ = 0;
+  int quota_deferrals_ = 0;
+  int infeasible_routes_ = 0;
+  std::vector<double> replan_round_wall_s_;
+};
+
+}  // namespace flowtime::cluster

@@ -139,6 +139,23 @@ AdmissionDecision AdmissionController::evaluate(
   return decision;
 }
 
+AdmissionDecision AdmissionController::force_admit(
+    const workload::Workflow& candidate, double now_s) {
+  AdmissionDecision decision = evaluate(candidate, now_s);
+  auto jobs = decompose_to_jobs(candidate, nullptr);
+  if (!jobs) return decision;
+  for (AdmittedJob& job : *jobs) admitted_.push_back(std::move(job));
+  if (obs::enabled()) {
+    obs::SpanMeta meta;
+    meta.workflow_id = candidate.id;
+    meta.deadline_s = candidate.deadline_s;
+    admitted_spans_[candidate.id] =
+        obs::begin_span("admitted", candidate.name, obs::kNoSpan, now_s, meta);
+  }
+  trace_decision("force_admit", candidate, now_s, decision);
+  return decision;
+}
+
 AdmissionDecision AdmissionController::admit(
     const workload::Workflow& candidate, double now_s) {
   AdmissionDecision decision = evaluate(candidate, now_s);

@@ -53,6 +53,15 @@ class AdmissionController {
   /// evaluate() + commit on success.
   AdmissionDecision admit(const workload::Workflow& candidate, double now_s);
 
+  /// Commits the candidate regardless of feasibility (the returned decision
+  /// still reports the honest evaluate() verdict). The federation
+  /// coordinator uses this when it places a workflow on a cell that did not
+  /// pass the feasibility check — every cell rejected it, or a hotspot
+  /// migration forced the move — so the cell's future admission queries
+  /// still see the demand. No-op commit when decomposition itself fails.
+  AdmissionDecision force_admit(const workload::Workflow& candidate,
+                                double now_s);
+
   /// Marks one admitted workflow's job complete (frees its demand). The
   /// optional timestamp closes the workflow's `admitted` span when its last
   /// job completes.

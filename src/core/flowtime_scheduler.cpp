@@ -35,6 +35,7 @@ std::string to_string(ReplanCause causes) {
   append(ReplanCause::kStalePlan, "stale_plan");
   append(ReplanCause::kCapacityChange, "capacity_change");
   append(ReplanCause::kTaskFailure, "task_failure");
+  append(ReplanCause::kMigration, "migration");
   if (out.empty()) out = "none";
   return out;
 }
@@ -122,15 +123,16 @@ void FlowTimeScheduler::handle_workflow_arrival(
     if (decomposition.used_fallback) {
       obs::registry().counter("core.decomposition_fallbacks").add();
     }
-    obs::emit(obs::TraceEvent("workflow_arrival")
-                  .field("workflow", workflow.id)
-                  .field("now_s", now_s)
-                  .field("jobs", workflow.dag.num_nodes())
-                  .field("deadline_s", workflow.deadline_s)
-                  .field("decompose_status",
-                         to_string(decomposition.status))
-                  .field("used_fallback", decomposition.used_fallback)
-                  .field("min_makespan_s", decomposition.min_makespan_s));
+    obs::TraceEvent event("workflow_arrival");
+    event.field("workflow", workflow.id)
+        .field("now_s", now_s)
+        .field("jobs", workflow.dag.num_nodes())
+        .field("deadline_s", workflow.deadline_s)
+        .field("decompose_status", to_string(decomposition.status))
+        .field("used_fallback", decomposition.used_fallback)
+        .field("min_makespan_s", decomposition.min_makespan_s);
+    if (config_.cell_id >= 0) event.field("cell", config_.cell_id);
+    obs::emit(event);
   }
   if (!decomposition.ok()) {
     // Structurally broken workflow: fall back to the raw workflow deadline
@@ -314,6 +316,34 @@ const DecompositionResult* FlowTimeScheduler::decomposition(
   return it == decompositions_.end() ? nullptr : &it->second;
 }
 
+int FlowTimeScheduler::forget_workflow(int workflow_id) {
+  int dropped = 0;
+  for (auto it = deadline_jobs_.begin(); it != deadline_jobs_.end();) {
+    if (it->second.ref.workflow_id != workflow_id) {
+      ++it;
+      continue;
+    }
+    if (!it->second.complete) ++dropped;
+    plan_.erase(it->first);
+    it = deadline_jobs_.erase(it);
+  }
+  decompositions_.erase(workflow_id);
+  workflows_.erase(workflow_id);
+  if (dropped == 0) return 0;
+  // The deadline monitor keeps its entries: the coordinator re-delivers the
+  // workflow to its new cell, whose arrival handler re-tracks (overwrites)
+  // the same workflow id — dropping and re-adding would only churn gauges.
+  mark_dirty(ReplanCause::kMigration);
+  if (obs::enabled()) {
+    obs::registry().counter("core.workflows_forgotten").add();
+    obs::TraceEvent event("workflow_forgotten");
+    event.field("workflow", workflow_id).field("jobs_dropped", dropped);
+    if (config_.cell_id >= 0) event.field("cell", config_.cell_id);
+    obs::emit(event);
+  }
+  return dropped;
+}
+
 void FlowTimeScheduler::replan(const sim::ClusterState& state) {
   // The synchronous path: the three phases of the planner/serving split
   // run back to back on the calling thread. The concurrent runtime calls
@@ -495,10 +525,12 @@ void FlowTimeScheduler::finish_replan(const PendingReplan& pending,
     // Each re-plan opens a new plan epoch; the previous one ends here and
     // the simulator's end_open_spans closes the last epoch of the run.
     obs::end_span(plan_span_, now_s);
-    plan_span_ = obs::begin_span(
-        "plan", "plan#" + std::to_string(replans_) + ":" +
-                    to_string(record.causes),
-        obs::kNoSpan, now_s);
+    std::string plan_name =
+        "plan#" + std::to_string(replans_) + ":" + to_string(record.causes);
+    if (config_.cell_id >= 0) {
+      plan_name = "cell" + std::to_string(config_.cell_id) + ":" + plan_name;
+    }
+    plan_span_ = obs::begin_span("plan", plan_name, obs::kNoSpan, now_s);
     obs::registry().counter("core.replans").add();
     obs::registry().counter("core.replan_pivots").add(record.pivots);
     obs::registry().histogram("core.replan_seconds").observe(record.wall_s);
@@ -508,23 +540,33 @@ void FlowTimeScheduler::finish_replan(const PendingReplan& pending,
     if (record.lexmin_truncated) {
       obs::registry().counter("core.replan_lexmin_truncated").add();
     }
-    obs::emit(obs::TraceEvent("replan")
-                  .field("slot", record.slot)
-                  .field("cause", to_string(record.causes))
-                  .field("planned_jobs", record.planned_jobs)
-                  .field("pivots", record.pivots)
-                  .field("wall_s", record.wall_s)
-                  .field("late_extensions", record.late_extensions)
-                  .field("capacity_exceeded", record.capacity_exceeded)
-                  .field("lp_failed", record.lp_failed)
-                  .field("lexmin_truncated", record.lexmin_truncated)
-                  .field("max_normalized_load",
-                         record.max_normalized_load)
-                  .field("degrade_rung", record.degrade_rung)
-                  .field("degrade_reason", to_string(record.degrade_reason))
-                  .field("budget_exhausted", record.budget_exhausted)
-                  .field("flow_fast_path", record.flow_fast_path)
-                  .field("degraded_mode", degraded_mode_));
+    if (config_.cell_id >= 0) {
+      const std::string cell_prefix =
+          "cluster.cell." + std::to_string(config_.cell_id) + ".";
+      obs::registry().counter(cell_prefix + "replans").add();
+      obs::registry().counter(cell_prefix + "replan_pivots")
+          .add(record.pivots);
+      obs::registry().gauge(cell_prefix + "load")
+          .set(record.max_normalized_load);
+    }
+    obs::TraceEvent event("replan");
+    event.field("slot", record.slot)
+        .field("cause", to_string(record.causes))
+        .field("planned_jobs", record.planned_jobs)
+        .field("pivots", record.pivots)
+        .field("wall_s", record.wall_s)
+        .field("late_extensions", record.late_extensions)
+        .field("capacity_exceeded", record.capacity_exceeded)
+        .field("lp_failed", record.lp_failed)
+        .field("lexmin_truncated", record.lexmin_truncated)
+        .field("max_normalized_load", record.max_normalized_load)
+        .field("degrade_rung", record.degrade_rung)
+        .field("degrade_reason", to_string(record.degrade_reason))
+        .field("budget_exhausted", record.budget_exhausted)
+        .field("flow_fast_path", record.flow_fast_path)
+        .field("degraded_mode", degraded_mode_);
+    if (config_.cell_id >= 0) event.field("cell", config_.cell_id);
+    obs::emit(event);
   }
 }
 

@@ -83,6 +83,12 @@ struct FlowTimeConfig {
   /// another thread — while allocate() keeps serving the current plan.
   /// DESIGN.md §11 documents the threading contract.
   bool external_replan_driver = false;
+  /// Cell this scheduler serves when it runs as one shard of a federated
+  /// cluster (cluster::FederatedScheduler, DESIGN.md §13); -1 = the whole
+  /// cluster. Purely observational: a cell-aware scheduler stamps `cell` on
+  /// its replan/arrival trace events and bumps the per-cell
+  /// `cluster.cell.<id>.*` counters so multi-cell traces stay separable.
+  int cell_id = -1;
 
   FlowTimeConfig() {
     // Scheduling needs the peak flattened and a couple of refinement
@@ -102,6 +108,7 @@ enum class ReplanCause : unsigned {
   kStalePlan = 1u << 4,        // plan allocates to a not-yet-ready job
   kCapacityChange = 1u << 5,   // machine failed or recovered mid-run
   kTaskFailure = 1u << 6,      // a job lost work to a fault and will retry
+  kMigration = 1u << 7,        // workflow moved between federation cells
 };
 
 inline ReplanCause operator|(ReplanCause a, ReplanCause b) {
@@ -287,6 +294,16 @@ class FlowTimeScheduler : public sim::Scheduler {
 
   /// Decomposition of one arrived workflow (for tests and examples).
   const DecompositionResult* decomposition(int workflow_id) const;
+
+  /// Drops one workflow's incomplete deadline jobs from the planning set
+  /// (plan rows included) and marks the planner dirty with kMigration. The
+  /// federation coordinator calls this on the source cell when it moves a
+  /// workflow to another cell; the caller is responsible for re-delivering
+  /// the workflow (arrival + completed-job events) to its new owner. The
+  /// evaluation milestones in job_deadlines() are kept — the re-delivery
+  /// re-derives identical values. Returns the number of incomplete jobs
+  /// dropped (0 = nothing to move; the planner is left untouched).
+  int forget_workflow(int workflow_id);
 
   /// Re-plans whose solution was adopted (counted at finish_replan, so
   /// sync and async runs report comparable numbers). Discarded attempts

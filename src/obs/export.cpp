@@ -100,7 +100,19 @@ struct Span {
 bool is_instant_type(const std::string& type) {
   return type == "replan" || type == "deadline_risk" ||
          type == "workflow_arrival" || type == "admission" ||
-         type == "config_skew";
+         type == "config_skew" || type == "migration" ||
+         type == "cell_overload" || type == "quota_deferral" ||
+         type == "route_infeasible" || type == "workflow_forgotten";
+}
+
+// Track label for an instant event: events stamped with a federation cell
+// get one track per (type, cell) — "replan cell 3" — instead of silently
+// interleaving every cell's replans on one track.
+std::string instant_track(const TraceRecord& record,
+                          const std::string& type) {
+  const auto cell = record.find("cell");
+  if (cell == record.end()) return type;
+  return type + " cell " + cell->second;
 }
 
 }  // namespace
@@ -243,14 +255,15 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
       span.tid = parent_it->second.tid;
     }
   }
-  // Instant events get one per-type track under pid 0.
+  // Instant events get one track per (type, cell) under pid 0.
   std::map<std::string, int> instant_tids;
   for (const TraceRecord* record : instants) {
-    const std::string type = field_string(*record, "type");
-    if (!instant_tids.count(type)) {
+    const std::string track =
+        instant_track(*record, field_string(*record, "type"));
+    if (!instant_tids.count(track)) {
       const int tid = next_tid[0]++;
-      instant_tids[type] = tid;
-      thread_names[{0, tid}] = type;
+      instant_tids[track] = tid;
+      thread_names[{0, tid}] = track;
     }
   }
 
@@ -294,7 +307,8 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
     append("{\"ph\":\"i\",\"s\":\"g\",\"name\":" + escaped(name) +
            ",\"cat\":" + escaped(type) +
            ",\"ts\":" + number(field_double(*record, "now_s") * 1e6) +
-           ",\"pid\":0,\"tid\":" + std::to_string(instant_tids[type]) +
+           ",\"pid\":0,\"tid\":" +
+           std::to_string(instant_tids[instant_track(*record, type)]) +
            ",\"args\":" + args_object(*record) + "}");
   }
   // --- Real-thread ("runtime threads") view ------------------------------
@@ -407,6 +421,30 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
   return out;
 }
 
+namespace {
+
+/// Splits a per-cell metric name ("cluster.cell.<id>.<rest>") into its cell
+/// id and family ("cluster.cell.<rest>"), so the Prometheus rendering can
+/// turn the id into a proper {cell="N"} label instead of minting one metric
+/// family per cell. Returns false for every other name.
+bool split_cell_metric(const std::string& name, std::string* family,
+                       std::string* cell) {
+  constexpr const char* kPrefix = "cluster.cell.";
+  constexpr std::size_t kPrefixLen = 13;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t dot = name.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot == kPrefixLen) return false;
+  const std::string id = name.substr(kPrefixLen, dot - kPrefixLen);
+  for (const char c : id) {
+    if (c < '0' || c > '9') return false;
+  }
+  *cell = id;
+  *family = std::string("cluster.cell.") + name.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
 std::string render_prometheus(const MetricSnapshot& snapshot,
                               const std::string& prefix) {
   auto sanitize = [&](const std::string& name) {
@@ -419,25 +457,61 @@ std::string render_prometheus(const MetricSnapshot& snapshot,
     return out;
   };
   std::string out;
+  // Per-cell series grouped by family so each family gets one TYPE line.
+  std::map<std::string, std::string> cell_series;  // family -> rendered lines
+  std::string family;
+  std::string cell;
   for (const auto& [name, value] : snapshot.counters) {
+    if (split_cell_metric(name, &family, &cell)) {
+      cell_series[sanitize(family) + "_total\tcounter"] +=
+          sanitize(family) + "_total{cell=\"" + cell + "\"} " +
+          std::to_string(value) + "\n";
+      continue;
+    }
     const std::string metric = sanitize(name) + "_total";
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
+    if (split_cell_metric(name, &family, &cell)) {
+      cell_series[sanitize(family) + "\tgauge"] +=
+          sanitize(family) + "{cell=\"" + cell + "\"} " + number(value) + "\n";
+      continue;
+    }
     const std::string metric = sanitize(name);
     out += "# TYPE " + metric + " gauge\n";
     out += metric + " " + number(value) + "\n";
   }
   for (const MetricSnapshot::HistogramStats& stats : snapshot.histograms) {
-    const std::string metric = sanitize(stats.name);
-    out += "# TYPE " + metric + " summary\n";
-    out += metric + "{quantile=\"0.5\"} " + number(stats.p50) + "\n";
-    out += metric + "{quantile=\"0.9\"} " + number(stats.p90) + "\n";
-    out += metric + "{quantile=\"0.95\"} " + number(stats.p95) + "\n";
-    out += metric + "{quantile=\"0.99\"} " + number(stats.p99) + "\n";
-    out += metric + "_sum " + number(stats.sum) + "\n";
-    out += metric + "_count " + std::to_string(stats.count) + "\n";
+    const bool per_cell = split_cell_metric(stats.name, &family, &cell);
+    const std::string metric = sanitize(per_cell ? family : stats.name);
+    const std::string label = per_cell ? "cell=\"" + cell + "\"," : "";
+    std::string lines;
+    lines += metric + "{" + label + "quantile=\"0.5\"} " + number(stats.p50) +
+             "\n";
+    lines += metric + "{" + label + "quantile=\"0.9\"} " + number(stats.p90) +
+             "\n";
+    lines += metric + "{" + label + "quantile=\"0.95\"} " +
+             number(stats.p95) + "\n";
+    lines += metric + "{" + label + "quantile=\"0.99\"} " +
+             number(stats.p99) + "\n";
+    lines += metric + "_sum" +
+             (per_cell ? "{cell=\"" + cell + "\"}" : std::string()) + " " +
+             number(stats.sum) + "\n";
+    lines += metric + "_count" +
+             (per_cell ? "{cell=\"" + cell + "\"}" : std::string()) + " " +
+             std::to_string(stats.count) + "\n";
+    if (per_cell) {
+      cell_series[metric + "\tsummary"] += lines;
+    } else {
+      out += "# TYPE " + metric + " summary\n";
+      out += lines;
+    }
+  }
+  for (const auto& [key, lines] : cell_series) {
+    const std::size_t tab = key.find('\t');
+    out += "# TYPE " + key.substr(0, tab) + " " + key.substr(tab + 1) + "\n";
+    out += lines;
   }
   return out;
 }

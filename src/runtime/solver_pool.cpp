@@ -54,4 +54,23 @@ void SolverPool::worker_loop() {
   }
 }
 
+void WaitGroup::add(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ += n;
+}
+
+void WaitGroup::done() {
+  // Notify while still holding the mutex: the WaitGroup is typically
+  // stack-allocated and destroyed as soon as wait() returns, so an
+  // unlocked notify could touch the condvar after its destructor ran.
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  if (pending_ <= 0) all_done_.notify_all();
+}
+
+void WaitGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ <= 0; });
+}
+
 }  // namespace flowtime::runtime

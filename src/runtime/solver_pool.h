@@ -46,4 +46,24 @@ class SolverPool {
   bool stopping_ = false;
 };
 
+/// Go-style barrier for fan-out/fan-in over a SolverPool: the submitter
+/// calls add() per task, each task calls done() when it finishes, and the
+/// submitter blocks in wait() until the count returns to zero. Unlike
+/// shutdown(), the pool stays usable afterwards, so a federated scheduler
+/// can run one barrier per replan round.
+class WaitGroup {
+ public:
+  /// Registers `n` pending completions. Call before submitting the tasks.
+  void add(int n = 1);
+  /// Marks one task complete; wakes wait() when the count reaches zero.
+  void done();
+  /// Blocks until every add() has been matched by a done().
+  void wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable all_done_;
+  int pending_ = 0;
+};
+
 }  // namespace flowtime::runtime

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "cluster/federated_scheduler.h"
 #include "runtime/concurrent_scheduler.h"
 #include "sched/baselines.h"
 #include "sched/cora.h"
@@ -16,6 +17,20 @@ namespace {
 
 std::unique_ptr<sim::Scheduler> make_flowtime(
     core::FlowTimeConfig flowtime, const ExperimentConfig& config) {
+  if (config.cells > 1) {
+    cluster::FederatedConfig federated;
+    federated.flowtime = std::move(flowtime);
+    federated.partition.cells = config.cells;
+    if (!cluster::parse_cell_policy(config.cell_policy,
+                                    &federated.partition.policy)) {
+      FT_LOG(kError) << "unknown cell policy: " << config.cell_policy;
+      std::abort();
+    }
+    federated.parallel_solve = config.async_replan;
+    federated.solver_threads = config.runtime_threads;
+    return std::make_unique<cluster::FederatedScheduler>(
+        std::move(federated));
+  }
   if (!config.async_replan) {
     return std::make_unique<core::FlowTimeScheduler>(std::move(flowtime));
   }
@@ -116,6 +131,13 @@ std::vector<SchedulerOutcome> run_comparison(
       flowtime = &wrapped->inner();
       outcome.coalesced_events = wrapped->coalesced_events();
       outcome.stale_solves = wrapped->stale_solves();
+    }
+    if (auto* federated =
+            dynamic_cast<cluster::FederatedScheduler*>(scheduler.get())) {
+      outcome.replans = federated->replans();
+      outcome.pivots = federated->total_pivots();
+      outcome.migrations = federated->migrations();
+      outcome.cell_overload_events = federated->overload_events();
     }
     if (flowtime != nullptr) {
       outcome.replans = flowtime->replans();

@@ -30,6 +30,8 @@ struct SchedulerOutcome {
   std::int64_t pivots = 0;             // FlowTime only
   std::int64_t coalesced_events = 0;   // async runtime only
   std::int64_t stale_solves = 0;       // async runtime only
+  int migrations = 0;                  // federated runs only
+  int cell_overload_events = 0;        // federated runs only
 };
 
 struct ExperimentConfig {
@@ -48,6 +50,14 @@ struct ExperimentConfig {
   bool async_barrier = false;
   /// Solver threads for the concurrent runtime.
   int runtime_threads = 1;
+  /// Shard the cluster into this many cells and run the FlowTime variants
+  /// federated (cluster::FederatedScheduler): per-cell lexmin plans, greedy
+  /// cross-cell routing/migration. 1 = plain single-cell FlowTime. With
+  /// async_replan the per-cell solves run concurrently on a SolverPool
+  /// (runtime_threads workers; 0 = one per cell).
+  int cells = 1;
+  /// Partition policy for cells > 1: "balanced" or "round_robin".
+  std::string cell_policy = "balanced";
 
   ExperimentConfig() { flowtime.cluster = sim.cluster; }
 };

@@ -214,6 +214,12 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
       if (w.deadline_s <= w.start_s) {
         return fail(line_number, "workflow deadline must be after its start");
       }
+      if (!get_int(fields, "tenant", false, 0, &w.tenant, &message)) {
+        return fail(line_number, message);
+      }
+      if (w.tenant < 0) {
+        return fail(line_number, "workflow tenant must be >= 0");
+      }
       w.name = fields.count("name") ? fields["name"]
                                     : "workflow-" + std::to_string(w.id);
       current = std::move(w);
@@ -448,7 +454,9 @@ std::string write_scenario(const Scenario& scenario,
   }
   for (const Workflow& w : scenario.workflows) {
     out << "\nworkflow id=" << w.id << " name=" << w.name
-        << " start=" << w.start_s << " deadline=" << w.deadline_s << "\n";
+        << " start=" << w.start_s << " deadline=" << w.deadline_s;
+    if (w.tenant != 0) out << " tenant=" << w.tenant;
+    out << "\n";
     for (dag::NodeId v = 0; v < w.dag.num_nodes(); ++v) {
       const JobSpec& job = w.jobs[static_cast<std::size_t>(v)];
       out << "job node=" << v << " name=" << job.name

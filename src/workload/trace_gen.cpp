@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "dag/generators.h"
 #include "workload/profiles.h"
@@ -132,6 +133,135 @@ Scenario make_recurring_trace(std::uint64_t seed,
   AdhocGenConfig adhoc = config.adhoc;
   adhoc.horizon_s = config.recurrences * config.period_s;
   scenario.adhoc_jobs = make_adhoc_stream(rng, adhoc);
+  return scenario;
+}
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Diurnal intensity multiplier at time t, in [1 - amp, 1 + amp].
+double diurnal_factor(double t, double amplitude, double period_s,
+                      double phase_s) {
+  if (amplitude <= 0.0 || period_s <= 0.0) return 1.0;
+  return 1.0 + amplitude * std::sin(kTwoPi * (t - phase_s) / period_s);
+}
+
+/// One heavy-tailed task runtime draw, clamped to the config's bounds.
+double sample_task_runtime(util::Rng& rng,
+                           const ProductionAdhocConfig& config) {
+  const AdhocGenConfig& base = config.base;
+  double runtime = 0.0;
+  switch (config.runtime_tail) {
+    case RuntimeTail::kUniform:
+      return rng.uniform_real(base.min_task_runtime_s,
+                              base.max_task_runtime_s);
+    case RuntimeTail::kLognormal: {
+      // Median pinned at the uniform range's midpoint so the tail family is
+      // swappable without re-tuning the base rate.
+      const double median =
+          0.5 * (base.min_task_runtime_s + base.max_task_runtime_s);
+      runtime = rng.lognormal(std::log(std::max(median, 1e-9)),
+                              config.lognormal_sigma);
+      break;
+    }
+    case RuntimeTail::kPareto: {
+      // Inverse-CDF Pareto: xm * (1 - u)^(-1/alpha).
+      const double u = rng.uniform_real(0.0, 1.0);
+      runtime = config.pareto_xm_s *
+                std::pow(1.0 - std::min(u, 1.0 - 1e-12),
+                         -1.0 / std::max(config.pareto_alpha, 1e-6));
+      break;
+    }
+  }
+  return std::clamp(runtime, base.min_task_runtime_s,
+                    config.max_task_runtime_cap_s);
+}
+
+}  // namespace
+
+std::vector<AdhocJob> make_production_adhoc_stream(
+    util::Rng& rng, const ProductionAdhocConfig& config) {
+  const AdhocGenConfig& base = config.base;
+  // Flash-crowd windows, placed before the arrival loop so the whole stream
+  // is a deterministic function of the seed.
+  std::vector<std::pair<double, double>> flashes;
+  for (int i = 0; i < config.flash_crowds; ++i) {
+    const double start = rng.uniform_real(
+        0.0, std::max(base.horizon_s - config.flash_duration_s, 0.0));
+    flashes.emplace_back(start, start + config.flash_duration_s);
+  }
+  const auto rate_at = [&](double t) {
+    double rate = base.rate_per_s *
+                  diurnal_factor(t, config.diurnal_amplitude,
+                                 config.diurnal_period_s,
+                                 config.diurnal_phase_s);
+    for (const auto& [start, end] : flashes) {
+      if (t >= start && t < end) {
+        rate *= config.flash_multiplier;
+        break;
+      }
+    }
+    return std::max(rate, 0.0);
+  };
+  double peak = base.rate_per_s * (1.0 + std::max(config.diurnal_amplitude,
+                                                  0.0));
+  if (!flashes.empty()) peak *= std::max(config.flash_multiplier, 1.0);
+  if (peak <= 0.0) return {};
+
+  // Lewis–Shedler thinning against the constant peak rate.
+  std::vector<AdhocJob> jobs;
+  double now = 0.0;
+  int id = 0;
+  while (true) {
+    now += rng.exponential(peak);
+    if (now >= base.horizon_s) break;
+    if (rng.uniform_real(0.0, 1.0) * peak > rate_at(now)) continue;
+    AdhocJob job;
+    job.id = id++;
+    job.arrival_s = now;
+    job.spec.name = "adhoc-" + std::to_string(job.id);
+    job.spec.num_tasks =
+        static_cast<int>(rng.uniform_int(base.min_tasks, base.max_tasks));
+    job.spec.task.runtime_s = sample_task_runtime(rng, config);
+    job.spec.task.demand = base.task_demand;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+Scenario make_production_scenario(std::uint64_t seed,
+                                  const ProductionScenarioConfig& config) {
+  util::Rng rng(seed);
+  Scenario scenario;
+  scenario.workflows.reserve(static_cast<std::size_t>(config.num_workflows));
+  // Workflow releases rejection-sampled against the diurnal sinusoid: draw
+  // a uniform time, accept with probability rate(t)/peak, retry otherwise.
+  const double peak = 1.0 + std::max(config.diurnal_amplitude, 0.0);
+  std::vector<double> starts;
+  starts.reserve(static_cast<std::size_t>(config.num_workflows));
+  for (int i = 0; i < config.num_workflows; ++i) {
+    double t = 0.0;
+    do {
+      t = rng.uniform_real(0.0, config.horizon_s);
+    } while (rng.uniform_real(0.0, peak) >
+             diurnal_factor(t, config.diurnal_amplitude,
+                            config.diurnal_period_s,
+                            config.diurnal_phase_s));
+    starts.push_back(t);
+  }
+  std::sort(starts.begin(), starts.end());
+  for (int i = 0; i < config.num_workflows; ++i) {
+    Workflow w = make_workflow(rng, i, starts[static_cast<std::size_t>(i)],
+                               config.workflow);
+    if (config.num_tenants > 1) {
+      w.tenant = static_cast<int>(rng.uniform_int(0, config.num_tenants - 1));
+    }
+    scenario.workflows.push_back(std::move(w));
+  }
+  ProductionAdhocConfig adhoc = config.adhoc;
+  adhoc.base.horizon_s = config.horizon_s;
+  scenario.adhoc_jobs = make_production_adhoc_stream(rng, adhoc);
   return scenario;
 }
 

@@ -82,4 +82,67 @@ struct RecurringTraceConfig {
 Scenario make_recurring_trace(std::uint64_t seed,
                               const RecurringTraceConfig& config = {});
 
+// --- Production-shaped arrivals (ROADMAP item 4) --------------------------
+// Real clusters are not homogeneous-Poisson: load breathes diurnally, flash
+// crowds spike it for minutes, and task runtimes are heavy-tailed. These
+// generators reproduce those three shapes with everything still flowing
+// from one seed; the sharding bench stresses federation with them.
+
+/// Tail family for ad-hoc task runtimes.
+enum class RuntimeTail {
+  kUniform,    // the plain AdhocGenConfig behaviour
+  kLognormal,  // median at the uniform range's midpoint, sigma below
+  kPareto,     // scale pareto_xm_s, shape pareto_alpha
+};
+
+struct ProductionAdhocConfig {
+  /// Base rate/horizon/task geometry; the shaping below modulates it.
+  AdhocGenConfig base;
+  /// Instantaneous rate = base.rate_per_s *
+  ///   (1 + diurnal_amplitude * sin(2*pi*(t - diurnal_phase_s)/period))
+  /// (amplitude in [0, 1); 0 disables the diurnal component).
+  double diurnal_amplitude = 0.6;
+  double diurnal_period_s = 86400.0;
+  double diurnal_phase_s = 0.0;
+  /// Flash crowds: this many windows of `flash_duration_s`, placed
+  /// uniformly at random in the horizon, during which the instantaneous
+  /// rate is multiplied by `flash_multiplier`.
+  int flash_crowds = 2;
+  double flash_multiplier = 8.0;
+  double flash_duration_s = 300.0;
+  /// Heavy-tailed task runtimes (clamped to
+  /// [base.min_task_runtime_s, max_task_runtime_cap_s]).
+  RuntimeTail runtime_tail = RuntimeTail::kLognormal;
+  double lognormal_sigma = 1.0;
+  double pareto_alpha = 1.8;  // < 2 = infinite variance, the DC regime
+  double pareto_xm_s = 8.0;
+  double max_task_runtime_cap_s = 1800.0;
+};
+
+/// Nonhomogeneous Poisson stream via Lewis–Shedler thinning: candidates are
+/// drawn at the peak rate and accepted with probability rate(t)/peak.
+std::vector<AdhocJob> make_production_adhoc_stream(
+    util::Rng& rng, const ProductionAdhocConfig& config);
+
+struct ProductionScenarioConfig {
+  int num_workflows = 20;
+  /// Workflows are tagged round-robin-free: each draws a uniform tenant in
+  /// [0, num_tenants) for multi-tenant quota scenarios.
+  int num_tenants = 4;
+  double horizon_s = 4.0 * 3600.0;
+  /// Workflow releases follow the same diurnal intensity as the ad-hoc
+  /// stream (rejection-sampled against the sinusoid).
+  double diurnal_amplitude = 0.6;
+  double diurnal_period_s = 86400.0;
+  double diurnal_phase_s = 0.0;
+  WorkflowGenConfig workflow;
+  ProductionAdhocConfig adhoc;
+};
+
+/// Full production-shaped scenario: diurnally released multi-tenant
+/// workflows plus a diurnal/flash-crowd/heavy-tailed ad-hoc stream over the
+/// same horizon.
+Scenario make_production_scenario(std::uint64_t seed,
+                                  const ProductionScenarioConfig& config = {});
+
 }  // namespace flowtime::workload

@@ -20,6 +20,10 @@ struct Workflow {
   double deadline_s = 0.0;  // wd_i: absolute deadline
   dag::Dag dag;             // P_i: inter-job dependencies, node = job index
   std::vector<JobSpec> jobs;  // Q_i, indexed by DAG node id
+  /// Owning tenant for multi-tenant quota accounting (federated scheduling,
+  /// DESIGN.md §13). Tenant 0 is the default single-tenant world; the
+  /// scheduling pipeline itself ignores this field.
+  int tenant = 0;
 
   /// Structural sanity: one job per node, acyclic, deadline after start,
   /// positive job sizes.
