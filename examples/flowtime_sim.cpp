@@ -36,6 +36,9 @@
 //                        the per-cell solves run concurrently.
 //   --cell-policy P      partition policy for --cells > 1: "balanced"
 //                        (default) or "round_robin"
+//   --cell-deadline-ms N per-cell solve deadline (wall ms) for federated
+//                        runs; a solve that misses it degrades down the
+//                        escalation ladder. 0 (default) = unlimited
 //   --stats-every N      print a metric-registry snapshot to stderr every
 //                        N simulated slots (implies metrics collection)
 //   --dump-example       print a commented example scenario and exit
@@ -95,6 +98,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_double("runtime-threads", 1.0));
   const int cells = static_cast<int>(flags.get_double("cells", 1.0));
   const std::string cell_policy = flags.get_string("cell-policy", "balanced");
+  const double cell_deadline_ms = flags.get_double("cell-deadline-ms", 0.0);
   const int stats_every =
       static_cast<int>(flags.get_double("stats-every", 0.0));
   for (const std::string& typo : flags.unqueried()) {
@@ -135,6 +139,7 @@ int main(int argc, char** argv) {
   config.runtime_threads = runtime_threads;
   config.cells = cells;
   config.cell_policy = cell_policy;
+  config.cell_solve_deadline_ms = cell_deadline_ms;
   if (stats_every > 0) {
     // Periodic registry snapshots to stderr (stdout carries the report
     // table). Counters are cumulative across the run — and across the
@@ -186,6 +191,13 @@ int main(int argc, char** argv) {
       std::printf("  %-12s replans %d, migrations %d, cell overloads %d\n",
                   outcome.name.c_str(), outcome.replans, outcome.migrations,
                   outcome.cell_overload_events);
+      if (outcome.cell_failures > 0 || outcome.quarantines > 0) {
+        std::printf(
+            "  %-12s cell failures %d, quarantines %d, failovers %d, "
+            "recoveries %d\n",
+            "", outcome.cell_failures, outcome.quarantines,
+            outcome.failovers, outcome.cell_recoveries);
+      }
     }
   }
   if (!config.sim.fault_plan.empty()) {
@@ -195,10 +207,12 @@ int main(int argc, char** argv) {
       const fault::FaultLog& log = outcome.result.faults;
       std::printf(
           "  %-12s machine down/up %d/%d, capacity changes %d, task "
-          "failures %d (retried %d), stragglers %d, noised jobs %d\n",
+          "failures %d (retried %d), stragglers %d, noised jobs %d, cell "
+          "faults %d (recovered %d)\n",
           outcome.name.c_str(), log.machine_downs, log.machine_ups,
           log.capacity_changes, log.task_failures, log.task_retries,
-          log.stragglers, log.noised_jobs);
+          log.stragglers, log.noised_jobs, log.cell_faults,
+          log.cell_recoveries);
     }
   }
   if (!prom_out.empty()) {

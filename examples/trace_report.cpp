@@ -287,6 +287,77 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- availability (cell faults, quarantine, failover) ------------------
+  {
+    int cell_failures = 0;
+    int recoveries = 0;
+    std::map<std::string, int> failovers_by_cause;
+    std::map<std::string, int> failures_by_mode;
+    // Downtime per cell, rebuilt from cell_failed/cell_recovered pairs; an
+    // unrecovered failure counts as down to the end of the trace.
+    std::map<int, double> down_since;   // cell -> first unrecovered failure
+    std::map<int, int> downtime_slots;  // cell -> recovered downtime (slots)
+    for (const TraceRecord& record : events) {
+      const std::string type = as_string(record, "type");
+      if (type == "cell_failed") {
+        ++cell_failures;
+        ++failures_by_mode[as_string(record, "mode", "?")];
+        const int cell = static_cast<int>(as_double(record, "cell"));
+        if (!down_since.count(cell)) {
+          down_since[cell] = as_double(record, "sim_s");
+        }
+      } else if (type == "cell_recovered") {
+        ++recoveries;
+        const int cell = static_cast<int>(as_double(record, "cell"));
+        downtime_slots[cell] +=
+            static_cast<int>(as_double(record, "downtime_slots"));
+        down_since.erase(cell);
+      } else if (type == "failover") {
+        ++failovers_by_cause[as_string(record, "cause", "?")];
+      }
+    }
+    if (cell_failures > 0) {
+      std::printf("\nAvailability:\n");
+      std::printf("  cell failures         %d\n", cell_failures);
+      for (const auto& [mode, count] : failures_by_mode) {
+        std::printf("    mode %-16s %d\n", mode.c_str(), count);
+      }
+      std::printf("  cell recoveries       %d\n", recoveries);
+      int failovers = 0;
+      for (const auto& [cause, count] : failovers_by_cause) {
+        failovers += count;
+      }
+      std::printf("  workflow failovers    %d\n", failovers);
+      for (const auto& [cause, count] : failovers_by_cause) {
+        std::printf("    cause %-15s %d\n", cause.c_str(), count);
+      }
+      for (const auto& [cell, slots] : downtime_slots) {
+        std::printf("  cell %-3d downtime     %d slot(s)%s\n", cell, slots,
+                    down_since.count(cell) ? " (+ unrecovered outage)" : "");
+      }
+      for (const auto& [cell, since] : down_since) {
+        if (!downtime_slots.count(cell)) {
+          std::printf("  cell %-3d down at %.0fs, never recovered\n", cell,
+                      since);
+        }
+      }
+      // Quarantine windows from the lifecycle spans (kind "quarantine",
+      // one per outage, possibly still open at end of trace).
+      std::vector<double> quarantine_s;
+      for (const auto& [id, span] : spans) {
+        (void)id;
+        if (span.kind != "quarantine" || span.end_s < 0.0) continue;
+        quarantine_s.push_back(span.end_s - span.begin_s);
+      }
+      if (!quarantine_s.empty()) {
+        std::printf(
+            "  quarantine windows    %zu closed, p50 %.0f s, max %.0f s\n",
+            quarantine_s.size(), util::quantile(quarantine_s, 0.5),
+            util::quantile(quarantine_s, 1.0));
+      }
+    }
+  }
+
   // --- event latency decomposition (concurrent runtime) ------------------
   // Every plan_adopted / plan_discarded terminal carries the four causal
   // stages; by construction they tile the replan's end-to-end wall latency,

@@ -16,18 +16,36 @@
 // Invariant: with cells = 1 the coordinator is a pass-through — same event
 // order, same replan sequence, same serve calls — so the federated plan is
 // byte-identical to a plain FlowTimeScheduler's. Tests pin this.
+//
+// Cell fault tolerance (DESIGN.md §14): the coordinator treats each cell as
+// a process that can crash, hang, flap, or lose its solver (the fault_cell
+// chaos family). A per-cell health state machine — healthy → suspect →
+// quarantined — is driven by observed failures only (missed heartbeats
+// while a cell is down, preempted solves): after K consecutive failures the
+// circuit breaker trips, the cell leaves the routing set and its incomplete
+// workflows fail over to surviving admitting cells via the migration path
+// (forget + forced re-admission, completed work re-credited,
+// ReplanCause::kFailover). Re-admission is probe-based with exponential,
+// deterministically jittered backoff, so flapping cells earn growing
+// quarantine windows. With no cell faults none of this machinery acts, and
+// runs stay byte-identical to the pre-fault-tolerance coordinator.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/partition.h"
 #include "core/admission.h"
 #include "core/flowtime_scheduler.h"
+#include "fault/plan.h"
+#include "obs/span.h"
 #include "runtime/solver_pool.h"
 #include "sim/scheduler.h"
+#include "util/backoff.h"
 
 namespace flowtime::cluster {
 
@@ -63,20 +81,58 @@ struct FederatedConfig {
   /// deadline; fall back to the least-loaded cell (and count it) when every
   /// cell rejects. Off = pure least-load routing.
   bool admission_aware_routing = true;
+
+  // --- Cell fault tolerance (DESIGN.md §14) ------------------------------
+  /// Wall-clock ceiling (ms) on one cell's solve, merged into the solve
+  /// budget at begin_replan (tightest wins) so a slow shard degrades via
+  /// the escalation ladder instead of stalling the round. 0 = off, keeping
+  /// purely event-driven runs bit-deterministic.
+  double cell_solve_deadline_ms = 0.0;
+  /// Circuit breaker K: consecutive observed failures (missed heartbeats
+  /// while the cell is down, preempted solves) before the cell is
+  /// quarantined and its incomplete workflows evacuated. Crashes quarantine
+  /// immediately — a dead connection is unambiguous, a timeout is not.
+  int quarantine_after_failures = 3;
+  /// Probe-based re-admission: a quarantined cell is re-probed after a
+  /// backoff that grows exponentially per failed probe, with deterministic
+  /// seeded jitter (seeded from partition.seed and the cell id), so
+  /// flapping cells earn growing quarantine windows.
+  double probe_backoff_base_slots = 2.0;
+  double probe_backoff_multiplier = 2.0;
+  double probe_backoff_cap_slots = 64.0;
+  double probe_backoff_jitter = 0.25;
+  /// Slots of uninterrupted health after re-admission before the probe
+  /// backoff resets to its base (earlier relapses keep the longer delays).
+  int backoff_reset_slots = 60;
 };
+
+/// Coordinator-observed health of one cell. Healthy cells are in the
+/// routing set; a suspect cell has failures pending but keeps its work; a
+/// quarantined cell tripped the circuit breaker — its workflows were
+/// evacuated and it re-enters only through a successful probe.
+enum class CellHealth { kHealthy, kSuspect, kQuarantined };
+
+const char* to_string(CellHealth health);
 
 /// One cell: a FlowTimeScheduler scoped to the cell's capacity slice, the
 /// cell's admission controller (the routing oracle), and the solver-side
 /// state an external replan driver needs (warm cache, pending solve).
 class CellScheduler {
  public:
-  CellScheduler(CellSpec spec, core::FlowTimeConfig config);
+  CellScheduler(CellSpec spec, core::FlowTimeConfig config,
+                util::BackoffConfig probe_backoff = {});
 
   const CellSpec& spec() const { return spec_; }
-  core::FlowTimeScheduler& scheduler() { return scheduler_; }
-  const core::FlowTimeScheduler& scheduler() const { return scheduler_; }
-  core::AdmissionController& admission() { return admission_; }
-  core::PlacementWarmCache& warm_cache() { return warm_cache_; }
+  core::FlowTimeScheduler& scheduler() { return *scheduler_; }
+  const core::FlowTimeScheduler& scheduler() const { return *scheduler_; }
+  core::AdmissionController& admission() { return *admission_; }
+  core::PlacementWarmCache& warm_cache() { return *warm_cache_; }
+
+  /// Crash recovery: rebuilds the scheduler, admission ledger and warm
+  /// cache from the stored config — everything a real shard process holds
+  /// in memory and loses when it dies. Routing and health bookkeeping live
+  /// in the coordinator and survive.
+  void reset();
 
   /// Peak normalized load of the cell's last adopted plan (0 before any).
   double last_peak_load() const;
@@ -94,13 +150,64 @@ class CellScheduler {
   /// transitions into overload rather than every overloaded slot.
   bool latch_overload(bool now_overloaded);
 
+  // --- Health state (owned here, driven by the coordinator) --------------
+  CellHealth health() const { return health_; }
+  void set_health(CellHealth health) { health_ = health; }
+  /// Down = an injected crash/hang/flap phase is active: the shard serves
+  /// nothing and misses heartbeats. Distinct from quarantine, which is the
+  /// coordinator's verdict and outlives the fault until a probe passes.
+  bool down() const { return down_; }
+  void set_down(bool down, fault::CellFaultMode mode) {
+    down_ = down;
+    down_mode_ = mode;
+    arm_cancel();
+  }
+  fault::CellFaultMode down_mode() const { return down_mode_; }
+  /// Solver-broken = every solve attempt is preempted (fault_cell mode
+  /// `solver`); the cell still serves its last plan and answers heartbeats.
+  bool solver_broken() const { return solver_broken_; }
+  void set_solver_broken(bool broken) {
+    solver_broken_ = broken;
+    arm_cancel();
+  }
+  /// Cooperative-preemption token handed to PendingReplan::cancel while a
+  /// solver fault or downtime is active; lp::SolveBudget polls it between
+  /// pivots, so injected solve failures are deterministic (no wall clocks).
+  const std::atomic<bool>* cancel_flag() const { return &cancel_; }
+
+  int consecutive_failures() const { return consecutive_failures_; }
+  void count_failure() { ++consecutive_failures_; }
+  void clear_failures() { consecutive_failures_ = 0; }
+
+  util::Backoff& probe_backoff() { return probe_backoff_; }
+  int probe_at_slot() const { return probe_at_slot_; }
+  void set_probe_at_slot(int slot) { probe_at_slot_ = slot; }
+  int healthy_since_slot() const { return healthy_since_slot_; }
+  void set_healthy_since_slot(int slot) { healthy_since_slot_ = slot; }
+  obs::SpanId quarantine_span = obs::kNoSpan;
+
  private:
+  void arm_cancel() {
+    cancel_.store(down_ || solver_broken_, std::memory_order_relaxed);
+  }
+
   CellSpec spec_;
-  core::FlowTimeScheduler scheduler_;
-  core::AdmissionController admission_;
-  core::PlacementWarmCache warm_cache_;
+  core::FlowTimeConfig config_;  ///< kept verbatim for reset()
+  std::unique_ptr<core::FlowTimeScheduler> scheduler_;
+  std::unique_ptr<core::AdmissionController> admission_;
+  std::unique_ptr<core::PlacementWarmCache> warm_cache_;
   int adhoc_active_ = 0;
   bool was_overloaded_ = false;
+
+  CellHealth health_ = CellHealth::kHealthy;
+  bool down_ = false;
+  fault::CellFaultMode down_mode_ = fault::CellFaultMode::kCrash;
+  bool solver_broken_ = false;
+  std::atomic<bool> cancel_{false};
+  int consecutive_failures_ = 0;
+  util::Backoff probe_backoff_;
+  int probe_at_slot_ = -1;
+  int healthy_since_slot_ = -1;
 };
 
 /// The coordinator. Implements the plain sim::Scheduler typed-event
@@ -141,6 +248,31 @@ class FederatedScheduler : public sim::Scheduler {
   int quota_deferrals() const { return quota_deferrals_; }
   int infeasible_routes() const { return infeasible_routes_; }
 
+  // --- Fault-tolerance statistics (DESIGN.md §14) ------------------------
+  /// Cell fault engagements observed (CellFaultEvent with active=true).
+  int cell_failures() const { return cell_failures_; }
+  /// Workflows evacuated off failed/quarantined cells and re-admitted.
+  int failovers() const { return failovers_; }
+  /// Transitions into quarantine (circuit-breaker trips and crashes).
+  int quarantines() const { return quarantines_; }
+  /// Probe re-admissions back into the routing set.
+  int cell_recoveries() const { return cell_recoveries_; }
+  /// Workflows currently waiting for any live cell (never stranded: the
+  /// queue is retried every slot and drains as soon as a cell is routable).
+  int pending_failover() const {
+    return static_cast<int>(pending_failover_.size());
+  }
+
+  /// One entry per quarantine episode: [failed_slot, recovered_slot) with
+  /// recovered_slot == -1 while the outage is still open. The failover
+  /// bench derives recovery latency and per-cell downtime from this.
+  struct CellOutage {
+    int cell = -1;
+    int failed_slot = 0;
+    int recovered_slot = -1;
+  };
+  const std::vector<CellOutage>& outage_log() const { return outage_log_; }
+
   /// Wall seconds of each replan *round* (one allocate() that solved at
   /// least one cell): max over concurrently solved cells under
   /// parallel_solve, sum under serial. Zeros when obs is disabled. The
@@ -161,6 +293,37 @@ class FederatedScheduler : public sim::Scheduler {
   };
 
   void handle_workflow_arrival(const sim::WorkflowArrivalEvent& arrival);
+  /// Reacts to an injected cell fault engaging or lifting: crashes reset
+  /// the cell and quarantine it immediately; hangs/flaps mark it down (the
+  /// heartbeat path escalates); solver faults arm the preemption token.
+  void handle_cell_fault(const sim::CellFaultEvent& event);
+  /// Per-slot health pass: counts missed heartbeats of down cells toward
+  /// the circuit breaker, runs due probes of quarantined cells, and resets
+  /// probe backoffs after a stable healthy period. No-op with no faults.
+  void update_cell_health(const sim::ClusterState& state);
+  /// Trips the circuit breaker: quarantine the cell, open an outage,
+  /// schedule the first probe, and evacuate its incomplete workflows.
+  /// `state_lost` = crash semantics (the cell was reset; nothing to
+  /// forget). Idempotent while already quarantined.
+  void quarantine_cell(int cell, int slot, double now_s, const char* reason,
+                       bool state_lost);
+  /// Probe passed: the cell re-enters the routing set.
+  void readmit_cell(int cell, int slot, double now_s);
+  /// Moves every incomplete workflow off `cell` onto surviving admitting
+  /// cells (pending_failover_ when none is live). With `state_lost` the
+  /// cell's ad-hoc jobs are re-delivered elsewhere too.
+  void fail_over_workflows(int cell, int slot, double now_s,
+                           const char* cause, bool state_lost);
+  /// Completes a failover for one workflow onto `target`.
+  void place_failover(int workflow_id, int target, int slot, double now_s,
+                      int from_cell, int jobs_moved, const char* cause);
+  /// Retries pending_failover_/pending_adhoc_ once a cell is routable.
+  void route_pending_failover(const sim::ClusterState& state);
+  /// In the routing set: healthy and currently reachable.
+  bool cell_routable(int cell) const;
+  /// Delivers one capacity-change broadcast to a single cell (scaled slice
+  /// to the scheduler, resource units to the admission ledger).
+  void apply_capacity_to_cell(int cell, const sim::CapacityChangeEvent& change);
   /// Places a known workflow on a cell: delivers the arrival (and any
   /// already-complete jobs), registers uids, commits admission. `forced`
   /// bypasses the feasibility gate (migration / deferred re-route).
@@ -199,10 +362,28 @@ class FederatedScheduler : public sim::Scheduler {
   std::map<int, double> tenant_usage_;           // tenant -> summed shares
   std::vector<int> deferred_;                    // workflow ids, FIFO
 
+  /// Workflows evacuated with no live cell to land on, FIFO; retried every
+  /// slot so nothing is ever stranded.
+  std::vector<int> pending_failover_;
+  /// Ad-hoc arrivals kept verbatim so a crashed cell's ad-hoc jobs can be
+  /// re-delivered to a survivor (the crashed shard forgot them).
+  std::map<sim::JobUid, sim::AdhocArrivalEvent> adhoc_events_;
+  /// Ad-hoc jobs waiting for any routable cell (uids into adhoc_events_).
+  std::vector<sim::JobUid> pending_adhoc_;
+  /// Last broadcast capacity change, re-applied to a cell rebuilt after a
+  /// crash (the fresh admission ledger would otherwise assume the
+  /// original cluster capacity through concurrent machine churn).
+  std::optional<sim::CapacityChangeEvent> last_capacity_event_;
+
   int migrations_ = 0;
   int overload_events_ = 0;
   int quota_deferrals_ = 0;
   int infeasible_routes_ = 0;
+  int cell_failures_ = 0;
+  int failovers_ = 0;
+  int quarantines_ = 0;
+  int cell_recoveries_ = 0;
+  std::vector<CellOutage> outage_log_;
   std::vector<double> replan_round_wall_s_;
 };
 

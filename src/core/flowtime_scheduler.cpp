@@ -36,6 +36,7 @@ std::string to_string(ReplanCause causes) {
   append(ReplanCause::kCapacityChange, "capacity_change");
   append(ReplanCause::kTaskFailure, "task_failure");
   append(ReplanCause::kMigration, "migration");
+  append(ReplanCause::kFailover, "failover");
   if (out.empty()) out = "none";
   return out;
 }
@@ -73,10 +74,13 @@ void FlowTimeScheduler::on_event(const sim::SchedulerEvent& event) {
           handle_capacity_change();
         } else if constexpr (std::is_same_v<E, sim::TaskFailureEvent>) {
           handle_task_failure(e.uid, e.now_s, e.lost_estimate, e.retry_at_s);
-        } else {
-          static_assert(std::is_same_v<E, sim::SolverSabotageEvent>);
+        } else if constexpr (std::is_same_v<E, sim::SolverSabotageEvent>) {
           handle_solver_sabotage(e.budget_ms, e.pivot_cap,
                                  e.force_numerical_failure);
+        } else {
+          // Cell faults are federation-level; the single-cell core ignores
+          // them (cluster/federated_scheduler intercepts before delivery).
+          static_assert(std::is_same_v<E, sim::CellFaultEvent>);
         }
       },
       event);

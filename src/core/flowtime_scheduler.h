@@ -109,6 +109,7 @@ enum class ReplanCause : unsigned {
   kCapacityChange = 1u << 5,   // machine failed or recovered mid-run
   kTaskFailure = 1u << 6,      // a job lost work to a fault and will retry
   kMigration = 1u << 7,        // workflow moved between federation cells
+  kFailover = 1u << 8,         // workflow evacuated from a failed cell
 };
 
 inline ReplanCause operator|(ReplanCause a, ReplanCause b) {
@@ -304,6 +305,12 @@ class FlowTimeScheduler : public sim::Scheduler {
   /// re-derives identical values. Returns the number of incomplete jobs
   /// dropped (0 = nothing to move; the planner is left untouched).
   int forget_workflow(int workflow_id);
+
+  /// Externally asserts a replan trigger. The federation coordinator uses
+  /// this to tag a destination cell with kFailover when it re-homes an
+  /// evacuated workflow (the forced arrival alone would record only
+  /// kWorkflowArrival). The next adopted plan carries the cause.
+  void request_replan(ReplanCause cause) { mark_dirty(cause); }
 
   /// Re-plans whose solution was adopted (counted at finish_replan, so
   /// sync and async runs report comparable numbers). Discarded attempts

@@ -36,10 +36,19 @@ FaultInjector::FaultInjector(const FaultPlan& plan,
       // Independent streams per fault family: adding machines to a plan
       // must not shift the hazard draws of an otherwise identical run.
       noise_rng_(plan.seed ^ 0x9e3779b97f4a7c15ull),
-      hazard_rng_(plan.seed ^ 0xc2b2ae3d27d4eb4full) {
+      hazard_rng_(plan.seed ^ 0xc2b2ae3d27d4eb4full),
+      cell_rng_(plan.seed ^ 0xbf58476d1ce4e5b9ull) {
   machines_.reserve(plan_.machines.size());
   for (const MachineFault& fault : plan_.machines) {
     machines_.push_back(MachineState{fault, false, obs::kNoSpan});
+  }
+  cell_states_.reserve(plan_.cell_faults.size());
+  for (const CellFault& fault : plan_.cell_faults) {
+    // Each fault forks its own flap-jitter stream at construction, in
+    // declaration order, so per-slot evaluation order cannot shift draws.
+    cell_states_.push_back(
+        CellFaultState{fault, cell_rng_.fork(), false, false, false, 0,
+                       obs::kNoSpan});
   }
   for (const TaskFault& fault : plan_.task_faults) {
     task_faults_by_slot_.emplace(fault.slot, fault);
@@ -233,6 +242,83 @@ std::optional<SolverFault> FaultInjector::solver_fault_for_slot(
   solver_checked_once_ = true;
   last_solver_fault_ = merged;
   return merged;
+}
+
+int FaultInjector::flap_phase_slots(CellFaultState& state) {
+  const int period = std::max(state.fault.period_slots, 1);
+  if (state.fault.jitter <= 0.0) return period;
+  const double jitter =
+      std::min(std::max(state.fault.jitter, 0.0), 0.999);
+  const double drawn =
+      period * state.rng.uniform_real(1.0 - jitter, 1.0 + jitter);
+  return std::max(1, static_cast<int>(std::lround(drawn)));
+}
+
+std::vector<CellFaultTransition> FaultInjector::cell_faults_for_slot(
+    int slot, double now_s) {
+  std::vector<CellFaultTransition> transitions;
+  if (cell_states_.empty()) return transitions;
+
+  for (std::size_t i = 0; i < cell_states_.size(); ++i) {
+    CellFaultState& state = cell_states_[i];
+    const CellFault& fault = state.fault;
+    bool should_be_active = false;
+    if (slot >= fault.slot &&
+        (fault.until_slot < 0 || slot < fault.until_slot)) {
+      if (fault.mode == CellFaultMode::kFlap) {
+        // Phase machine: alternating down/up phases starting down at
+        // fault.slot. Advanced once per slot (increasing order), so each
+        // jitter draw happens exactly once per phase boundary.
+        if (!state.flap_started) {
+          state.flap_started = true;
+          state.flap_down = true;
+          state.flap_phase_end = slot + flap_phase_slots(state);
+        }
+        while (slot >= state.flap_phase_end) {
+          state.flap_down = !state.flap_down;
+          state.flap_phase_end += flap_phase_slots(state);
+        }
+        should_be_active = state.flap_down;
+      } else {
+        should_be_active = true;
+      }
+    }
+    if (should_be_active == state.active) continue;
+    state.active = should_be_active;
+    transitions.push_back(CellFaultTransition{fault.cell, fault.mode,
+                                              should_be_active});
+    if (should_be_active) {
+      ++log_.cell_faults;
+      if (obs::enabled()) {
+        obs::registry().counter("fault.cell_faults").add();
+        obs::emit(obs::TraceEvent("fault_injected")
+                      .field("kind", std::string("cell_") +
+                                         to_string(fault.mode))
+                      .field("slot", slot)
+                      .field("now_s", now_s)
+                      .field("cell", fault.cell));
+        state.span = obs::begin_span(
+            "fault",
+            std::string("cell_") + to_string(fault.mode) + "#" +
+                std::to_string(fault.cell),
+            obs::kNoSpan, now_s);
+      }
+    } else {
+      ++log_.cell_recoveries;
+      if (obs::enabled()) {
+        obs::registry().counter("fault.cell_recoveries").add();
+        obs::emit(obs::TraceEvent("fault_lifted")
+                      .field("kind", std::string("cell_") +
+                                         to_string(fault.mode))
+                      .field("slot", slot)
+                      .field("now_s", now_s)
+                      .field("cell", fault.cell));
+        obs::end_span(state.span, now_s);
+        state.span = obs::kNoSpan;
+      }
+    }
+  }
+  return transitions;
 }
 
 }  // namespace flowtime::fault

@@ -13,7 +13,10 @@
 //   * straggler_factor() returns the declared slowdown multiplier firing
 //     for a job at a slot (1.0 otherwise);
 //   * noise_factor() perturbs one job's hidden actual/estimate ratio at
-//     layout time (lognormal or adversarial models).
+//     layout time (lognormal or adversarial models);
+//   * cell_faults_for_slot() reports federation-cell failures/recoveries
+//     crossing the slot; the simulator forwards them as typed
+//     CellFaultEvents for the federated coordinator to react to.
 //
 // Determinism: all randomness flows from plan.seed through forked
 // util::Rng streams (one for noise, one for the hazard), and the draw
@@ -56,6 +59,17 @@ struct FaultLog {
   int stragglers = 0;
   int noised_jobs = 0;
   int solver_sabotages = 0;  // engage transitions (lifts are not counted)
+  int cell_faults = 0;       // cell down/broken engage transitions
+  int cell_recoveries = 0;   // cell up/repaired transitions
+};
+
+/// One cell-fault transition crossed this slot: the fault `mode` on `cell`
+/// either engages (`active`) or lifts. Delivered to schedulers as a typed
+/// sim::CellFaultEvent; non-federated policies ignore it.
+struct CellFaultTransition {
+  int cell = 0;
+  CellFaultMode mode = CellFaultMode::kCrash;
+  bool active = false;
 };
 
 class FaultInjector {
@@ -101,6 +115,15 @@ class FaultInjector {
   /// the scheduler hook fires exactly on transitions.
   std::optional<SolverFault> solver_fault_for_slot(int slot, bool* changed);
 
+  /// Cell-fault transitions crossing `slot`, in plan declaration order.
+  /// Must be called once per slot in increasing slot order; each returned
+  /// entry is an engage (active=true) or lift (active=false) edge relative
+  /// to the previous slot. Flap phases draw their jittered lengths from the
+  /// dedicated cell stream, so adding cell faults never shifts the noise or
+  /// hazard draws of an otherwise identical plan.
+  std::vector<CellFaultTransition> cell_faults_for_slot(int slot,
+                                                        double now_s);
+
   /// In-process mirrors for tests/reports (the obs counters match).
   void count_task_failure() { ++log_.task_failures; }
   void count_task_retry() { ++log_.task_retries; }
@@ -113,11 +136,26 @@ class FaultInjector {
     obs::SpanId span = obs::kNoSpan;
   };
 
+  struct CellFaultState {
+    CellFault fault;
+    util::Rng rng;  ///< private flap-jitter stream, forked from cell_rng_
+    bool active = false;
+    bool flap_started = false;
+    bool flap_down = false;
+    int flap_phase_end = 0;
+    obs::SpanId span = obs::kNoSpan;
+  };
+
+  /// Jittered length of one flap phase, drawn from the fault's own stream.
+  static int flap_phase_slots(CellFaultState& state);
+
   FaultPlan plan_;
   workload::ClusterSpec cluster_;
   util::Rng noise_rng_;
   util::Rng hazard_rng_;
+  util::Rng cell_rng_;
   std::vector<MachineState> machines_;
+  std::vector<CellFaultState> cell_states_;
   workload::ResourceVec last_down_delta_{};
   bool capacity_applied_once_ = false;
   /// Declared task faults / stragglers indexed by slot; entries are

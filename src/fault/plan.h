@@ -13,7 +13,10 @@
 //     on), surfacing as estimate overruns downstream;
 //   * estimate noise — the hidden actual/estimate ratio of every workflow
 //     job is perturbed by a multiplicative lognormal model or an
-//     adversarial uniform under-estimation factor.
+//     adversarial uniform under-estimation factor;
+//   * cell faults — a whole federation cell (scheduler shard) crashes,
+//     hangs, flaps, or loses its solver for a slot window, exercising the
+//     coordinator's failure detection and workflow failover.
 //
 // The plan is pure data: all randomness derives from `seed` inside the
 // FaultInjector (fault/injector.h), so a (plan, scenario) pair reproduces
@@ -104,6 +107,56 @@ struct NoiseConfig {
   bool active() const { return model != NoiseModel::kNone; }
 };
 
+/// How a federation cell (one scheduler shard, cluster/federated_scheduler)
+/// fails. The machines behind the cell stay up — it is the *scheduler*
+/// process that dies — so cluster capacity is untouched; the cell's slice
+/// simply goes unmanaged until recovery.
+enum class CellFaultMode {
+  /// Process dies: all in-memory state (plan, warm cache, admission ledger)
+  /// is lost; recovery restarts from empty. Until `until_slot` (-1 = never
+  /// recovers) the cell neither solves nor serves.
+  kCrash,
+  /// Process lives but stops responding for [slot, until_slot): solves are
+  /// preempted, heartbeats miss, no allocations are served. State survives.
+  kHang,
+  /// Crash/recover cycling: starting at `slot`, the cell toggles
+  /// down/up every `period_slots` (optionally jittered from the cell
+  /// stream) until `until_slot`. Each down phase has crash semantics.
+  kFlap,
+  /// The cell's solver is broken for [slot, until_slot): every solve
+  /// attempt fails (is preempted), but the cell still serves its last
+  /// plan and answers heartbeats.
+  kSolverFail,
+};
+
+inline const char* to_string(CellFaultMode mode) {
+  switch (mode) {
+    case CellFaultMode::kCrash:
+      return "crash";
+    case CellFaultMode::kHang:
+      return "hang";
+    case CellFaultMode::kFlap:
+      return "flap";
+    case CellFaultMode::kSolverFail:
+      return "solver";
+  }
+  return "crash";
+}
+
+/// One declared cell-level fault. For kCrash/kHang/kSolverFail the fault is
+/// active over [slot, until_slot) (-1 = forever). For kFlap the window is
+/// subdivided into alternating down/up phases of `period_slots` each,
+/// starting down; `jitter` (in [0, 1)) perturbs each phase length by a
+/// deterministic draw from the injector's cell stream.
+struct CellFault {
+  int cell = 0;
+  CellFaultMode mode = CellFaultMode::kCrash;
+  int slot = 0;
+  int until_slot = -1;
+  int period_slots = 0;
+  double jitter = 0.0;
+};
+
 /// Solver sabotage: from the start of `slot` until the start of
 /// `until_slot` (-1 = forever) the scheduler's internal solver is squeezed
 /// to `budget_ms` of wall clock and `pivot_cap` pivots per planning
@@ -128,12 +181,14 @@ struct FaultPlan {
   std::vector<TaskFault> task_faults;
   std::vector<StragglerFault> stragglers;
   std::vector<SolverFault> solver_faults;
+  std::vector<CellFault> cell_faults;
   HazardConfig hazard;
   NoiseConfig noise;
 
   bool empty() const {
     return machines.empty() && task_faults.empty() && stragglers.empty() &&
-           solver_faults.empty() && !hazard.active() && !noise.active();
+           solver_faults.empty() && cell_faults.empty() && !hazard.active() &&
+           !noise.active();
   }
 };
 

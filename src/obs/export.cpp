@@ -102,7 +102,9 @@ bool is_instant_type(const std::string& type) {
          type == "workflow_arrival" || type == "admission" ||
          type == "config_skew" || type == "migration" ||
          type == "cell_overload" || type == "quota_deferral" ||
-         type == "route_infeasible" || type == "workflow_forgotten";
+         type == "route_infeasible" || type == "workflow_forgotten" ||
+         type == "cell_failed" || type == "cell_recovered" ||
+         type == "failover";
 }
 
 // Track label for an instant event: events stamped with a federation cell
@@ -306,7 +308,11 @@ std::string render_chrome_trace(const std::vector<TraceRecord>& events) {
     }
     append("{\"ph\":\"i\",\"s\":\"g\",\"name\":" + escaped(name) +
            ",\"cat\":" + escaped(type) +
-           ",\"ts\":" + number(field_double(*record, "now_s") * 1e6) +
+           // Federation events stamp sim_s; core events stamp now_s.
+           ",\"ts\":" +
+           number(field_double(*record, "now_s",
+                               field_double(*record, "sim_s")) *
+                  1e6) +
            ",\"pid\":0,\"tid\":" +
            std::to_string(instant_tids[instant_track(*record, type)]) +
            ",\"args\":" + args_object(*record) + "}");

@@ -28,6 +28,7 @@ std::unique_ptr<sim::Scheduler> make_flowtime(
     }
     federated.parallel_solve = config.async_replan;
     federated.solver_threads = config.runtime_threads;
+    federated.cell_solve_deadline_ms = config.cell_solve_deadline_ms;
     return std::make_unique<cluster::FederatedScheduler>(
         std::move(federated));
   }
@@ -138,6 +139,10 @@ std::vector<SchedulerOutcome> run_comparison(
       outcome.pivots = federated->total_pivots();
       outcome.migrations = federated->migrations();
       outcome.cell_overload_events = federated->overload_events();
+      outcome.cell_failures = federated->cell_failures();
+      outcome.failovers = federated->failovers();
+      outcome.quarantines = federated->quarantines();
+      outcome.cell_recoveries = federated->cell_recoveries();
     }
     if (flowtime != nullptr) {
       outcome.replans = flowtime->replans();

@@ -32,6 +32,10 @@ struct SchedulerOutcome {
   std::int64_t stale_solves = 0;       // async runtime only
   int migrations = 0;                  // federated runs only
   int cell_overload_events = 0;        // federated runs only
+  int cell_failures = 0;               // federated runs only (fault_cell)
+  int failovers = 0;                   // federated runs only (fault_cell)
+  int quarantines = 0;                 // federated runs only (fault_cell)
+  int cell_recoveries = 0;             // federated runs only (fault_cell)
 };
 
 struct ExperimentConfig {
@@ -58,6 +62,10 @@ struct ExperimentConfig {
   int cells = 1;
   /// Partition policy for cells > 1: "balanced" or "round_robin".
   std::string cell_policy = "balanced";
+  /// Per-cell solve deadline (wall ms) for federated runs; 0 = unlimited.
+  /// A solve that misses the deadline degrades via the escalation ladder;
+  /// the health machine only reacts to injected cell faults.
+  double cell_solve_deadline_ms = 0.0;
 
   ExperimentConfig() { flowtime.cluster = sim.cluster; }
 };

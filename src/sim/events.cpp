@@ -23,6 +23,7 @@ struct NameVisitor {
   const char* operator()(const SolverSabotageEvent&) const {
     return "solver_sabotage";
   }
+  const char* operator()(const CellFaultEvent&) const { return "cell_fault"; }
 };
 
 }  // namespace
@@ -33,7 +34,8 @@ const char* event_name(const SchedulerEvent& event) {
 
 bool is_replan_trigger(const SchedulerEvent& event) {
   return !std::holds_alternative<SolverSabotageEvent>(event) &&
-         !std::holds_alternative<AdhocArrivalEvent>(event);
+         !std::holds_alternative<AdhocArrivalEvent>(event) &&
+         !std::holds_alternative<CellFaultEvent>(event);
 }
 
 JobUid event_job_uid(const SchedulerEvent& event) {

@@ -20,6 +20,7 @@
 #include <variant>
 #include <vector>
 
+#include "fault/plan.h"
 #include "workload/resources.h"
 #include "workload/workflow.h"
 
@@ -79,11 +80,24 @@ struct SolverSabotageEvent {
   bool force_numerical_failure = false;
 };
 
+/// A whole federation cell (scheduler shard) failed (`active`) or recovered
+/// (!`active`) — see fault::CellFault. Only the federated coordinator
+/// reacts (failure detection, quarantine, workflow failover); single-cell
+/// policies ignore the event. The machines behind the cell are unaffected.
+struct CellFaultEvent {
+  int cell = 0;
+  double now_s = 0.0;
+  fault::CellFaultMode mode = fault::CellFaultMode::kCrash;
+  bool active = false;
+};
+
 /// The unified event type delivered through Scheduler::on_event. Variant
-/// order is part of the API (index() is stable for trace consumers).
+/// order is part of the API (index() is stable for trace consumers); new
+/// event types append at the end.
 using SchedulerEvent =
     std::variant<WorkflowArrivalEvent, AdhocArrivalEvent, JobCompleteEvent,
-                 CapacityChangeEvent, TaskFailureEvent, SolverSabotageEvent>;
+                 CapacityChangeEvent, TaskFailureEvent, SolverSabotageEvent,
+                 CellFaultEvent>;
 
 /// Simulation timestamp carried by the event.
 inline double event_time(const SchedulerEvent& event) {
@@ -95,8 +109,10 @@ const char* event_name(const SchedulerEvent& event);
 
 /// True for events that add, remove or resize planned work — the ones a
 /// replanning scheduler may react to with a new plan. Ad-hoc arrivals never
-/// enter the LP (their size is unknown) and SolverSabotageEvent only
-/// re-parametrizes the solver, so neither counts.
+/// enter the LP (their size is unknown), SolverSabotageEvent only
+/// re-parametrizes the solver, and CellFaultEvent is handled natively by
+/// the federated coordinator (which marks the affected cells dirty itself),
+/// so none of those count.
 bool is_replan_trigger(const SchedulerEvent& event);
 
 /// JobUid the event is about, or -1 for events that are not addressed to a

@@ -27,10 +27,13 @@ void Scheduler::on_event(const SchedulerEvent& event) {
         } else if constexpr (std::is_same_v<E, TaskFailureEvent>) {
           on_task_failure(e.uid, e.now_s, e.lost_estimate, e.retry,
                           e.retry_at_s);
-        } else {
-          static_assert(std::is_same_v<E, SolverSabotageEvent>);
+        } else if constexpr (std::is_same_v<E, SolverSabotageEvent>) {
           on_solver_sabotage(e.now_s, e.budget_ms, e.pivot_cap,
                              e.force_numerical_failure);
+        } else {
+          // Cell faults only concern the federated coordinator, which
+          // overrides on_event wholesale; single-cell policies ignore them.
+          static_assert(std::is_same_v<E, CellFaultEvent>);
         }
       },
       event);

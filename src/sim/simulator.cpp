@@ -4,11 +4,13 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "util/backoff.h"
 #include "util/logging.h"
 
 namespace flowtime::sim {
@@ -35,6 +37,10 @@ struct LiveJob {
   int retries = 0;
   int backoff_until_slot = -1;
   bool pending_retry = false;
+  /// Retry delays run through the shared backoff policy. multiplier 1 and
+  /// no jitter reproduce the historical fixed `backoff_slots` delay; the
+  /// policy is rebuilt if a later declared fault changes the base.
+  std::optional<util::Backoff> retry_backoff;
   obs::SpanId job_span = obs::kNoSpan;        // release → completion
   obs::SpanId placement_span = obs::kNoSpan;  // current allocated run
   obs::SpanId fault_span = obs::kNoSpan;      // failure → retry release
@@ -277,6 +283,16 @@ SimResult Simulator::run(const workload::Scenario& scenario,
         }
       }
 
+      // Cell faults: whole scheduler shards crash/hang/flap. The injector
+      // emits the fault_injected/fault_lifted trace pair; here we only
+      // forward the typed transition (federated coordinators react,
+      // single-cell policies ignore it).
+      for (const auto& transition : injector.cell_faults_for_slot(slot, now)) {
+        scheduler.on_event(CellFaultEvent{transition.cell, now,
+                                          transition.mode,
+                                          transition.active});
+      }
+
       // Release retries whose backoff expired, then inject this slot's
       // task faults and stragglers. Order matters for determinism: jobs
       // are visited in uid order and retries precede new failures.
@@ -342,7 +358,16 @@ SimResult Simulator::run(const workload::Scenario& scenario,
         job.remaining_estimate =
             workload::add(job.remaining_estimate, lost_estimate);
         ++job.retries;
-        job.backoff_until_slot = slot + fault->backoff_slots;
+        if (!job.retry_backoff.has_value() ||
+            job.retry_backoff->config().base !=
+                static_cast<double>(fault->backoff_slots)) {
+          util::BackoffConfig backoff_config;
+          backoff_config.base = fault->backoff_slots;
+          backoff_config.multiplier = 1.0;  // legacy fixed per-retry delay
+          job.retry_backoff.emplace(backoff_config);
+        }
+        job.backoff_until_slot =
+            slot + static_cast<int>(std::lround(job.retry_backoff->next()));
         job.pending_retry = true;
         job.ready_since_s = -1.0;  // re-latches when the retry runs
         injector.count_task_failure();

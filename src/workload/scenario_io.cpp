@@ -386,6 +386,42 @@ std::optional<ParsedScenario> parse_scenario(std::istream& input,
         return fail(line_number, "field 'slot' must be >= 0");
       }
       parsed.fault_plan.solver_faults.push_back(solver);
+    } else if (directive == "fault_cell") {
+      if (!parse_fields(tokens, 1, &fields, &message)) {
+        return fail(line_number, message);
+      }
+      fault::CellFault cell;
+      const auto mode_it = fields.find("mode");
+      if (mode_it != fields.end()) {
+        if (mode_it->second == "crash") {
+          cell.mode = fault::CellFaultMode::kCrash;
+        } else if (mode_it->second == "hang") {
+          cell.mode = fault::CellFaultMode::kHang;
+        } else if (mode_it->second == "flap") {
+          cell.mode = fault::CellFaultMode::kFlap;
+        } else if (mode_it->second == "solver") {
+          cell.mode = fault::CellFaultMode::kSolverFail;
+        } else {
+          return fail(line_number,
+                      "unknown cell fault mode '" + mode_it->second + "'");
+        }
+      }
+      if (!get_int(fields, "cell", true, 0, &cell.cell, &message) ||
+          !get_int(fields, "slot", true, 0, &cell.slot, &message) ||
+          !get_int(fields, "until", false, -1, &cell.until_slot, &message) ||
+          !get_int(fields, "period", false, 0, &cell.period_slots,
+                   &message) ||
+          !get_double(fields, "jitter", false, 0.0, &cell.jitter,
+                      &message)) {
+        return fail(line_number, message);
+      }
+      if (cell.cell < 0) {
+        return fail(line_number, "field 'cell' must be >= 0");
+      }
+      if (cell.slot < 0) {
+        return fail(line_number, "field 'slot' must be >= 0");
+      }
+      parsed.fault_plan.cell_faults.push_back(cell);
     } else if (directive == "fault_hazard") {
       if (!parse_fields(tokens, 1, &fields, &message)) {
         return fail(line_number, message);
@@ -512,6 +548,15 @@ std::string write_scenario(const Scenario& scenario,
       if (solver.budget_ms >= 0.0) out << " budget_ms=" << solver.budget_ms;
       if (solver.pivot_cap > 0) out << " pivots=" << solver.pivot_cap;
       if (solver.force_numerical_failure) out << " fail=1";
+      out << "\n";
+    }
+    for (const fault::CellFault& cell : fault_plan.cell_faults) {
+      out << "fault_cell cell=" << cell.cell
+          << " mode=" << fault::to_string(cell.mode)
+          << " slot=" << cell.slot;
+      if (cell.until_slot >= 0) out << " until=" << cell.until_slot;
+      if (cell.period_slots > 0) out << " period=" << cell.period_slots;
+      if (cell.jitter > 0.0) out << " jitter=" << cell.jitter;
       out << "\n";
     }
     if (fault_plan.hazard.active()) {

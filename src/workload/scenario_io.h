@@ -18,6 +18,7 @@
 //     fault_machine down=30 up=90 cores=100 mem_gb=200
 //     fault_task workflow=0 node=1 slot=45 lose=1 backoff=3
 //     fault_straggler workflow=0 node=2 slot=50 factor=2.5
+//     fault_cell cell=1 mode=crash slot=40 until=80
 //     fault_hazard prob=0.001 lose=1 backoff=2 retries=3
 //     fault_noise model=lognormal sigma=0.2 bias=1.1
 //

@@ -282,5 +282,64 @@ TEST(ScenarioIo, FaultSolverDirectiveRoundTrips) {
   EXPECT_FALSE(b.force_numerical_failure);
 }
 
+TEST(ScenarioIo, FaultCellDirectiveRoundTrips) {
+  ParseError error;
+  const auto parsed = parse_scenario(
+      "cluster cores=10 mem_gb=10\n"
+      "adhoc id=0 arrival=0 tasks=1 runtime=10 cores=1 mem=1\n"
+      "fault seed=7\n"
+      "fault_cell cell=1 mode=crash slot=40 until=80\n"
+      "fault_cell cell=2 mode=flap slot=10 period=6 jitter=0.3\n"
+      "fault_cell cell=0 slot=5\n",
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << "line " << error.line << ": "
+                                  << error.message;
+  ASSERT_EQ(parsed->fault_plan.cell_faults.size(), 3u);
+  const fault::CellFault& crash = parsed->fault_plan.cell_faults[0];
+  EXPECT_EQ(crash.cell, 1);
+  EXPECT_EQ(crash.mode, fault::CellFaultMode::kCrash);
+  EXPECT_EQ(crash.slot, 40);
+  EXPECT_EQ(crash.until_slot, 80);
+  const fault::CellFault& flap = parsed->fault_plan.cell_faults[1];
+  EXPECT_EQ(flap.cell, 2);
+  EXPECT_EQ(flap.mode, fault::CellFaultMode::kFlap);
+  EXPECT_EQ(flap.period_slots, 6);
+  EXPECT_DOUBLE_EQ(flap.jitter, 0.3);
+  const fault::CellFault& bare = parsed->fault_plan.cell_faults[2];
+  EXPECT_EQ(bare.cell, 0);
+  EXPECT_EQ(bare.mode, fault::CellFaultMode::kCrash);  // default mode
+  EXPECT_EQ(bare.slot, 5);
+  EXPECT_EQ(bare.until_slot, -1);
+
+  // write -> parse preserves every field.
+  const std::string text =
+      write_scenario(parsed->scenario, parsed->cluster, parsed->fault_plan);
+  ParseError error2;
+  const auto reparsed = parse_scenario(text, &error2);
+  ASSERT_TRUE(reparsed.has_value()) << "line " << error2.line << ": "
+                                    << error2.message;
+  ASSERT_EQ(reparsed->fault_plan.cell_faults.size(), 3u);
+  const fault::CellFault& a = reparsed->fault_plan.cell_faults[0];
+  EXPECT_EQ(a.cell, 1);
+  EXPECT_EQ(a.mode, fault::CellFaultMode::kCrash);
+  EXPECT_EQ(a.slot, 40);
+  EXPECT_EQ(a.until_slot, 80);
+  const fault::CellFault& f = reparsed->fault_plan.cell_faults[1];
+  EXPECT_EQ(f.mode, fault::CellFaultMode::kFlap);
+  EXPECT_EQ(f.period_slots, 6);
+  EXPECT_DOUBLE_EQ(f.jitter, 0.3);
+}
+
+TEST(ScenarioIo, FaultCellRejectsBadMode) {
+  ParseError error;
+  const auto parsed = parse_scenario(
+      "cluster cores=10 mem_gb=10\n"
+      "fault seed=1\n"
+      "fault_cell cell=0 mode=melt slot=3\n",
+      &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_EQ(error.line, 3);
+}
+
 }  // namespace
 }  // namespace flowtime::workload
